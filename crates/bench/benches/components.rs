@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks for the substrate components: parser,
+//! dependence analysis, retrieval, cache simulation, cost model and the
+//! end-to-end pipeline on one kernel.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use looprag_dependence::analyze;
+use looprag_exec::{run, ExecConfig};
+use looprag_ir::{compile, parse_program, print_program};
+use looprag_machine::{estimate_cost, CacheGeometry, CacheLevel, MachineConfig};
+use looprag_polyopt::{optimize, PolyOptions};
+use looprag_retrieval::{RetrievalMode, Retriever};
+use looprag_suites::find;
+use looprag_synth::{build_dataset, SynthConfig};
+use looprag_transform::{scaled_clone, tile_band};
+
+fn bench_parser(c: &mut Criterion) {
+    let syrk = find("syrk").unwrap();
+    c.bench_function("parse_syrk", |b| {
+        b.iter(|| parse_program(&syrk.source, "syrk").unwrap())
+    });
+    let p = syrk.program();
+    c.bench_function("print_syrk", |b| b.iter(|| print_program(&p)));
+}
+
+fn bench_dependence(c: &mut Criterion) {
+    let gemm = find("gemm").unwrap().program();
+    c.bench_function("dependence_gemm", |b| b.iter(|| analyze(&gemm)));
+    let jacobi = find("jacobi-2d").unwrap().program();
+    c.bench_function("dependence_jacobi2d", |b| b.iter(|| analyze(&jacobi)));
+}
+
+fn bench_transform(c: &mut Criterion) {
+    // A perfectly nested gemm (the suite's gemm is imperfect: the scale
+    // statement sits beside the k loop); small sizes keep the per-step
+    // verification oracle cheap enough for a stable measurement.
+    let small = compile(
+        "param N = 48;\narray C[N][N];\narray A[N][N];\narray B[N][N];\nout C;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= N - 1; j++) for (k = 0; k <= N - 1; k++) C[i][j] += A[i][k] * B[k][j];\n#pragma endscop\n",
+        "gemm48",
+    )
+    .unwrap();
+    c.bench_function("tile_band_gemm48", |b| {
+        b.iter(|| tile_band(&small, &[0], 3, 8).unwrap())
+    });
+    let opts = PolyOptions {
+        tile_size: 8,
+        ..Default::default()
+    };
+    c.bench_function("polyopt_gemm48", |b| b.iter(|| optimize(&small, &opts)));
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let p = scaled_clone(&find("gemm").unwrap().program(), 16);
+    c.bench_function("interpret_gemm_n16", |b| {
+        b.iter(|| run(&p, &ExecConfig::default()).unwrap())
+    });
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let cfg = MachineConfig::gcc();
+    let stream = find("vpv").unwrap().program();
+    c.bench_function("cost_model_vpv", |b| {
+        b.iter(|| estimate_cost(&stream, &cfg).unwrap())
+    });
+    c.bench_function("cache_sim_1m_accesses", |b| {
+        b.iter_batched(
+            || {
+                CacheLevel::new(CacheGeometry {
+                    size_bytes: 4096,
+                    line_bytes: 64,
+                    assoc: 4,
+                })
+            },
+            |mut cache| {
+                for i in 0..1_000_000u64 {
+                    cache.access(i * 8 % 65536);
+                }
+                cache.hits()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_retrieval(c: &mut Criterion) {
+    let dataset = build_dataset(&SynthConfig {
+        count: 64,
+        ..Default::default()
+    });
+    let programs: Vec<_> = dataset
+        .examples
+        .iter()
+        .map(|e| (e.id, e.program()))
+        .collect();
+    let retriever = Retriever::build(programs.iter().map(|(i, p)| (*i, p)));
+    let target = find("syrk").unwrap().program();
+    c.bench_function("retrieve_top10_of_64", |b| {
+        b.iter(|| retriever.query(&target, RetrievalMode::LoopAware, 10))
+    });
+}
+
+fn bench_compile_error_path(c: &mut Criterion) {
+    // The feedback loop compiles many broken candidates; the error path
+    // must be as cheap as the happy path.
+    let bad = find("syrk").unwrap().source.replace(';', "");
+    c.bench_function("compile_error_syrk", |b| {
+        b.iter(|| compile(&bad, "bad").unwrap_err())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parser, bench_dependence, bench_transform, bench_interpreter,
+              bench_machine, bench_retrieval, bench_compile_error_path
+}
+criterion_main!(benches);

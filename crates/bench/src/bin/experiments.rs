@@ -1,0 +1,62 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p looprag-bench --bin experiments -- all
+//! cargo run --release -p looprag-bench --bin experiments -- table1 fig6
+//! cargo run --release -p looprag-bench --bin experiments -- all --quick
+//! ```
+//!
+//! `--quick` evaluates every third kernel with a smaller dataset (for
+//! smoke-testing the harness); full runs use every kernel.
+
+use looprag_bench::experiments;
+use looprag_bench::{EvalOptions, Harness};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let ids: Vec<&str> = if ids.is_empty() { vec!["all"] } else { ids };
+
+    let opts = if quick {
+        EvalOptions {
+            dataset_size: 60,
+            kernel_stride: 3,
+            ..Default::default()
+        }
+    } else {
+        EvalOptions::default()
+    };
+    println!(
+        "LOOPRAG experiment harness (dataset={}, stride={})",
+        opts.dataset_size, opts.kernel_stride
+    );
+    let h = Harness::new(opts);
+
+    for id in ids {
+        match id {
+            "all" => experiments::run_all(&h),
+            "fig1" => experiments::fig1(&h),
+            "table1" => experiments::table1(&h),
+            "fig6" => experiments::fig6(&h),
+            "table2" => experiments::table2(&h),
+            "fig7" => experiments::fig7(&h),
+            "table3" | "fig8" => experiments::table3_fig8(&h),
+            "fig9" => experiments::fig9(&h),
+            "table4" => experiments::table4(&h),
+            "table5" | "fig10" => experiments::table5_fig10(&h),
+            "table6" | "fig11" => experiments::table6_fig11(&h),
+            "table7" | "fig12" => experiments::table7_fig12(&h),
+            "fig14" => experiments::fig14(&h),
+            "ablation_tile" => experiments::ablation_tile(&h),
+            "ablation_penalty" => experiments::ablation_penalty(&h),
+            "ablation_coverage" => experiments::ablation_coverage(&h),
+            "ablation_demos" => experiments::ablation_demos(&h),
+            other => eprintln!("unknown experiment id '{other}'"),
+        }
+    }
+}

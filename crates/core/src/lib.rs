@@ -1,0 +1,83 @@
+//! # looprag-core
+//!
+//! The LOOPRAG pipeline: demonstration dataset + loop-aware retrieval +
+//! feedback-based iterative generation over a simulated LLM, with the
+//! evaluation metrics of §6.1.
+//!
+//! ```no_run
+//! use looprag_core::{LoopRag, LoopRagConfig};
+//! use looprag_llm::LlmProfile;
+//! use looprag_synth::{build_dataset, SynthConfig};
+//!
+//! let dataset = build_dataset(&SynthConfig { count: 50, ..Default::default() });
+//! let rag = LoopRag::new(LoopRagConfig::new(LlmProfile::deepseek()), dataset);
+//! let gemm = looprag_suites::find("gemm").unwrap().program();
+//! let outcome = rag.optimize("gemm", &gemm);
+//! println!("pass={} speedup={:.2}x", outcome.passed, outcome.speedup);
+//! ```
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod pipeline;
+
+pub use metrics::{
+    average_speedup, candidate_speedup, pass_at_k, percent_faster, OUTLIER_SPEEDUP,
+};
+pub use pipeline::{
+    CandidateReport, LoopRag, LoopRagConfig, OptimizationOutcome, StepTrace,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use looprag_llm::LlmProfile;
+    use looprag_synth::{build_dataset, SynthConfig};
+
+    fn small_rag() -> LoopRag {
+        let dataset = build_dataset(&SynthConfig {
+            count: 12,
+            ..Default::default()
+        });
+        LoopRag::new(LoopRagConfig::new(LlmProfile::deepseek()), dataset)
+    }
+
+    #[test]
+    fn pipeline_optimizes_gemm_end_to_end() {
+        let rag = small_rag();
+        let gemm = looprag_suites::find("gemm").unwrap().program();
+        let outcome = rag.optimize("gemm", &gemm);
+        assert_eq!(outcome.candidates.len(), 14, "two K=7 batches");
+        if outcome.passed {
+            assert!(outcome.best.is_some());
+            assert!(outcome.speedup > 0.0);
+        }
+        // The step trace is monotone by construction.
+        assert!(outcome.steps.pass_step4 || !outcome.steps.pass_step2);
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let rag = small_rag();
+        let p = looprag_suites::find("vpv").unwrap().program();
+        let a = rag.optimize("vpv", &p);
+        let b = rag.optimize("vpv", &p);
+        assert_eq!(a.passed, b.passed);
+        assert_eq!(a.speedup, b.speedup);
+        assert_eq!(a.demo_ids, b.demo_ids);
+    }
+
+    #[test]
+    fn best_candidate_when_passed_is_semantics_preserving() {
+        let rag = small_rag();
+        let p = looprag_suites::find("s000").unwrap().program();
+        let outcome = rag.optimize("s000", &p);
+        if let Some(best) = &outcome.best {
+            assert!(looprag_transform::semantics_preserving(
+                &p,
+                best,
+                &looprag_transform::OracleConfig::default()
+            ));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Evaluation metrics (§6.1): pass@k, average speedup with outlier
+//! exclusion, and the percentage-of-faster-codes comparison.
+
+use looprag_ir::Program;
+use looprag_machine::{estimate_cost, CostReport, MachineConfig};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+thread_local! {
+    /// Per-thread memo of candidate cost estimates, keyed by printed
+    /// text; candidate batches contain many duplicates.
+    static COST_CACHE: RefCell<HashMap<String, Option<f64>>> = RefCell::new(HashMap::new());
+}
+
+/// Speedup threshold beyond which a measurement is excluded from averages
+/// as an outlier, per the paper's metric definition.
+pub const OUTLIER_SPEEDUP: f64 = 600.0;
+
+/// Estimated speedup of `candidate` over the original's cost report.
+///
+/// Returns 0 when the candidate's cost estimation exhausts its budget
+/// (execution timeout) or the candidate is slower than
+/// `orig * slow_factor` (the inefficiency wall-clock limit).
+pub fn candidate_speedup(
+    orig: &CostReport,
+    candidate: &Program,
+    machine: &MachineConfig,
+    slow_factor: f64,
+) -> f64 {
+    let key = format!("{}::{}", machine.name, looprag_ir::print_program(candidate));
+    let cycles = COST_CACHE.with(|c| {
+        if let Some(hit) = c.borrow().get(&key) {
+            return *hit;
+        }
+        let cycles = estimate_cost(candidate, machine).ok().map(|r| r.cycles);
+        let mut map = c.borrow_mut();
+        if map.len() > 4096 {
+            map.clear();
+        }
+        map.insert(key.clone(), cycles);
+        cycles
+    });
+    match cycles {
+        None => 0.0,
+        Some(cycles) => {
+            if cycles > orig.cycles * slow_factor || cycles <= 0.0 {
+                0.0
+            } else {
+                orig.cycles / cycles
+            }
+        }
+    }
+}
+
+/// Arithmetic-mean speedup with failures included as 0 and outliers
+/// (> [`OUTLIER_SPEEDUP`]) excluded, as in §6.1.
+pub fn average_speedup(speedups: &[f64]) -> f64 {
+    let kept: Vec<f64> = speedups
+        .iter()
+        .copied()
+        .filter(|s| *s <= OUTLIER_SPEEDUP)
+        .collect();
+    if kept.is_empty() {
+        return 0.0;
+    }
+    kept.iter().sum::<f64>() / kept.len() as f64
+}
+
+/// pass@k as a percentage: the fraction of kernels with at least one
+/// passing candidate.
+pub fn pass_at_k(passed: &[bool]) -> f64 {
+    if passed.is_empty() {
+        return 0.0;
+    }
+    100.0 * passed.iter().filter(|p| **p).count() as f64 / passed.len() as f64
+}
+
+/// Percentage of kernels where `ours` strictly beats `theirs`
+/// (pairwise, same kernel order).
+pub fn percent_faster(ours: &[f64], theirs: &[f64]) -> f64 {
+    assert_eq!(ours.len(), theirs.len(), "pairwise comparison needs equal lengths");
+    if ours.is_empty() {
+        return 0.0;
+    }
+    let wins = ours
+        .iter()
+        .zip(theirs)
+        .filter(|(a, b)| *a > *b && **a > 0.0)
+        .count();
+    100.0 * wins as f64 / ours.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_includes_failures_excludes_outliers() {
+        // [0 (failure), 10, 700 (outlier), 20] -> mean of [0, 10, 20]
+        let m = average_speedup(&[0.0, 10.0, 700.0, 20.0]);
+        assert!((m - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pass_at_k_percentage() {
+        assert_eq!(pass_at_k(&[true, true, false, false]), 50.0);
+        assert_eq!(pass_at_k(&[]), 0.0);
+    }
+
+    #[test]
+    fn percent_faster_requires_nonzero_win() {
+        let p = percent_faster(&[2.0, 0.0, 5.0], &[1.0, 0.0, 9.0]);
+        assert!((p - 33.333333).abs() < 1e-3);
+    }
+}

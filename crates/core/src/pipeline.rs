@@ -1,0 +1,444 @@
+//! The LOOPRAG pipeline (§3): dataset-backed retrieval plus the
+//! four-step feedback-based iterative generation of §4.3.
+//!
+//! * **Step 1** — prompt with retrieved demonstrations, generate K
+//!   candidates, compile each.
+//! * **Step 2** — regenerate compile failures with the compiler
+//!   diagnostics (first round of compilation feedback), then run
+//!   mutation/coverage/differential testing and rank the survivors by
+//!   estimated performance.
+//! * **Step 3** — prompt with testing results and performance rankings,
+//!   generate a fresh batch.
+//! * **Step 4** — repeat compile-repair and testing for the new batch,
+//!   and output the fastest passing candidate overall.
+
+use crate::metrics::candidate_speedup;
+use looprag_eqcheck::{build_test_suite, differential_test, EqCheckConfig, TestSuite, TestVerdict};
+use looprag_ir::{compile, print_program, Program};
+use looprag_llm::{Demonstration, Feedback, LanguageModel, LlmProfile, Prompt, SimLlm};
+use looprag_machine::{estimate_cost, CostReport, MachineConfig};
+use looprag_retrieval::{RetrievalMode, Retriever};
+use looprag_synth::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct LoopRagConfig {
+    /// Base seed; per-target seeds derive from it and the kernel name.
+    pub seed: u64,
+    /// Number of candidates per generation round (the paper's K).
+    pub k: usize,
+    /// Retrieval arm (the Table 6 ablation).
+    pub retrieval: RetrievalMode,
+    /// Candidates retrieved before sampling (the paper's N).
+    pub top_n: usize,
+    /// Demonstrations sampled from the top-N (the paper uses 3).
+    pub demos: usize,
+    /// Base-LLM profile.
+    pub profile: LlmProfile,
+    /// Machine model for performance ranking and reported speedups.
+    pub machine: MachineConfig,
+    /// Equivalence-checking configuration.
+    pub eqcheck: EqCheckConfig,
+    /// Candidates whose estimated cost exceeds `orig_cost * slow_factor`
+    /// count as inefficient failures (the paper's 120 s wall limit).
+    pub slow_factor: f64,
+    /// When true, run only step 1 with no feedback of any kind — the
+    /// base-LLM prompting arm of Table 2.
+    pub single_shot: bool,
+    /// Wall-clock budget per kernel; once exceeded, remaining candidates
+    /// are skipped (scored as failures). Mirrors the paper's per-kernel
+    /// generation time limits.
+    pub kernel_time_budget: std::time::Duration,
+}
+
+impl LoopRagConfig {
+    /// Default configuration over a given profile.
+    pub fn new(profile: LlmProfile) -> Self {
+        LoopRagConfig {
+            seed: 0x100B_4A6D,
+            k: 7,
+            retrieval: RetrievalMode::LoopAware,
+            top_n: 10,
+            demos: 3,
+            profile,
+            machine: MachineConfig::gcc(),
+            eqcheck: EqCheckConfig::default(),
+            slow_factor: 50.0,
+            single_shot: false,
+            kernel_time_budget: std::time::Duration::from_secs(90),
+        }
+    }
+}
+
+/// One candidate's journey through the pipeline.
+#[derive(Debug, Clone)]
+pub struct CandidateReport {
+    /// Which round produced it (1 = step 1 batch, 3 = step 3 batch).
+    pub round: u8,
+    /// Whether it compiled (possibly after repair feedback).
+    pub compiled: bool,
+    /// Whether the compile succeeded only after feedback repair.
+    pub repaired: bool,
+    /// Testing verdict (`None` when it never compiled).
+    pub verdict: Option<TestVerdict>,
+    /// Estimated speedup over the original (0 when failed).
+    pub speedup: f64,
+}
+
+/// Pass/fail state of the pipeline after each step, for Table 7.
+#[derive(Debug, Clone, Default)]
+pub struct StepTrace {
+    /// Passed using only step-1 candidates that compiled first-try.
+    pub pass_step1: bool,
+    /// Passed after the first compile-repair round.
+    pub pass_step2: bool,
+    /// Passed using only step-3 candidates that compiled first-try.
+    pub pass_step3: bool,
+    /// Passed using step-3 candidates including compile-repaired ones
+    /// (isolates the second compile-feedback round).
+    pub pass_step3_repaired: bool,
+    /// Passed after the second compile-repair round (any candidate).
+    pub pass_step4: bool,
+    /// Best speedup among step-2 survivors.
+    pub best_speedup_step2: f64,
+    /// Best speedup among all survivors at step 4.
+    pub best_speedup_step4: f64,
+}
+
+/// Final outcome for one kernel.
+#[derive(Debug, Clone)]
+pub struct OptimizationOutcome {
+    /// Kernel name.
+    pub name: String,
+    /// True when at least one candidate passed testing (pass@k).
+    pub passed: bool,
+    /// The fastest passing candidate.
+    pub best: Option<Program>,
+    /// Estimated speedup of the best candidate (0 when none passed).
+    pub speedup: f64,
+    /// Per-candidate reports.
+    pub candidates: Vec<CandidateReport>,
+    /// Per-step trace for the feedback ablation.
+    pub steps: StepTrace,
+    /// Names of the demonstrations used.
+    pub demo_ids: Vec<usize>,
+}
+
+/// The LOOPRAG optimizer: dataset, retriever and configuration.
+pub struct LoopRag {
+    config: LoopRagConfig,
+    dataset: Dataset,
+    retriever: Retriever,
+}
+
+impl LoopRag {
+    /// Builds the optimizer over a demonstration dataset.
+    pub fn new(config: LoopRagConfig, dataset: Dataset) -> Self {
+        let programs: Vec<(usize, Program)> = dataset
+            .examples
+            .iter()
+            .map(|e| (e.id, e.program()))
+            .collect();
+        let retriever = Retriever::build(programs.iter().map(|(i, p)| (*i, p)));
+        LoopRag {
+            config,
+            dataset,
+            retriever,
+        }
+    }
+
+    /// Access to the configuration.
+    pub fn config(&self) -> &LoopRagConfig {
+        &self.config
+    }
+
+    fn target_seed(&self, name: &str) -> u64 {
+        let mut h = 1469598103934665603u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(1099511628211);
+        }
+        h ^ self.config.seed
+    }
+
+    /// Retrieves top-N and samples the prompt demonstrations.
+    fn demonstrations(&self, target: &Program, rng: &mut StdRng) -> (Vec<Demonstration>, Vec<usize>) {
+        if self.dataset.examples.is_empty() || self.config.demos == 0 {
+            return (Vec::new(), Vec::new());
+        }
+        let hits = self
+            .retriever
+            .query(target, self.config.retrieval, self.config.top_n);
+        let mut ids: Vec<usize> = hits.iter().map(|(id, _)| *id).collect();
+        // Random sample of `demos` from the top-N, as in §5.
+        let mut chosen = Vec::new();
+        while chosen.len() < self.config.demos && !ids.is_empty() {
+            let k = rng.gen_range(0..ids.len());
+            chosen.push(ids.remove(k));
+        }
+        let demos = chosen
+            .iter()
+            .filter_map(|id| self.dataset.examples.iter().find(|e| e.id == *id))
+            .map(|e| Demonstration {
+                source: e.source.clone(),
+                optimized: e.optimized.clone(),
+            })
+            .collect();
+        (demos, chosen)
+    }
+
+    /// Generates a batch of K candidates, with one compile-repair round.
+    fn generate_batch(
+        &self,
+        model: &mut SimLlm,
+        base_prompt: &Prompt,
+        round: u8,
+        target_text: &str,
+        deadline: std::time::Instant,
+    ) -> Vec<(CandidateReport, Option<Program>)> {
+        let mut out = Vec::new();
+        for _ in 0..self.config.k {
+            if std::time::Instant::now() > deadline {
+                out.push((
+                    CandidateReport {
+                        round,
+                        compiled: false,
+                        repaired: false,
+                        verdict: None,
+                        speedup: 0.0,
+                    },
+                    None,
+                ));
+                continue;
+            }
+            let text = model.generate(base_prompt);
+            match compile(&text, "candidate") {
+                Ok(p) => out.push((
+                    CandidateReport {
+                        round,
+                        compiled: true,
+                        repaired: false,
+                        verdict: None,
+                        speedup: 0.0,
+                    },
+                    Some(p),
+                )),
+                Err(err) if self.config.single_shot => {
+                    let _ = err;
+                    out.push((
+                        CandidateReport {
+                            round,
+                            compiled: false,
+                            repaired: false,
+                            verdict: None,
+                            speedup: 0.0,
+                        },
+                        None,
+                    ));
+                }
+                Err(err) => {
+                    // Compilation-results feedback (steps 2 and 4).
+                    let repair_prompt = Prompt {
+                        target: target_text.to_string(),
+                        demonstrations: Vec::new(),
+                        feedback: Some(Feedback::Compile {
+                            last_code: text,
+                            error: err.to_string(),
+                        }),
+                    };
+                    let retry = model.generate(&repair_prompt);
+                    match compile(&retry, "candidate") {
+                        Ok(p) => out.push((
+                            CandidateReport {
+                                round,
+                                compiled: true,
+                                repaired: true,
+                                verdict: None,
+                                speedup: 0.0,
+                            },
+                            Some(p),
+                        )),
+                        Err(_) => out.push((
+                            CandidateReport {
+                                round,
+                                compiled: false,
+                                repaired: false,
+                                verdict: None,
+                                speedup: 0.0,
+                            },
+                            None,
+                        )),
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Tests and scores a batch in place.
+    fn test_batch(
+        &self,
+        original: &Program,
+        orig_cost: &CostReport,
+        suite: &TestSuite,
+        batch: &mut [(CandidateReport, Option<Program>)],
+        deadline: std::time::Instant,
+    ) {
+        for (report, prog) in batch.iter_mut() {
+            let Some(p) = prog else { continue };
+            if std::time::Instant::now() > deadline {
+                report.verdict = Some(TestVerdict::Timeout);
+                continue;
+            }
+            let verdict = differential_test(original, p, suite, &self.config.eqcheck);
+            if verdict == TestVerdict::Pass {
+                let speedup =
+                    candidate_speedup(orig_cost, p, &self.config.machine, self.config.slow_factor);
+                report.speedup = speedup;
+                if speedup == 0.0 {
+                    // Slower than the inefficiency threshold: keep it as a
+                    // passing-but-inefficient candidate with speedup 0.
+                    report.verdict = Some(TestVerdict::Pass);
+                    continue;
+                }
+            }
+            report.verdict = Some(verdict);
+        }
+    }
+
+    /// Runs the full four-step pipeline on one kernel.
+    pub fn optimize(&self, name: &str, target: &Program) -> OptimizationOutcome {
+        let deadline = std::time::Instant::now() + self.config.kernel_time_budget;
+        let mut rng = StdRng::seed_from_u64(self.target_seed(name));
+        let mut model = SimLlm::new(self.config.profile.clone(), rng.gen());
+        let target_text = print_program(target);
+        let suite = build_test_suite(target, &self.config.eqcheck);
+        let orig_cost = estimate_cost(target, &self.config.machine).unwrap_or(CostReport {
+            cycles: f64::INFINITY,
+            breakdown: Default::default(),
+            instances: 0,
+            l1_hits: 0,
+            l2_hits: 0,
+            mem_accesses: 0,
+            vectorized: Vec::new(),
+            parallel_entries: 0,
+        });
+
+        // Step 1: demonstrations + first batch.
+        let (demos, demo_ids) = self.demonstrations(target, &mut rng);
+        let prompt1 = if demos.is_empty() {
+            Prompt::base(target_text.clone())
+        } else {
+            Prompt::with_demonstrations(target_text.clone(), demos)
+        };
+        let mut batch1 = self.generate_batch(&mut model, &prompt1, 1, &target_text, deadline);
+
+        // Step 2: test the (possibly repaired) batch and rank.
+        self.test_batch(target, &orig_cost, &suite, &mut batch1, deadline);
+        let mut steps = StepTrace::default();
+        steps.pass_step1 = batch1
+            .iter()
+            .any(|(r, _)| r.compiled && !r.repaired && r.verdict == Some(TestVerdict::Pass));
+        steps.pass_step2 = batch1
+            .iter()
+            .any(|(r, _)| r.verdict == Some(TestVerdict::Pass));
+        steps.best_speedup_step2 = batch1
+            .iter()
+            .filter(|(r, _)| r.verdict == Some(TestVerdict::Pass))
+            .map(|(r, _)| r.speedup)
+            .fold(0.0, f64::max);
+
+        if self.config.single_shot {
+            let best = batch1
+                .iter()
+                .filter(|(r, _)| r.verdict == Some(TestVerdict::Pass))
+                .max_by(|a, b| {
+                    a.0.speedup
+                        .partial_cmp(&b.0.speedup)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+            let (passed, speedup, best_prog) = match best {
+                Some((r, p)) => (true, r.speedup, p.clone()),
+                None => (false, 0.0, None),
+            };
+            steps.pass_step3 = steps.pass_step1;
+            steps.pass_step3_repaired = steps.pass_step1;
+            steps.pass_step4 = steps.pass_step2;
+            steps.best_speedup_step4 = speedup;
+            return OptimizationOutcome {
+                name: name.to_string(),
+                passed,
+                best: best_prog,
+                speedup,
+                candidates: batch1.into_iter().map(|(r, _)| r).collect(),
+                steps,
+                demo_ids,
+            };
+        }
+
+        // Step 3: testing results + performance rankings feedback.
+        let mut ranked: Vec<(usize, f64, String)> = batch1
+            .iter()
+            .enumerate()
+            .filter(|(_, (r, _))| r.verdict == Some(TestVerdict::Pass))
+            .map(|(i, (r, p))| (i, r.speedup, print_program(p.as_ref().unwrap())))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let failed: Vec<usize> = batch1
+            .iter()
+            .enumerate()
+            .filter(|(_, (r, _))| r.verdict != Some(TestVerdict::Pass))
+            .map(|(i, _)| i)
+            .collect();
+        let prompt3 = Prompt {
+            target: target_text.clone(),
+            demonstrations: Vec::new(),
+            feedback: Some(Feedback::TestAndRank {
+                available: ranked.iter().map(|(i, _, t)| (*i, t.clone())).collect(),
+                failed,
+            }),
+        };
+        let mut batch3 = self.generate_batch(&mut model, &prompt3, 3, &target_text, deadline);
+
+        // Step 4: test the second batch; select the fastest overall.
+        self.test_batch(target, &orig_cost, &suite, &mut batch3, deadline);
+        steps.pass_step3 = batch3
+            .iter()
+            .any(|(r, _)| r.compiled && !r.repaired && r.verdict == Some(TestVerdict::Pass));
+        steps.pass_step3_repaired = batch3
+            .iter()
+            .any(|(r, _)| r.verdict == Some(TestVerdict::Pass));
+        steps.pass_step4 = steps.pass_step2
+            || batch3
+                .iter()
+                .any(|(r, _)| r.verdict == Some(TestVerdict::Pass));
+
+        let mut all: Vec<(CandidateReport, Option<Program>)> = batch1;
+        all.extend(batch3);
+        let best = all
+            .iter()
+            .filter(|(r, _)| r.verdict == Some(TestVerdict::Pass))
+            .max_by(|a, b| {
+                a.0.speedup
+                    .partial_cmp(&b.0.speedup)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        let (passed, speedup, best_prog) = match best {
+            Some((r, p)) => (true, r.speedup, p.clone()),
+            None => (false, 0.0, None),
+        };
+        steps.best_speedup_step4 = speedup;
+
+        OptimizationOutcome {
+            name: name.to_string(),
+            passed,
+            best: best_prog,
+            speedup,
+            candidates: all.into_iter().map(|(r, _)| r).collect(),
+            steps,
+            demo_ids,
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # looprag-dependence
+//!
+//! Data-dependence analysis for SCoP programs: RAW/WAW/WAR classification,
+//! distance and direction vectors, loop-carried vs loop-independent
+//! dependences, and the legality queries (parallelization, interchange)
+//! that loop transformations rely on.
+//!
+//! ```
+//! use looprag_dependence::{analyze, DepKind};
+//! let src = "param N = 32;\narray A[N];\nout A;\n#pragma scop\n\
+//! for (i = 1; i <= N - 1; i++) A[i] = A[i - 1] * 2.0;\n#pragma endscop\n";
+//! let p = looprag_ir::compile(src, "rec")?;
+//! let deps = analyze(&p);
+//! assert_eq!(deps.deps[0].kind, DepKind::Raw);
+//! assert!(!deps.is_parallel_legal(&[0]));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod analysis;
+
+pub use analysis::{
+    analyze, analyze_with, scaled_params, AnalysisConfig, DepKind, Dependence, DependenceSet,
+    Direction,
+};

@@ -1,0 +1,460 @@
+//! # looprag-eqcheck
+//!
+//! Semantic-equivalence checking for LLM-generated code (§4.3): seed
+//! input generation, value/operator/statement-based input mutation,
+//! coverage-guided test selection, and differential testing with a
+//! checksum quick-filter followed by element-wise comparison.
+//!
+//! The paper treats equivalence pragmatically — it is undecidable in
+//! general, so the generated program is *tested*, not proven. This crate
+//! implements that pipeline over the [`looprag_exec`] interpreter, plus
+//! one strengthening the interpreter makes cheap: candidates whose
+//! parallel-marked loops are illegal are exposed by re-running them under
+//! permuted iteration orders.
+//!
+//! ```
+//! use looprag_eqcheck::{build_test_suite, differential_test, EqCheckConfig, TestVerdict};
+//! let src = "param N = 32;\narray A[N];\nout A;\n#pragma scop\n\
+//! for (i = 0; i <= N - 1; i++) A[i] = A[i] * 2.0;\n#pragma endscop\n";
+//! let p = looprag_ir::compile(src, "k")?;
+//! let cfg = EqCheckConfig::default();
+//! let suite = build_test_suite(&p, &cfg);
+//! assert_eq!(differential_test(&p, &p, &suite, &cfg), TestVerdict::Pass);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+use looprag_exec::{run_with_store, ArrayStore, Coverage, ExecConfig, ExecError, ParallelOrder};
+use looprag_ir::{adaptive_sampling_cap, has_parallel_loop, InitKind, Program};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// One test input: an initialization per (non-local) array.
+pub type InputSpec = Vec<(String, InitKind)>;
+
+/// Verdict of differential testing, matching the paper's error classes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TestVerdict {
+    /// All tests passed.
+    Pass,
+    /// Outputs differ from the ground truth (IA).
+    IncorrectAnswer {
+        /// Human-readable mismatch description.
+        detail: String,
+    },
+    /// The candidate faulted at runtime (RE).
+    RuntimeError {
+        /// The runtime error message.
+        message: String,
+    },
+    /// The candidate exceeded the execution budget (ET).
+    Timeout,
+}
+
+impl fmt::Display for TestVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestVerdict::Pass => write!(f, "pass"),
+            TestVerdict::IncorrectAnswer { detail } => write!(f, "incorrect answer: {detail}"),
+            TestVerdict::RuntimeError { message } => write!(f, "runtime error: {message}"),
+            TestVerdict::Timeout => write!(f, "execution timeout"),
+        }
+    }
+}
+
+/// Configuration for suite building and differential testing.
+#[derive(Debug, Clone)]
+pub struct EqCheckConfig {
+    /// RNG seed for input mutation.
+    pub seed: u64,
+    /// Base parameter cap for scaled-down runs (widened adaptively for
+    /// tiled candidates).
+    pub param_cap: i64,
+    /// Number of mutated candidate inputs to generate before
+    /// coverage-guided selection.
+    pub candidate_inputs: usize,
+    /// Relative tolerance for element-wise comparison.
+    pub rel_eps: f64,
+    /// Statement budget per run (the execution-timeout threshold).
+    pub stmt_budget: u64,
+}
+
+impl Default for EqCheckConfig {
+    fn default() -> Self {
+        EqCheckConfig {
+            seed: 0xC0FFEE,
+            param_cap: 8,
+            candidate_inputs: 40,
+            rel_eps: 1e-6,
+            stmt_budget: 20_000_000,
+        }
+    }
+}
+
+/// A coverage-selected test suite.
+#[derive(Debug, Clone)]
+pub struct TestSuite {
+    /// The kept inputs.
+    pub inputs: Vec<InputSpec>,
+    /// Branch coverage achieved on the ground-truth program.
+    pub coverage: Coverage,
+    /// How many candidate inputs were generated before selection.
+    pub generated: usize,
+}
+
+fn array_names(p: &Program) -> Vec<String> {
+    p.arrays
+        .iter()
+        .filter(|a| !a.local)
+        .map(|a| a.name.clone())
+        .collect()
+}
+
+/// Seed inputs: the structural reading of the program that the paper
+/// delegates to GPT-4 — data layout from the declarations, plus a small
+/// set of canonical value patterns.
+pub fn seed_inputs(p: &Program) -> Vec<InputSpec> {
+    let names = array_names(p);
+    let patterns = [
+        InitKind::default_pattern(),
+        InitKind::IndexPattern { a: 31, b: 7, m: 113 },
+        InitKind::Constant(1.0),
+        InitKind::Zero,
+    ];
+    patterns
+        .iter()
+        .map(|k| names.iter().map(|n| (n.clone(), k.clone())).collect())
+        .collect()
+}
+
+/// Mutates an input: value-based (constants of the pattern),
+/// operator-based (pattern kind), or statement-based (per-array swap).
+pub fn mutate_input(spec: &InputSpec, rng: &mut StdRng) -> InputSpec {
+    let mut out = spec.clone();
+    if out.is_empty() {
+        return out;
+    }
+    match rng.gen_range(0..3) {
+        // Value-based: perturb the constants of one array's pattern.
+        0 => {
+            let k = rng.gen_range(0..out.len());
+            out[k].1 = match &out[k].1 {
+                InitKind::IndexPattern { a, b, m } => InitKind::IndexPattern {
+                    a: a + rng.gen_range(1..7),
+                    b: b + rng.gen_range(0..5),
+                    m: (m + rng.gen_range(0..17)).max(2),
+                },
+                InitKind::Constant(c) => InitKind::Constant(c + rng.gen_range(-3..=3) as f64),
+                InitKind::Zero => InitKind::Constant(rng.gen_range(-2..=2) as f64),
+            };
+        }
+        // Operator-based: switch the pattern kind.
+        1 => {
+            let k = rng.gen_range(0..out.len());
+            out[k].1 = match &out[k].1 {
+                InitKind::Zero => InitKind::default_pattern(),
+                InitKind::Constant(_) => InitKind::IndexPattern {
+                    a: rng.gen_range(1..23),
+                    b: rng.gen_range(0..11),
+                    m: rng.gen_range(3..201),
+                },
+                InitKind::IndexPattern { .. } => InitKind::Constant(rng.gen_range(-4..=4) as f64),
+            };
+        }
+        // Statement-based: swap two arrays' initializations.
+        _ => {
+            if out.len() >= 2 {
+                let a = rng.gen_range(0..out.len());
+                let b = rng.gen_range(0..out.len());
+                out.swap(a, b);
+            }
+        }
+    }
+    out
+}
+
+fn scaled(p: &Program, cap: i64) -> Program {
+    looprag_transform::scaled_clone(p, cap)
+}
+
+fn store_for(p: &Program, spec: &InputSpec) -> ArrayStore {
+    let mut store = ArrayStore::from_program(p);
+    for (name, init) in spec {
+        if let Some(arr) = store.get_mut(name) {
+            arr.fill(init);
+        }
+    }
+    store
+}
+
+/// Builds a coverage-guided test suite on the ground-truth program:
+/// mutated inputs are kept only while they increase branch coverage, and
+/// generation stops when coverage saturates — the mechanism by which the
+/// paper reduces 500+ tests to ~25.
+pub fn build_test_suite(p: &Program, cfg: &EqCheckConfig) -> TestSuite {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let cap = adaptive_sampling_cap(p, cfg.param_cap, 400_000.0);
+    let small = scaled(p, cap);
+    let mut total = Coverage::default();
+    let mut kept = Vec::new();
+    let seeds = seed_inputs(p);
+    let mut pool: Vec<InputSpec> = seeds.clone();
+    let mut generated = pool.len();
+    while pool.len() < cfg.candidate_inputs {
+        let base = &pool[rng.gen_range(0..pool.len())].clone();
+        pool.push(mutate_input(base, &mut rng));
+        generated += 1;
+    }
+    let exec_cfg = ExecConfig {
+        stmt_budget: cfg.stmt_budget,
+        parallel_order: ParallelOrder::Forward,
+    };
+    let mut stale_rounds = 0;
+    for (i, spec) in pool.iter().enumerate() {
+        let mut store = store_for(&small, spec);
+        let Ok(stats) = run_with_store(&small, &mut store, &exec_cfg, None) else {
+            continue;
+        };
+        let grew = total.merge(&stats.coverage);
+        // Always keep the first few seeds; afterwards keep only inputs
+        // that extend coverage, and stop once coverage saturates.
+        if i < seeds.len() || grew {
+            kept.push(spec.clone());
+            stale_rounds = 0;
+        } else {
+            stale_rounds += 1;
+        }
+        if total.ratio() >= 1.0 || stale_rounds >= 8 {
+            break;
+        }
+    }
+    TestSuite {
+        inputs: kept,
+        coverage: total,
+        generated,
+    }
+}
+
+/// Differentially tests `candidate` against `original` on the suite:
+/// checksum quick-filter, element-wise comparison, and permuted-order
+/// re-execution for parallel-marked loops.
+pub fn differential_test(
+    original: &Program,
+    candidate: &Program,
+    suite: &TestSuite,
+    cfg: &EqCheckConfig,
+) -> TestVerdict {
+    let cap = adaptive_sampling_cap(candidate, cfg.param_cap, 400_000.0)
+        .max(adaptive_sampling_cap(original, cfg.param_cap, 400_000.0));
+    let orig = scaled(original, cap);
+    let cand = scaled(candidate, cap);
+    if orig.outputs != cand.outputs {
+        return TestVerdict::IncorrectAnswer {
+            detail: "output arrays differ".into(),
+        };
+    }
+    let outputs = orig.outputs.clone();
+    let fwd = ExecConfig {
+        stmt_budget: cfg.stmt_budget,
+        parallel_order: ParallelOrder::Forward,
+    };
+    let orders: Vec<ParallelOrder> = if has_parallel_loop(&cand) {
+        vec![
+            ParallelOrder::Forward,
+            ParallelOrder::Reverse,
+            ParallelOrder::EvenOdd,
+        ]
+    } else {
+        vec![ParallelOrder::Forward]
+    };
+    for spec in &suite.inputs {
+        let mut ostore = store_for(&orig, spec);
+        if run_with_store(&orig, &mut ostore, &fwd, None).is_err() {
+            // Ground truth failed on this input (should not happen for
+            // benchmark kernels); skip the input.
+            continue;
+        }
+        let expected_sum = ostore.checksum(&outputs);
+        for order in &orders {
+            let ecfg = ExecConfig {
+                stmt_budget: cfg.stmt_budget,
+                parallel_order: *order,
+            };
+            let mut cstore = store_for(&cand, spec);
+            match run_with_store(&cand, &mut cstore, &ecfg, None) {
+                Err(ExecError::BudgetExceeded { .. }) => return TestVerdict::Timeout,
+                Err(e) => {
+                    return TestVerdict::RuntimeError {
+                        message: e.to_string(),
+                    }
+                }
+                Ok(_) => {}
+            }
+            // Checksum testing: the quick filter.
+            let got_sum = cstore.checksum(&outputs);
+            let scale = expected_sum.abs().max(1.0);
+            let checksum_ok = if expected_sum.is_finite() && got_sum.is_finite() {
+                (expected_sum - got_sum).abs() <= cfg.rel_eps * scale * 1e3
+            } else {
+                false
+            };
+            if !checksum_ok {
+                return TestVerdict::IncorrectAnswer {
+                    detail: format!(
+                        "checksum mismatch: expected {expected_sum}, got {got_sum}"
+                    ),
+                };
+            }
+            // Element-wise testing: the precise comparison.
+            if let Some((arr, idx, a, b)) = ostore.element_diff(&cstore, &outputs, cfg.rel_eps) {
+                return TestVerdict::IncorrectAnswer {
+                    detail: format!("{arr}[{idx}]: expected {a}, got {b}"),
+                };
+            }
+        }
+    }
+    TestVerdict::Pass
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use looprag_ir::compile;
+    use looprag_transform::{parallelize, tile_band};
+
+    fn gemm() -> Program {
+        compile(
+            "param N = 64;\narray C[N][N];\narray A[N][N];\narray B[N][N];\nout C;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= N - 1; j++) for (k = 0; k <= N - 1; k++) C[i][j] += A[i][k] * B[k][j];\n#pragma endscop\n",
+            "gemm",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn suite_reduces_inputs_via_coverage() {
+        let p = compile(
+            "param N = 64;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) if (i >= 2) A[i] = A[i] + 1.0;\n#pragma endscop\n",
+            "g",
+        )
+        .unwrap();
+        let cfg = EqCheckConfig::default();
+        let suite = build_test_suite(&p, &cfg);
+        assert!(suite.generated >= suite.inputs.len());
+        assert!(
+            suite.inputs.len() <= 12,
+            "coverage selection should keep few inputs, kept {}",
+            suite.inputs.len()
+        );
+        assert!(suite.coverage.ratio() > 0.5);
+    }
+
+    #[test]
+    fn identical_program_passes() {
+        let p = gemm();
+        let cfg = EqCheckConfig::default();
+        let suite = build_test_suite(&p, &cfg);
+        assert_eq!(differential_test(&p, &p, &suite, &cfg), TestVerdict::Pass);
+    }
+
+    #[test]
+    fn legal_transformation_passes() {
+        let p = gemm();
+        let t = parallelize(&tile_band(&p, &[0], 3, 8).unwrap(), &[0]).unwrap();
+        let cfg = EqCheckConfig::default();
+        let suite = build_test_suite(&p, &cfg);
+        assert_eq!(differential_test(&p, &t, &suite, &cfg), TestVerdict::Pass);
+    }
+
+    #[test]
+    fn wrong_semantics_is_incorrect_answer() {
+        let p = gemm();
+        let wrong = compile(
+            "param N = 64;\narray C[N][N];\narray A[N][N];\narray B[N][N];\nout C;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= N - 1; j++) C[i][j] = A[i][j] + B[i][j];\n#pragma endscop\n",
+            "wrong",
+        )
+        .unwrap();
+        let cfg = EqCheckConfig::default();
+        let suite = build_test_suite(&p, &cfg);
+        assert!(matches!(
+            differential_test(&p, &wrong, &suite, &cfg),
+            TestVerdict::IncorrectAnswer { .. }
+        ));
+    }
+
+    #[test]
+    fn oob_rewrite_is_runtime_error() {
+        let p = compile(
+            "param N = 32;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i] = A[i] + 1.0;\n#pragma endscop\n",
+            "ok",
+        )
+        .unwrap();
+        let oob = compile(
+            "param N = 32;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i + 1] = A[i] + 1.0;\n#pragma endscop\n",
+            "oob",
+        )
+        .unwrap();
+        let cfg = EqCheckConfig::default();
+        let suite = build_test_suite(&p, &cfg);
+        assert!(matches!(
+            differential_test(&p, &oob, &suite, &cfg),
+            TestVerdict::RuntimeError { .. }
+        ));
+    }
+
+    #[test]
+    fn illegal_parallelization_is_caught_by_permuted_orders() {
+        let p = compile(
+            "param N = 64;\narray A[N];\nout A;\n#pragma scop\nfor (i = 1; i <= N - 1; i++) A[i] = A[i - 1] + 1.0;\n#pragma endscop\n",
+            "rec",
+        )
+        .unwrap();
+        let bad = parallelize(&p, &[0]).unwrap();
+        let cfg = EqCheckConfig::default();
+        let suite = build_test_suite(&p, &cfg);
+        assert!(matches!(
+            differential_test(&p, &bad, &suite, &cfg),
+            TestVerdict::IncorrectAnswer { .. }
+        ));
+    }
+
+    #[test]
+    fn runaway_candidate_times_out() {
+        let p = compile(
+            "param N = 16;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i] = 1.0;\n#pragma endscop\n",
+            "ok",
+        )
+        .unwrap();
+        // Six nested loops stay slow even at the scaled-down cap of 8:
+        // 8^6 iterations exceed the configured statement budget.
+        let slow = compile(
+            "param N = 16;\narray A[N];\nout A;\n#pragma scop\nfor (a = 0; a <= N - 1; a++) for (b = 0; b <= N - 1; b++) for (c = 0; c <= N - 1; c++) for (d = 0; d <= N - 1; d++) for (e = 0; e <= N - 1; e++) for (f = 0; f <= N - 1; f++) A[0] += 0.000001;\nfor (i = 0; i <= N - 1; i++) A[i] = 1.0;\n#pragma endscop\n",
+            "slow",
+        )
+        .unwrap();
+        let cfg = EqCheckConfig {
+            stmt_budget: 100_000,
+            ..Default::default()
+        };
+        let suite = build_test_suite(&p, &cfg);
+        assert_eq!(differential_test(&p, &slow, &suite, &cfg), TestVerdict::Timeout);
+    }
+
+    #[test]
+    fn mutations_are_deterministic_and_diverse() {
+        let p = gemm();
+        let seeds = seed_inputs(&p);
+        let mut rng1 = StdRng::seed_from_u64(5);
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let a = mutate_input(&seeds[0], &mut rng1);
+        let b = mutate_input(&seeds[0], &mut rng2);
+        assert_eq!(a, b);
+        let mut distinct = std::collections::HashSet::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..30 {
+            distinct.insert(format!("{:?}", mutate_input(&seeds[0], &mut rng)));
+        }
+        assert!(distinct.len() > 10, "mutations look degenerate");
+    }
+}

@@ -1,0 +1,98 @@
+//! Branch coverage instrumentation.
+//!
+//! The paper's testing phase is *coverage-guided*: test inputs are kept
+//! until branch coverage saturates (§4.3, reducing 500+ tests to ~25).
+//! We count two-way branch points: every `if` guard (taken / not taken)
+//! and every loop header (entered / zero-trip).
+
+/// Coverage bitmap for one program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Coverage {
+    /// For each `if` site: (taken observed, not-taken observed).
+    pub ifs: Vec<(bool, bool)>,
+    /// For each loop site: (entered observed, zero-trip observed).
+    pub loops: Vec<(bool, bool)>,
+}
+
+impl Coverage {
+    /// Creates an all-uncovered map with the given site counts.
+    pub fn with_sites(n_ifs: usize, n_loops: usize) -> Self {
+        Coverage {
+            ifs: vec![(false, false); n_ifs],
+            loops: vec![(false, false); n_loops],
+        }
+    }
+
+    /// Number of covered branch outcomes.
+    pub fn covered(&self) -> usize {
+        let f = |(a, b): &(bool, bool)| (*a as usize) + (*b as usize);
+        self.ifs.iter().map(f).sum::<usize>() + self.loops.iter().map(f).sum::<usize>()
+    }
+
+    /// Total number of branch outcomes.
+    ///
+    /// Zero-trip outcomes of loops whose trip count is structurally fixed
+    /// are still counted; callers interested in *achievable* coverage
+    /// should watch for saturation instead of demanding 1.0.
+    pub fn total(&self) -> usize {
+        2 * (self.ifs.len() + self.loops.len())
+    }
+
+    /// Covered fraction in `[0, 1]`; 1.0 for programs with no branches.
+    pub fn ratio(&self) -> f64 {
+        if self.total() == 0 {
+            1.0
+        } else {
+            self.covered() as f64 / self.total() as f64
+        }
+    }
+
+    /// Merges another run's coverage into this one, returning `true` when
+    /// any new outcome was covered.
+    pub fn merge(&mut self, other: &Coverage) -> bool {
+        let mut grew = false;
+        let n_ifs = self.ifs.len().max(other.ifs.len());
+        self.ifs.resize(n_ifs, (false, false));
+        for (i, o) in other.ifs.iter().enumerate() {
+            let s = &mut self.ifs[i];
+            if (o.0 && !s.0) || (o.1 && !s.1) {
+                grew = true;
+            }
+            s.0 |= o.0;
+            s.1 |= o.1;
+        }
+        let n_loops = self.loops.len().max(other.loops.len());
+        self.loops.resize(n_loops, (false, false));
+        for (i, o) in other.loops.iter().enumerate() {
+            let s = &mut self.loops[i];
+            if (o.0 && !s.0) || (o.1 && !s.1) {
+                grew = true;
+            }
+            s.0 |= o.0;
+            s.1 |= o.1;
+        }
+        grew
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_of_empty_is_one() {
+        assert_eq!(Coverage::default().ratio(), 1.0);
+    }
+
+    #[test]
+    fn merge_reports_growth() {
+        let mut a = Coverage::with_sites(1, 1);
+        let mut b = Coverage::with_sites(1, 1);
+        b.ifs[0].0 = true;
+        assert!(a.merge(&b));
+        assert!(!a.merge(&b));
+        assert_eq!(a.covered(), 1);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.ratio(), 0.25);
+    }
+}

@@ -1,0 +1,525 @@
+//! The SCoP interpreter.
+//!
+//! Executes a [`Program`] against an [`ArrayStore`], with:
+//!
+//! * out-of-bounds detection (the pipeline's *runtime error* class),
+//! * a statement budget (the *execution timeout* class),
+//! * branch-coverage collection,
+//! * an [`Observer`] hook streaming memory accesses to the machine model,
+//! * configurable iteration order for `parallel`-marked loops, so that
+//!   illegally parallelized loops produce genuinely divergent results.
+
+use crate::coverage::Coverage;
+use crate::store::ArrayStore;
+use looprag_ir::{Expr, Loop, Node, Program, Statement};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Order in which iterations of a `parallel`-marked loop run.
+///
+/// Sequential semantics are [`ParallelOrder::Forward`]; the other orders
+/// model thread interleavings. A loop whose parallelization is legal
+/// produces identical results under all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelOrder {
+    /// Original order (what a legal parallel loop must be equivalent to).
+    #[default]
+    Forward,
+    /// Iterations in reverse.
+    Reverse,
+    /// Even iterations first, then odd ones (block-cyclic-ish schedule).
+    EvenOdd,
+}
+
+/// Execution limits and knobs.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Maximum number of statement executions before aborting with
+    /// [`ExecError::BudgetExceeded`]. Models the paper's wall-clock limits.
+    pub stmt_budget: u64,
+    /// Iteration order for parallel-marked loops.
+    pub parallel_order: ParallelOrder,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            stmt_budget: 200_000_000,
+            parallel_order: ParallelOrder::Forward,
+        }
+    }
+}
+
+/// Runtime failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// An array subscript evaluated outside the allocated extents.
+    OutOfBounds {
+        /// Array name.
+        array: String,
+        /// Concrete subscript values.
+        indexes: Vec<i64>,
+        /// Statement id performing the access.
+        stmt: usize,
+    },
+    /// The statement budget was exhausted (execution timeout).
+    BudgetExceeded {
+        /// The configured budget.
+        budget: u64,
+    },
+    /// A bound or subscript referenced an unbound symbol (programs that
+    /// pass [`looprag_ir::validate`] never hit this).
+    Unbound(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutOfBounds {
+                array,
+                indexes,
+                stmt,
+            } => write!(
+                f,
+                "runtime error: index {indexes:?} out of bounds for array '{array}' (statement S{stmt})"
+            ),
+            ExecError::BudgetExceeded { budget } => {
+                write!(f, "execution timeout: statement budget of {budget} exhausted")
+            }
+            ExecError::Unbound(s) => write!(f, "unbound symbol '{s}' at runtime"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Receives execution events; implemented by the machine model.
+pub trait Observer {
+    /// An element of `array` at flattened index `flat` was read or written.
+    fn access(&mut self, array: &str, flat: usize, is_write: bool);
+    /// A statement finished; `alu` is its abstract ALU cost.
+    fn stmt(&mut self, id: usize, alu: u64) {
+        let _ = (id, alu);
+    }
+    /// A loop header executed one iteration check.
+    fn loop_header(&mut self, iter: &str) {
+        let _ = iter;
+    }
+}
+
+/// Outcome of a successful run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecStats {
+    /// Total statement executions.
+    pub stmts_executed: u64,
+    /// Branch coverage observed during the run.
+    pub coverage: Coverage,
+}
+
+struct Env {
+    params: HashMap<String, i64>,
+    iters: Vec<(String, i64)>,
+}
+
+impl Env {
+    fn lookup(&self, sym: &str) -> Option<i64> {
+        for (name, v) in self.iters.iter().rev() {
+            if name == sym {
+                return Some(*v);
+            }
+        }
+        self.params.get(sym).copied()
+    }
+}
+
+struct Interp<'s, 'o, 'c> {
+    env: Env,
+    store: &'s mut ArrayStore,
+    obs: Option<&'o mut dyn Observer>,
+    cfg: &'c ExecConfig,
+    executed: u64,
+    coverage: Coverage,
+    if_ids: HashMap<usize, usize>,
+    loop_ids: HashMap<usize, usize>,
+}
+
+fn number_sites(
+    nodes: &[Node],
+    if_ids: &mut HashMap<usize, usize>,
+    loop_ids: &mut HashMap<usize, usize>,
+) {
+    for n in nodes {
+        match n {
+            Node::Loop(l) => {
+                let id = loop_ids.len();
+                loop_ids.insert(n as *const Node as usize, id);
+                number_sites(&l.body, if_ids, loop_ids);
+            }
+            Node::If { then, .. } => {
+                let id = if_ids.len();
+                if_ids.insert(n as *const Node as usize, id);
+                number_sites(then, if_ids, loop_ids);
+            }
+            Node::Stmt(_) => {}
+        }
+    }
+}
+
+impl Interp<'_, '_, '_> {
+    fn eval_i64(&self, e: &looprag_ir::AffineExpr) -> Result<i64, ExecError> {
+        let env = &self.env;
+        e.eval(&|s| env.lookup(s)).map_err(ExecError::Unbound)
+    }
+
+    fn eval_bound(&self, b: &looprag_ir::Bound) -> Result<i64, ExecError> {
+        let env = &self.env;
+        b.eval(&|s| env.lookup(s)).map_err(ExecError::Unbound)
+    }
+
+    fn read(&mut self, acc: &looprag_ir::Access, stmt: usize) -> Result<f64, ExecError> {
+        let flat = self.flatten(acc, stmt)?;
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.access(&acc.array, flat, false);
+        }
+        Ok(self.store.get(&acc.array).unwrap().data[flat])
+    }
+
+    fn flatten(&self, acc: &looprag_ir::Access, stmt: usize) -> Result<usize, ExecError> {
+        let mut ixs = Vec::with_capacity(acc.indexes.len());
+        for e in &acc.indexes {
+            ixs.push(self.eval_i64(e)?);
+        }
+        let arr = self
+            .store
+            .get(&acc.array)
+            .ok_or_else(|| ExecError::Unbound(acc.array.clone()))?;
+        arr.flatten(&ixs).ok_or_else(|| ExecError::OutOfBounds {
+            array: acc.array.clone(),
+            indexes: ixs,
+            stmt,
+        })
+    }
+
+    fn eval_expr(&mut self, e: &Expr, stmt: usize) -> Result<f64, ExecError> {
+        match e {
+            Expr::Num(v) => Ok(*v),
+            Expr::Access(a) => self.read(a, stmt),
+            Expr::Sym(s) => self
+                .env
+                .lookup(s)
+                .map(|v| v as f64)
+                .ok_or_else(|| ExecError::Unbound(s.clone())),
+            Expr::Neg(e) => Ok(-self.eval_expr(e, stmt)?),
+            Expr::Binary(op, a, b) => {
+                let x = self.eval_expr(a, stmt)?;
+                let y = self.eval_expr(b, stmt)?;
+                Ok(op.apply(x, y))
+            }
+            Expr::Call(f, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval_expr(a, stmt)?);
+                }
+                Ok(f.apply(&vals))
+            }
+        }
+    }
+
+    fn exec_stmt(&mut self, s: &Statement) -> Result<(), ExecError> {
+        if self.executed >= self.cfg.stmt_budget {
+            return Err(ExecError::BudgetExceeded {
+                budget: self.cfg.stmt_budget,
+            });
+        }
+        self.executed += 1;
+        let rhs = self.eval_expr(&s.rhs, s.id)?;
+        let flat = self.flatten(&s.lhs, s.id)?;
+        if s.op.reads_target() {
+            if let Some(obs) = self.obs.as_deref_mut() {
+                obs.access(&s.lhs.array, flat, false);
+            }
+        }
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.access(&s.lhs.array, flat, true);
+            obs.stmt(s.id, s.rhs.alu_cost());
+        }
+        let slot = &mut self.store.get_mut(&s.lhs.array).unwrap().data[flat];
+        *slot = s.op.apply(*slot, rhs);
+        Ok(())
+    }
+
+    fn exec_loop(&mut self, node_key: usize, l: &Loop) -> Result<(), ExecError> {
+        let lb = self.eval_bound(&l.lb)?;
+        let mut ub = self.eval_bound(&l.ub)?;
+        if !l.ub_inclusive {
+            ub -= 1;
+        }
+        let site = self.loop_ids[&node_key];
+        if ub < lb {
+            self.coverage.loops[site].1 = true;
+            return Ok(());
+        }
+        self.coverage.loops[site].0 = true;
+
+        let mut values: Vec<i64> = (lb..=ub).step_by(l.step as usize).collect();
+        if l.parallel {
+            match self.cfg.parallel_order {
+                ParallelOrder::Forward => {}
+                ParallelOrder::Reverse => values.reverse(),
+                ParallelOrder::EvenOdd => {
+                    let (evens, odds): (Vec<i64>, Vec<i64>) =
+                        values.iter().partition(|v| (*v - lb) / l.step % 2 == 0);
+                    values = evens;
+                    values.extend(odds);
+                }
+            }
+        }
+        self.env.iters.push((l.iter.clone(), 0));
+        for v in values {
+            if let Some(obs) = self.obs.as_deref_mut() {
+                obs.loop_header(&l.iter);
+            }
+            self.env.iters.last_mut().unwrap().1 = v;
+            for child in &l.body {
+                if let Err(e) = self.exec_node(child) {
+                    self.env.iters.pop();
+                    return Err(e);
+                }
+            }
+        }
+        self.env.iters.pop();
+        Ok(())
+    }
+
+    fn exec_node(&mut self, n: &Node) -> Result<(), ExecError> {
+        match n {
+            Node::Stmt(s) => self.exec_stmt(s),
+            Node::Loop(l) => self.exec_loop(n as *const Node as usize, l),
+            Node::If { conds, then } => {
+                let site = self.if_ids[&(n as *const Node as usize)];
+                let mut taken = true;
+                for c in conds {
+                    let env = &self.env;
+                    let v = c.eval(&|s| env.lookup(s)).map_err(ExecError::Unbound)?;
+                    if !v {
+                        taken = false;
+                        break;
+                    }
+                }
+                if taken {
+                    self.coverage.ifs[site].0 = true;
+                    for child in then {
+                        self.exec_node(child)?;
+                    }
+                } else {
+                    self.coverage.ifs[site].1 = true;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Runs `p` against `store` under `cfg`, streaming events to `obs`.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] on out-of-bounds accesses, budget exhaustion, or
+/// unbound symbols.
+pub fn run_with_store(
+    p: &Program,
+    store: &mut ArrayStore,
+    cfg: &ExecConfig,
+    obs: Option<&mut dyn Observer>,
+) -> Result<ExecStats, ExecError> {
+    let mut if_ids = HashMap::new();
+    let mut loop_ids = HashMap::new();
+    number_sites(&p.body, &mut if_ids, &mut loop_ids);
+    let coverage = Coverage::with_sites(if_ids.len(), loop_ids.len());
+    let mut interp = Interp {
+        env: Env {
+            params: p.params.iter().map(|d| (d.name.clone(), d.value)).collect(),
+            iters: Vec::new(),
+        },
+        store,
+        obs,
+        cfg,
+        executed: 0,
+        coverage,
+        if_ids,
+        loop_ids,
+    };
+    for n in &p.body {
+        interp.exec_node(n)?;
+    }
+    Ok(ExecStats {
+        stmts_executed: interp.executed,
+        coverage: interp.coverage,
+    })
+}
+
+/// Allocates the program's arrays, runs it, and returns the final store.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] as in [`run_with_store`].
+pub fn run(p: &Program, cfg: &ExecConfig) -> Result<(ArrayStore, ExecStats), ExecError> {
+    let mut store = ArrayStore::from_program(p);
+    let stats = run_with_store(p, &mut store, cfg, None)?;
+    Ok((store, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use looprag_ir::compile;
+
+    fn program(src: &str) -> Program {
+        compile(src, "t").unwrap()
+    }
+
+    #[test]
+    fn executes_simple_accumulation() {
+        let p = program(
+            "param N = 10;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i] = 2.0;\nfor (i = 0; i <= N - 1; i++) A[i] += 3.0;\n#pragma endscop\n",
+        );
+        let (store, stats) = run(&p, &ExecConfig::default()).unwrap();
+        assert_eq!(stats.stmts_executed, 20);
+        assert!(store.get("A").unwrap().data.iter().all(|&v| v == 5.0));
+    }
+
+    #[test]
+    fn triangular_loop_counts() {
+        let p = program(
+            "param N = 4;\ndouble c;\narray A[N][N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= i; j++) { c = 1.0; A[i][j] = c; }\n#pragma endscop\n",
+        );
+        let (_, stats) = run(&p, &ExecConfig::default()).unwrap();
+        assert_eq!(stats.stmts_executed, 2 * (1 + 2 + 3 + 4));
+    }
+
+    #[test]
+    fn detects_out_of_bounds() {
+        let p = program(
+            "param N = 4;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i + 1] = 1.0;\n#pragma endscop\n",
+        );
+        let err = run(&p, &ExecConfig::default()).unwrap_err();
+        match err {
+            ExecError::OutOfBounds { array, indexes, .. } => {
+                assert_eq!(array, "A");
+                assert_eq!(indexes, vec![4]);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn enforces_budget() {
+        let p = program(
+            "param N = 100;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i] = 1.0;\n#pragma endscop\n",
+        );
+        let cfg = ExecConfig {
+            stmt_budget: 10,
+            ..Default::default()
+        };
+        assert!(matches!(
+            run(&p, &cfg).unwrap_err(),
+            ExecError::BudgetExceeded { budget: 10 }
+        ));
+    }
+
+    #[test]
+    fn coverage_tracks_if_both_ways() {
+        let p = program(
+            "param N = 4;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) if (i >= 2) A[i] = 1.0;\n#pragma endscop\n",
+        );
+        let (_, stats) = run(&p, &ExecConfig::default()).unwrap();
+        assert_eq!(stats.coverage.ifs, vec![(true, true)]);
+        assert_eq!(stats.coverage.loops, vec![(true, false)]);
+    }
+
+    #[test]
+    fn legal_parallel_loop_is_order_independent() {
+        let src = "param N = 8;\narray A[N];\nout A;\n#pragma scop\n#pragma omp parallel for\nfor (i = 0; i <= N - 1; i++) A[i] = A[i] * 2.0;\n#pragma endscop\n";
+        let p = program(src);
+        let mut results = Vec::new();
+        for order in [
+            ParallelOrder::Forward,
+            ParallelOrder::Reverse,
+            ParallelOrder::EvenOdd,
+        ] {
+            let cfg = ExecConfig {
+                parallel_order: order,
+                ..Default::default()
+            };
+            let (store, _) = run(&p, &cfg).unwrap();
+            results.push(store.get("A").unwrap().data.clone());
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn illegal_parallel_loop_diverges_under_reorder() {
+        // A[i] = A[i-1] + 1 carries a dependence; parallelizing it is wrong
+        // and reverse-order execution must expose that.
+        let src = "param N = 8;\narray A[N];\nout A;\n#pragma scop\n#pragma omp parallel for\nfor (i = 1; i <= N - 1; i++) A[i] = A[i - 1] + 1.0;\n#pragma endscop\n";
+        let p = program(src);
+        let fwd = run(
+            &p,
+            &ExecConfig {
+                parallel_order: ParallelOrder::Forward,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .0;
+        let rev = run(
+            &p,
+            &ExecConfig {
+                parallel_order: ParallelOrder::Reverse,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .0;
+        assert!(fwd
+            .element_diff(&rev, &["A".to_string()], 1e-9)
+            .is_some());
+    }
+
+    #[test]
+    fn observer_sees_reads_and_writes() {
+        struct Counter {
+            reads: usize,
+            writes: usize,
+        }
+        impl Observer for Counter {
+            fn access(&mut self, _array: &str, _flat: usize, is_write: bool) {
+                if is_write {
+                    self.writes += 1;
+                } else {
+                    self.reads += 1;
+                }
+            }
+        }
+        let p = program(
+            "param N = 4;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i] += 1.0;\n#pragma endscop\n",
+        );
+        let mut store = ArrayStore::from_program(&p);
+        let mut c = Counter { reads: 0, writes: 0 };
+        run_with_store(&p, &mut store, &ExecConfig::default(), Some(&mut c)).unwrap();
+        assert_eq!(c.writes, 4);
+        assert_eq!(c.reads, 4); // compound assignment reads the target
+    }
+
+    #[test]
+    fn stepped_and_exclusive_bounds() {
+        let p = program(
+            "param N = 10;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i < N; i += 3) A[i] = 1.0;\n#pragma endscop\n",
+        );
+        let (store, stats) = run(&p, &ExecConfig::default()).unwrap();
+        assert_eq!(stats.stmts_executed, 4); // 0, 3, 6, 9
+        assert_eq!(store.get("A").unwrap().data[9], 1.0);
+        assert_ne!(store.get("A").unwrap().data[1], 1.0); // untouched by the stride-3 loop
+    }
+}

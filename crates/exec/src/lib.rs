@@ -1,0 +1,26 @@
+//! # looprag-exec
+//!
+//! A reference interpreter for [`looprag_ir`] programs, used as the
+//! execution substrate for differential testing, coverage-guided test
+//! selection and the machine performance model.
+//!
+//! ```
+//! use looprag_exec::{run, ExecConfig};
+//! let src = "param N = 4;\narray A[N];\nout A;\n#pragma scop\n\
+//! for (i = 0; i <= N - 1; i++) A[i] = 1.0;\n#pragma endscop\n";
+//! let p = looprag_ir::compile(src, "k")?;
+//! let (store, stats) = run(&p, &ExecConfig::default())?;
+//! assert_eq!(stats.stmts_executed, 4);
+//! assert_eq!(store.get("A").unwrap().data, vec![1.0; 4]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod coverage;
+mod interp;
+mod store;
+
+pub use coverage::Coverage;
+pub use interp::{run, run_with_store, ExecConfig, ExecError, ExecStats, Observer, ParallelOrder};
+pub use store::{ArrayData, ArrayStore};

@@ -1,0 +1,222 @@
+//! Array storage for program execution.
+
+use looprag_ir::{InitKind, Program};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One allocated array: concrete extents plus row-major `f64` data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayData {
+    /// Concrete extent of each dimension (empty for scalars).
+    pub extents: Vec<i64>,
+    /// Row-major element data; scalars hold exactly one element.
+    pub data: Vec<f64>,
+}
+
+impl ArrayData {
+    /// Allocates an array of the given extents, zero-filled.
+    pub fn zeroed(extents: Vec<i64>) -> Self {
+        let len = extents.iter().product::<i64>().max(1) as usize;
+        ArrayData {
+            extents,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Fills elements from an [`InitKind`] pattern.
+    pub fn fill(&mut self, init: &InitKind) {
+        for (i, v) in self.data.iter_mut().enumerate() {
+            *v = init.value_at(i);
+        }
+    }
+
+    /// Flattens a multi-dimensional index, or `None` when out of bounds.
+    pub fn flatten(&self, indexes: &[i64]) -> Option<usize> {
+        if indexes.len() != self.extents.len() {
+            return None;
+        }
+        let mut flat: i64 = 0;
+        for (ix, ext) in indexes.iter().zip(&self.extents) {
+            if *ix < 0 || ix >= ext {
+                return None;
+            }
+            flat = flat * ext + ix;
+        }
+        Some(flat as usize)
+    }
+}
+
+/// A named collection of arrays — the memory image a program runs against.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ArrayStore {
+    arrays: BTreeMap<String, ArrayData>,
+}
+
+impl ArrayStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates and initializes every non-local array declared by `p`,
+    /// using the program's init patterns and default parameter values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an array extent references an undeclared parameter; run
+    /// [`looprag_ir::validate`] first.
+    pub fn from_program(p: &Program) -> Self {
+        let env = p.param_env();
+        let mut store = ArrayStore::new();
+        for decl in &p.arrays {
+            let extents = decl
+                .extents(&env)
+                .unwrap_or_else(|sym| panic!("unbound parameter '{sym}' in array extents"));
+            let mut data = ArrayData::zeroed(extents);
+            if !decl.local {
+                data.fill(&p.init_for(&decl.name));
+            }
+            store.arrays.insert(decl.name.clone(), data);
+        }
+        store
+    }
+
+    /// Inserts or replaces an array.
+    pub fn insert(&mut self, name: impl Into<String>, data: ArrayData) {
+        self.arrays.insert(name.into(), data);
+    }
+
+    /// Looks an array up.
+    pub fn get(&self, name: &str) -> Option<&ArrayData> {
+        self.arrays.get(name)
+    }
+
+    /// Looks an array up mutably.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut ArrayData> {
+        self.arrays.get_mut(name)
+    }
+
+    /// Iterates over `(name, data)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ArrayData)> {
+        self.arrays.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Order-independent checksum over the named arrays (the paper's quick
+    /// differential-testing filter).
+    pub fn checksum(&self, names: &[String]) -> f64 {
+        let mut acc = 0.0f64;
+        for n in names {
+            if let Some(a) = self.arrays.get(n) {
+                for v in &a.data {
+                    if v.is_finite() {
+                        acc += v;
+                    } else {
+                        // Poison the checksum so non-finite outputs never
+                        // compare equal by accident.
+                        return f64::NAN;
+                    }
+                }
+            }
+        }
+        acc
+    }
+
+    /// Element-wise comparison of the named arrays against `other` with
+    /// relative tolerance `rel_eps`. Returns the first mismatch as
+    /// `(array, flat_index, self_value, other_value)`.
+    pub fn element_diff(
+        &self,
+        other: &ArrayStore,
+        names: &[String],
+        rel_eps: f64,
+    ) -> Option<(String, usize, f64, f64)> {
+        for n in names {
+            let (Some(a), Some(b)) = (self.arrays.get(n), other.arrays.get(n)) else {
+                return Some((n.clone(), 0, f64::NAN, f64::NAN));
+            };
+            if a.data.len() != b.data.len() {
+                return Some((n.clone(), 0, a.data.len() as f64, b.data.len() as f64));
+            }
+            for (i, (x, y)) in a.data.iter().zip(&b.data).enumerate() {
+                let close = if x.is_finite() && y.is_finite() {
+                    let scale = x.abs().max(y.abs()).max(1.0);
+                    (x - y).abs() <= rel_eps * scale
+                } else {
+                    x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan())
+                };
+                if !close {
+                    return Some((n.clone(), i, *x, *y));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for ArrayStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, a) in &self.arrays {
+            writeln!(f, "{name}{:?}: {} elements", a.extents, a.data.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_row_major() {
+        let a = ArrayData::zeroed(vec![3, 4]);
+        assert_eq!(a.flatten(&[0, 0]), Some(0));
+        assert_eq!(a.flatten(&[1, 0]), Some(4));
+        assert_eq!(a.flatten(&[2, 3]), Some(11));
+        assert_eq!(a.flatten(&[3, 0]), None);
+        assert_eq!(a.flatten(&[0, -1]), None);
+        assert_eq!(a.flatten(&[0]), None);
+    }
+
+    #[test]
+    fn scalar_has_one_element() {
+        let a = ArrayData::zeroed(vec![]);
+        assert_eq!(a.data.len(), 1);
+        assert_eq!(a.flatten(&[]), Some(0));
+    }
+
+    #[test]
+    fn checksum_poisons_on_nan() {
+        let mut s = ArrayStore::new();
+        let mut a = ArrayData::zeroed(vec![2]);
+        a.data[0] = f64::INFINITY;
+        s.insert("A", a);
+        assert!(s.checksum(&["A".to_string()]).is_nan());
+    }
+
+    #[test]
+    fn element_diff_finds_mismatch() {
+        let mut s1 = ArrayStore::new();
+        let mut s2 = ArrayStore::new();
+        let mut a = ArrayData::zeroed(vec![4]);
+        s1.insert("A", a.clone());
+        a.data[2] = 1.0;
+        s2.insert("A", a);
+        let d = s1.element_diff(&s2, &["A".to_string()], 1e-9).unwrap();
+        assert_eq!(d.1, 2);
+        assert!(s1
+            .element_diff(&s1.clone(), &["A".to_string()], 1e-9)
+            .is_none());
+    }
+
+    #[test]
+    fn element_diff_tolerates_rounding() {
+        let mut s1 = ArrayStore::new();
+        let mut s2 = ArrayStore::new();
+        let mut a = ArrayData::zeroed(vec![1]);
+        a.data[0] = 1.0;
+        s1.insert("A", a.clone());
+        a.data[0] = 1.0 + 1e-12;
+        s2.insert("A", a);
+        assert!(s1.element_diff(&s2, &["A".to_string()], 1e-9).is_none());
+    }
+}

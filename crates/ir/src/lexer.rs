@@ -1,0 +1,562 @@
+//! Lexer for the C-subset surface syntax.
+//!
+//! The token stream feeds [`crate::parser`]. Lexing errors carry source
+//! positions so that "compiler" diagnostics shown to the LLM point at the
+//! offending text.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds of the surface language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// `#pragma scop`
+    PragmaScop,
+    /// `#pragma endscop`
+    PragmaEndScop,
+    /// `#pragma omp parallel for` (and the `#pragma omp parallel` spelling)
+    PragmaParallel,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `++`
+    PlusPlus,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    AndAnd,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "'{s}'"),
+            Tok::Int(v) => write!(f, "'{v}'"),
+            Tok::Float(v) => write!(f, "'{v}'"),
+            Tok::PragmaScop => write!(f, "'#pragma scop'"),
+            Tok::PragmaEndScop => write!(f, "'#pragma endscop'"),
+            Tok::PragmaParallel => write!(f, "'#pragma omp parallel for'"),
+            other => {
+                let s = match other {
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::LBracket => "[",
+                    Tok::RBracket => "]",
+                    Tok::LBrace => "{",
+                    Tok::RBrace => "}",
+                    Tok::Semi => ";",
+                    Tok::Comma => ",",
+                    Tok::Assign => "=",
+                    Tok::PlusAssign => "+=",
+                    Tok::MinusAssign => "-=",
+                    Tok::StarAssign => "*=",
+                    Tok::PlusPlus => "++",
+                    Tok::Plus => "+",
+                    Tok::Minus => "-",
+                    Tok::Star => "*",
+                    Tok::Slash => "/",
+                    Tok::Lt => "<",
+                    Tok::Le => "<=",
+                    Tok::Gt => ">",
+                    Tok::Ge => ">=",
+                    Tok::EqEq => "==",
+                    Tok::Ne => "!=",
+                    Tok::AndAnd => "&&",
+                    _ => unreachable!(),
+                };
+                write!(f, "'{s}'")
+            }
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind.
+    pub tok: Tok,
+    /// Position of the first character.
+    pub pos: Pos,
+}
+
+/// A lexing error with position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Position of the error.
+    pub pos: Pos,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            pos: self.pos(),
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => return Err(self.err("unterminated block comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_pragma(&mut self) -> Result<Token, LexError> {
+        let pos = self.pos();
+        // consume to end of line, normalize whitespace
+        let mut line = String::new();
+        while let Some(c) = self.peek() {
+            if c == b'\n' {
+                break;
+            }
+            line.push(self.bump().unwrap() as char);
+        }
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let tok = match words.as_slice() {
+            ["#pragma", "scop"] => Tok::PragmaScop,
+            ["#pragma", "endscop"] => Tok::PragmaEndScop,
+            ["#pragma", "omp", "parallel", "for"] | ["#pragma", "omp", "parallel"] => {
+                Tok::PragmaParallel
+            }
+            _ => {
+                return Err(LexError {
+                    pos,
+                    message: format!("unknown pragma: '{}'", line.trim()),
+                })
+            }
+        };
+        Ok(Token { tok, pos })
+    }
+
+    fn lex_number(&mut self) -> Result<Token, LexError> {
+        let pos = self.pos();
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(self.bump().unwrap() as char);
+            } else {
+                break;
+            }
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && self.peek2().map(|c| c.is_ascii_digit()) == Some(true) {
+            is_float = true;
+            text.push(self.bump().unwrap() as char);
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    text.push(self.bump().unwrap() as char);
+                } else {
+                    break;
+                }
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            text.push(self.bump().unwrap() as char);
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                text.push(self.bump().unwrap() as char);
+            }
+            let mut digits = false;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    digits = true;
+                    text.push(self.bump().unwrap() as char);
+                } else {
+                    break;
+                }
+            }
+            if !digits {
+                return Err(LexError {
+                    pos,
+                    message: format!("malformed exponent in number '{text}'"),
+                });
+            }
+        }
+        let tok = if is_float {
+            Tok::Float(text.parse().map_err(|_| LexError {
+                pos,
+                message: format!("malformed float literal '{text}'"),
+            })?)
+        } else {
+            Tok::Int(text.parse().map_err(|_| LexError {
+                pos,
+                message: format!("integer literal out of range '{text}'"),
+            })?)
+        };
+        Ok(Token { tok, pos })
+    }
+}
+
+/// Tokenizes `src`.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unknown characters, malformed numbers,
+/// unterminated comments or unknown pragmas.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    loop {
+        lx.skip_ws_and_comments()?;
+        let pos = lx.pos();
+        let Some(c) = lx.peek() else { break };
+        let tok = match c {
+            b'#' => {
+                out.push(lx.lex_pragma()?);
+                continue;
+            }
+            b'0'..=b'9' => {
+                out.push(lx.lex_number()?);
+                continue;
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let mut text = String::new();
+                while let Some(c) = lx.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        text.push(lx.bump().unwrap() as char);
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Ident(text),
+                    pos,
+                });
+                continue;
+            }
+            b'(' => {
+                lx.bump();
+                Tok::LParen
+            }
+            b')' => {
+                lx.bump();
+                Tok::RParen
+            }
+            b'[' => {
+                lx.bump();
+                Tok::LBracket
+            }
+            b']' => {
+                lx.bump();
+                Tok::RBracket
+            }
+            b'{' => {
+                lx.bump();
+                Tok::LBrace
+            }
+            b'}' => {
+                lx.bump();
+                Tok::RBrace
+            }
+            b';' => {
+                lx.bump();
+                Tok::Semi
+            }
+            b',' => {
+                lx.bump();
+                Tok::Comma
+            }
+            b'+' => {
+                lx.bump();
+                match lx.peek() {
+                    Some(b'+') => {
+                        lx.bump();
+                        Tok::PlusPlus
+                    }
+                    Some(b'=') => {
+                        lx.bump();
+                        Tok::PlusAssign
+                    }
+                    _ => Tok::Plus,
+                }
+            }
+            b'-' => {
+                lx.bump();
+                match lx.peek() {
+                    Some(b'=') => {
+                        lx.bump();
+                        Tok::MinusAssign
+                    }
+                    _ => Tok::Minus,
+                }
+            }
+            b'*' => {
+                lx.bump();
+                match lx.peek() {
+                    Some(b'=') => {
+                        lx.bump();
+                        Tok::StarAssign
+                    }
+                    _ => Tok::Star,
+                }
+            }
+            b'/' => {
+                lx.bump();
+                Tok::Slash
+            }
+            b'<' => {
+                lx.bump();
+                match lx.peek() {
+                    Some(b'=') => {
+                        lx.bump();
+                        Tok::Le
+                    }
+                    _ => Tok::Lt,
+                }
+            }
+            b'>' => {
+                lx.bump();
+                match lx.peek() {
+                    Some(b'=') => {
+                        lx.bump();
+                        Tok::Ge
+                    }
+                    _ => Tok::Gt,
+                }
+            }
+            b'=' => {
+                lx.bump();
+                match lx.peek() {
+                    Some(b'=') => {
+                        lx.bump();
+                        Tok::EqEq
+                    }
+                    _ => Tok::Assign,
+                }
+            }
+            b'!' => {
+                lx.bump();
+                match lx.peek() {
+                    Some(b'=') => {
+                        lx.bump();
+                        Tok::Ne
+                    }
+                    _ => return Err(lx.err("expected '=' after '!'")),
+                }
+            }
+            b'&' => {
+                lx.bump();
+                match lx.peek() {
+                    Some(b'&') => {
+                        lx.bump();
+                        Tok::AndAnd
+                    }
+                    _ => return Err(lx.err("expected '&' after '&'")),
+                }
+            }
+            other => {
+                return Err(LexError {
+                    pos,
+                    message: format!("unexpected character '{}'", other as char),
+                })
+            }
+        };
+        out.push(Token { tok, pos });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("+= -= *= ++ <= >= == != &&"),
+            vec![
+                Tok::PlusAssign,
+                Tok::MinusAssign,
+                Tok::StarAssign,
+                Tok::PlusPlus,
+                Tok::Le,
+                Tok::Ge,
+                Tok::EqEq,
+                Tok::Ne,
+                Tok::AndAnd
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("42 3.5 1e3 2.5e-2"),
+            vec![
+                Tok::Int(42),
+                Tok::Float(3.5),
+                Tok::Float(1000.0),
+                Tok::Float(0.025)
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_pragmas() {
+        assert_eq!(
+            kinds("#pragma scop\n#pragma omp parallel for\n#pragma endscop"),
+            vec![Tok::PragmaScop, Tok::PragmaParallel, Tok::PragmaEndScop]
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_pragma() {
+        let e = lex("#pragma vector always\n").unwrap_err();
+        assert!(e.message.contains("unknown pragma"));
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_positions() {
+        let toks = lex("// c\n/* b\nlock */ x").unwrap();
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].pos.line, 3);
+        assert_eq!(toks[0].tok, Tok::Ident("x".into()));
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(lex("a @ b").is_err());
+        assert!(lex("a & b").is_err());
+    }
+}

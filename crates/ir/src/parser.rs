@@ -1,0 +1,757 @@
+//! Recursive-descent parser for the C-subset surface syntax.
+//!
+//! Grammar (informally):
+//!
+//! ```text
+//! program  := decl* "#pragma scop" node* "#pragma endscop"
+//! decl     := "param" IDENT "=" INT ";"
+//!           | "array" IDENT ("[" affine "]")+ ";"
+//!           | "double" IDENT ";"
+//!           | "out" IDENT ";"
+//! node     := ["#pragma omp parallel for"] for | if | stmt
+//! for      := "for" "(" IDENT "=" bound ";" IDENT ("<"|"<=") bound ";" step ")" body
+//! if       := "if" "(" cond ("&&" cond)* ")" body
+//! stmt     := access ("="|"+="|"-="|"*=") expr ";"
+//! bound    := "min"|"max" "(" bound "," bound ")" | "floord" "(" bound "," INT ")" | affine
+//! ```
+//!
+//! Subscripts and bounds are *linearized* while parsing; a product of two
+//! non-constant subexpressions is rejected with a "non-affine" diagnostic,
+//! which is exactly the class of error a polyhedral front-end (Clan) would
+//! report.
+
+use crate::expr::{Access, AffineExpr, AssignOp, Bound, CmpOp, Condition, Expr, MathFn};
+use crate::lexer::{lex, LexError, Pos, Tok, Token};
+use crate::program::{ArrayDecl, Loop, Node, ParamDecl, Program, Statement};
+use std::fmt;
+
+/// A parse error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Position of the offending token.
+    pub pos: Pos,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            pos: e.pos,
+            message: e.message,
+        }
+    }
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    i: usize,
+    scalars: Vec<String>,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+impl Parser {
+    fn pos(&self) -> Pos {
+        self.toks
+            .get(self.i)
+            .map(|t| t.pos)
+            .unwrap_or(Pos { line: 0, col: 0 })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|t| &t.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.i + 1).map(|t| &t.tok)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
+        Err(ParseError {
+            pos: self.pos(),
+            message: message.into(),
+        })
+    }
+
+    fn expect(&mut self, want: &Tok) -> PResult<()> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.bump();
+                Ok(())
+            }
+            Some(t) => {
+                let msg = format!("expected {want}, found {t}");
+                self.err(msg)
+            }
+            None => {
+                let msg = format!("expected {want}, found end of input");
+                self.err(msg)
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> PResult<String> {
+        match self.peek() {
+            Some(Tok::Ident(_)) => {
+                let Some(Tok::Ident(s)) = self.bump() else {
+                    unreachable!()
+                };
+                Ok(s)
+            }
+            Some(t) => {
+                let msg = format!("expected identifier, found {t}");
+                self.err(msg)
+            }
+            None => self.err("expected identifier, found end of input"),
+        }
+    }
+
+    fn expect_int(&mut self) -> PResult<i64> {
+        match self.peek() {
+            Some(Tok::Int(_)) => {
+                let Some(Tok::Int(v)) = self.bump() else {
+                    unreachable!()
+                };
+                Ok(v)
+            }
+            Some(t) => {
+                let msg = format!("expected integer literal, found {t}");
+                self.err(msg)
+            }
+            None => self.err("expected integer literal, found end of input"),
+        }
+    }
+
+    // ---- affine expressions -------------------------------------------
+
+    fn parse_affine(&mut self) -> PResult<AffineExpr> {
+        let mut acc = self.parse_affine_term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.bump();
+                    acc = acc + self.parse_affine_term()?;
+                }
+                Some(Tok::Minus) => {
+                    self.bump();
+                    acc = acc - self.parse_affine_term()?;
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn parse_affine_term(&mut self) -> PResult<AffineExpr> {
+        let mut acc = self.parse_affine_primary()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Star) => {
+                    self.bump();
+                    let rhs = self.parse_affine_primary()?;
+                    if let Some(c) = rhs.as_constant() {
+                        acc = acc * c;
+                    } else if let Some(c) = acc.as_constant() {
+                        acc = rhs * c;
+                    } else {
+                        return self.err(format!(
+                            "non-affine expression: product of '{acc}' and '{rhs}'"
+                        ));
+                    }
+                }
+                Some(Tok::Slash) => {
+                    return self.err("division is not allowed in affine expressions (use floord in loop bounds)");
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn parse_affine_primary(&mut self) -> PResult<AffineExpr> {
+        match self.peek() {
+            Some(Tok::Int(_)) => {
+                let Some(Tok::Int(v)) = self.bump() else {
+                    unreachable!()
+                };
+                Ok(AffineExpr::constant(v))
+            }
+            Some(Tok::Ident(_)) => {
+                let name = self.expect_ident()?;
+                Ok(AffineExpr::var(name))
+            }
+            Some(Tok::Minus) => {
+                self.bump();
+                Ok(-self.parse_affine_primary()?)
+            }
+            Some(Tok::LParen) => {
+                self.bump();
+                let e = self.parse_affine()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Float(v)) => {
+                let msg = format!(
+                    "floating-point literal {v} is not allowed in an affine position (subscripts and bounds must be integers)"
+                );
+                self.err(msg)
+            }
+            Some(t) => {
+                let msg = format!("expected affine expression, found {t}");
+                self.err(msg)
+            }
+            None => self.err("expected affine expression, found end of input"),
+        }
+    }
+
+    // ---- bounds --------------------------------------------------------
+
+    fn parse_bound(&mut self) -> PResult<Bound> {
+        if let Some(Tok::Ident(name)) = self.peek() {
+            if self.peek2() == Some(&Tok::LParen) {
+                match name.as_str() {
+                    "min" | "max" => {
+                        let is_min = name == "min";
+                        self.bump();
+                        self.bump();
+                        let a = self.parse_bound()?;
+                        self.expect(&Tok::Comma)?;
+                        let b = self.parse_bound()?;
+                        self.expect(&Tok::RParen)?;
+                        return Ok(if is_min { a.min(b) } else { a.max(b) });
+                    }
+                    "floord" => {
+                        self.bump();
+                        self.bump();
+                        let a = self.parse_bound()?;
+                        self.expect(&Tok::Comma)?;
+                        let c = self.expect_int()?;
+                        self.expect(&Tok::RParen)?;
+                        if c <= 0 {
+                            return self.err("floord divisor must be a positive integer");
+                        }
+                        return Ok(a.floor_div(c));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(Bound::Affine(self.parse_affine()?))
+    }
+
+    // ---- statement expressions ------------------------------------------
+
+    fn parse_expr(&mut self) -> PResult<Expr> {
+        let mut acc = self.parse_term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.bump();
+                    acc = Expr::add(acc, self.parse_term()?);
+                }
+                Some(Tok::Minus) => {
+                    self.bump();
+                    acc = Expr::sub(acc, self.parse_term()?);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn parse_term(&mut self) -> PResult<Expr> {
+        let mut acc = self.parse_factor()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Star) => {
+                    self.bump();
+                    acc = Expr::mul(acc, self.parse_factor()?);
+                }
+                Some(Tok::Slash) => {
+                    self.bump();
+                    acc = Expr::div(acc, self.parse_factor()?);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn parse_factor(&mut self) -> PResult<Expr> {
+        match self.peek() {
+            Some(Tok::Int(_)) => {
+                let Some(Tok::Int(v)) = self.bump() else {
+                    unreachable!()
+                };
+                Ok(Expr::Num(v as f64))
+            }
+            Some(Tok::Float(_)) => {
+                let Some(Tok::Float(v)) = self.bump() else {
+                    unreachable!()
+                };
+                Ok(Expr::Num(v))
+            }
+            Some(Tok::Minus) => {
+                self.bump();
+                Ok(Expr::Neg(Box::new(self.parse_factor()?)))
+            }
+            Some(Tok::LParen) => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Ident(_)) => {
+                let name = self.expect_ident()?;
+                if self.peek() == Some(&Tok::LParen) {
+                    let Some(func) = MathFn::from_name(&name) else {
+                        let msg = format!(
+                            "call to undeclared function '{name}' (only sqrt/exp/fabs/pow/fmin/fmax are available)"
+                        );
+                        return self.err(msg);
+                    };
+                    self.bump();
+                    let mut args = vec![self.parse_expr()?];
+                    while self.peek() == Some(&Tok::Comma) {
+                        self.bump();
+                        args.push(self.parse_expr()?);
+                    }
+                    self.expect(&Tok::RParen)?;
+                    if args.len() != func.arity() {
+                        let msg = format!(
+                            "function '{}' expects {} argument(s), got {}",
+                            func.name(),
+                            func.arity(),
+                            args.len()
+                        );
+                        return self.err(msg);
+                    }
+                    return Ok(Expr::Call(func, args));
+                }
+                if self.peek() == Some(&Tok::LBracket) {
+                    let indexes = self.parse_subscripts()?;
+                    return Ok(Expr::Access(Access::new(name, indexes)));
+                }
+                if self.scalars.iter().any(|s| s == &name) {
+                    Ok(Expr::Access(Access::scalar(name)))
+                } else {
+                    Ok(Expr::Sym(name))
+                }
+            }
+            Some(t) => {
+                let msg = format!("expected expression, found {t}");
+                self.err(msg)
+            }
+            None => self.err("expected expression, found end of input"),
+        }
+    }
+
+    fn parse_subscripts(&mut self) -> PResult<Vec<AffineExpr>> {
+        let mut out = Vec::new();
+        while self.peek() == Some(&Tok::LBracket) {
+            self.bump();
+            out.push(self.parse_affine()?);
+            self.expect(&Tok::RBracket)?;
+        }
+        Ok(out)
+    }
+
+    // ---- nodes ----------------------------------------------------------
+
+    fn parse_cond(&mut self) -> PResult<Condition> {
+        let lhs = self.parse_affine()?;
+        let op = match self.peek() {
+            Some(Tok::Lt) => CmpOp::Lt,
+            Some(Tok::Le) => CmpOp::Le,
+            Some(Tok::Gt) => CmpOp::Gt,
+            Some(Tok::Ge) => CmpOp::Ge,
+            Some(Tok::EqEq) => CmpOp::Eq,
+            Some(Tok::Ne) => CmpOp::Ne,
+            Some(t) => {
+                let msg = format!("expected comparison operator, found {t}");
+                return self.err(msg);
+            }
+            None => return self.err("expected comparison operator, found end of input"),
+        };
+        self.bump();
+        let rhs = self.parse_affine()?;
+        Ok(Condition::new(lhs, op, rhs))
+    }
+
+    fn parse_body(&mut self) -> PResult<Vec<Node>> {
+        if self.peek() == Some(&Tok::LBrace) {
+            self.bump();
+            let mut nodes = Vec::new();
+            while self.peek() != Some(&Tok::RBrace) {
+                if self.peek().is_none() {
+                    return self.err("unexpected end of input inside '{' block (missing '}')");
+                }
+                nodes.push(self.parse_node()?);
+            }
+            self.bump();
+            Ok(nodes)
+        } else {
+            Ok(vec![self.parse_node()?])
+        }
+    }
+
+    fn parse_node(&mut self) -> PResult<Node> {
+        match self.peek() {
+            Some(Tok::PragmaParallel) => {
+                self.bump();
+                match self.peek() {
+                    Some(Tok::Ident(k)) if k == "for" => {
+                        let mut node = self.parse_for()?;
+                        if let Node::Loop(l) = &mut node {
+                            l.parallel = true;
+                        }
+                        Ok(node)
+                    }
+                    _ => self.err("'#pragma omp parallel for' must be followed by a for loop"),
+                }
+            }
+            Some(Tok::Ident(k)) if k == "for" => self.parse_for(),
+            Some(Tok::Ident(k)) if k == "if" => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let mut conds = vec![self.parse_cond()?];
+                while self.peek() == Some(&Tok::AndAnd) {
+                    self.bump();
+                    conds.push(self.parse_cond()?);
+                }
+                self.expect(&Tok::RParen)?;
+                let then = self.parse_body()?;
+                Ok(Node::If { conds, then })
+            }
+            Some(Tok::Ident(_)) => self.parse_stmt(),
+            Some(t) => {
+                let msg = format!("expected a for loop, if, or statement, found {t}");
+                self.err(msg)
+            }
+            None => self.err("unexpected end of input inside SCoP (missing '#pragma endscop')"),
+        }
+    }
+
+    fn parse_for(&mut self) -> PResult<Node> {
+        self.bump(); // 'for'
+        self.expect(&Tok::LParen)?;
+        let iter = self.expect_ident()?;
+        self.expect(&Tok::Assign)?;
+        let lb = self.parse_bound()?;
+        self.expect(&Tok::Semi)?;
+        let cond_iter = self.expect_ident()?;
+        if cond_iter != iter {
+            return self.err(format!(
+                "loop condition tests '{cond_iter}' but the loop iterator is '{iter}'"
+            ));
+        }
+        let ub_inclusive = match self.peek() {
+            Some(Tok::Le) => true,
+            Some(Tok::Lt) => false,
+            Some(t) => {
+                let msg = format!("expected '<' or '<=' in loop condition, found {t}");
+                return self.err(msg);
+            }
+            None => return self.err("unexpected end of input in loop condition"),
+        };
+        self.bump();
+        let ub = self.parse_bound()?;
+        self.expect(&Tok::Semi)?;
+        let step_iter = self.expect_ident()?;
+        if step_iter != iter {
+            return self.err(format!(
+                "loop increment updates '{step_iter}' but the loop iterator is '{iter}'"
+            ));
+        }
+        let step = match self.peek() {
+            Some(Tok::PlusPlus) => {
+                self.bump();
+                1
+            }
+            Some(Tok::PlusAssign) => {
+                self.bump();
+                let v = self.expect_int()?;
+                if v <= 0 {
+                    return self.err("loop step must be a positive integer");
+                }
+                v
+            }
+            Some(t) => {
+                let msg = format!("expected '++' or '+= <int>' in loop increment, found {t}");
+                return self.err(msg);
+            }
+            None => return self.err("unexpected end of input in loop increment"),
+        };
+        self.expect(&Tok::RParen)?;
+        let body = self.parse_body()?;
+        Ok(Node::Loop(Loop {
+            iter,
+            lb,
+            ub,
+            ub_inclusive,
+            step,
+            parallel: false,
+            body,
+        }))
+    }
+
+    fn parse_stmt(&mut self) -> PResult<Node> {
+        let name = self.expect_ident()?;
+        let indexes = self.parse_subscripts()?;
+        let lhs = Access::new(name, indexes);
+        let op = match self.peek() {
+            Some(Tok::Assign) => AssignOp::Assign,
+            Some(Tok::PlusAssign) => AssignOp::AddAssign,
+            Some(Tok::MinusAssign) => AssignOp::SubAssign,
+            Some(Tok::StarAssign) => AssignOp::MulAssign,
+            Some(t) => {
+                let msg = format!("expected assignment operator, found {t}");
+                return self.err(msg);
+            }
+            None => return self.err("expected assignment operator, found end of input"),
+        };
+        self.bump();
+        let rhs = self.parse_expr()?;
+        self.expect(&Tok::Semi)?;
+        Ok(Node::Stmt(Statement::new(lhs, op, rhs)))
+    }
+
+    // ---- top level -------------------------------------------------------
+
+    fn parse_program(&mut self, name: &str) -> PResult<Program> {
+        let mut p = Program::new(name);
+        loop {
+            match self.peek() {
+                Some(Tok::Ident(k)) if k == "param" => {
+                    self.bump();
+                    let name = self.expect_ident()?;
+                    self.expect(&Tok::Assign)?;
+                    let value = self.expect_int()?;
+                    self.expect(&Tok::Semi)?;
+                    p.params.push(ParamDecl { name, value });
+                }
+                Some(Tok::Ident(k)) if k == "array" => {
+                    self.bump();
+                    let name = self.expect_ident()?;
+                    let dims = self.parse_subscripts()?;
+                    if dims.is_empty() {
+                        return self.err(
+                            "array declaration needs at least one dimension (use 'double x;' for scalars)",
+                        );
+                    }
+                    self.expect(&Tok::Semi)?;
+                    p.arrays.push(ArrayDecl::new(name, dims));
+                }
+                Some(Tok::Ident(k)) if k == "double" => {
+                    self.bump();
+                    let name = self.expect_ident()?;
+                    self.expect(&Tok::Semi)?;
+                    self.scalars.push(name.clone());
+                    p.arrays.push(ArrayDecl::scalar(name));
+                }
+                Some(Tok::Ident(k)) if k == "out" => {
+                    self.bump();
+                    let name = self.expect_ident()?;
+                    self.expect(&Tok::Semi)?;
+                    p.outputs.push(name);
+                }
+                Some(Tok::PragmaScop) => break,
+                Some(t) => {
+                    let msg =
+                        format!("expected declaration or '#pragma scop', found {t}");
+                    return self.err(msg);
+                }
+                None => return self.err("expected '#pragma scop', found end of input"),
+            }
+        }
+        self.expect(&Tok::PragmaScop)?;
+        while self.peek() != Some(&Tok::PragmaEndScop) {
+            if self.peek().is_none() {
+                return self.err("unexpected end of input (missing '#pragma endscop')");
+            }
+            p.body.push(self.parse_node()?);
+        }
+        self.bump();
+        if let Some(t) = self.peek() {
+            let msg = format!("unexpected {t} after '#pragma endscop'");
+            return self.err(msg);
+        }
+        p.renumber_statements();
+        Ok(p)
+    }
+}
+
+/// Parses a complete program from source text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] pointing at the offending token on malformed
+/// input, including non-affine subscripts/bounds which polyhedral
+/// front-ends reject.
+///
+/// ```
+/// let src = "param N = 4;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) { A[i] = A[i] + 1.0; }\n#pragma endscop\n";
+/// let p = looprag_ir::parse_program(src, "demo").unwrap();
+/// assert_eq!(p.num_statements(), 1);
+/// ```
+pub fn parse_program(src: &str, name: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut parser = Parser {
+        toks,
+        i: 0,
+        scalars: Vec::new(),
+    };
+    parser.parse_program(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_program;
+
+    const SYRK: &str = "\
+param N = 64;
+param M = 64;
+param alpha = 2;
+param beta = 3;
+array C[N][N];
+array A[N][M];
+out C;
+#pragma scop
+for (i = 0; i <= N - 1; i++) {
+  for (j = 0; j <= i; j++) {
+    C[i][j] *= beta;
+  }
+  for (k = 0; k <= M - 1; k++) {
+    for (j = 0; j <= i; j++) {
+      C[i][j] += alpha * A[i][k] * A[j][k];
+    }
+  }
+}
+#pragma endscop
+";
+
+    #[test]
+    fn parses_syrk_shape() {
+        let p = parse_program(SYRK, "syrk").unwrap();
+        assert_eq!(p.num_statements(), 2);
+        assert_eq!(p.max_depth(), 3);
+        assert_eq!(p.surrounding_iters(0), vec!["i", "j"]);
+        assert_eq!(p.surrounding_iters(1), vec!["i", "k", "j"]);
+        assert_eq!(p.outputs, vec!["C".to_string()]);
+    }
+
+    #[test]
+    fn round_trips_through_printer() {
+        let p = parse_program(SYRK, "syrk").unwrap();
+        let text = print_program(&p);
+        let p2 = parse_program(&text, "syrk").unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn parses_tiled_bounds() {
+        let src = "\
+param N = 64;
+array A[N];
+out A;
+#pragma scop
+#pragma omp parallel for
+for (t1 = 0; t1 <= floord(N - 1, 32); t1++) {
+  for (i = max(0, 32 * t1); i <= min(N - 1, 32 * t1 + 31); i++) {
+    A[i] = A[i] + 1.0;
+  }
+}
+#pragma endscop
+";
+        let p = parse_program(src, "tiled").unwrap();
+        let Node::Loop(outer) = &p.body[0] else {
+            panic!()
+        };
+        assert!(outer.parallel);
+        assert!(matches!(outer.ub, Bound::FloorDiv(..)));
+        let text = print_program(&p);
+        assert!(text.contains("floord(N - 1, 32)"));
+        assert!(text.contains("min(N - 1, 32*t1 + 31)"));
+        let p2 = parse_program(&text, "tiled").unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn rejects_non_affine_subscript() {
+        let src = "param N = 4;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) { A[i * i] = 1.0; }\n#pragma endscop\n";
+        let e = parse_program(src, "bad").unwrap_err();
+        assert!(e.message.contains("non-affine"), "{}", e.message);
+    }
+
+    #[test]
+    fn rejects_mismatched_loop_var() {
+        let src = "param N = 4;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; j <= N - 1; i++) { A[i] = 1.0; }\n#pragma endscop\n";
+        let e = parse_program(src, "bad").unwrap_err();
+        assert!(e.message.contains("loop condition"), "{}", e.message);
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        let src = "param N = 4;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) { A[i] = 1.0 }\n#pragma endscop\n";
+        let e = parse_program(src, "bad").unwrap_err();
+        assert!(e.message.contains("';'"), "{}", e.message);
+    }
+
+    #[test]
+    fn rejects_unknown_function() {
+        let src = "param N = 4;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) { A[i] = sin(1.0); }\n#pragma endscop\n";
+        let e = parse_program(src, "bad").unwrap_err();
+        assert!(e.message.contains("undeclared function"), "{}", e.message);
+    }
+
+    #[test]
+    fn scalars_resolve_to_accesses() {
+        let src = "param N = 4;\narray A[N];\ndouble t;\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) { t = A[i]; A[i] = t * 2.0; }\n#pragma endscop\n";
+        let p = parse_program(src, "s").unwrap();
+        let stmts = p.statements();
+        assert_eq!(stmts[0].lhs, Access::scalar("t"));
+        let reads = stmts[1].reads();
+        assert_eq!(reads[0], Access::scalar("t"));
+    }
+
+    #[test]
+    fn parses_if_with_conjunction() {
+        let src = "param N = 4;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) { if (i >= 1 && i <= N - 2) A[i] = 0.0; }\n#pragma endscop\n";
+        let p = parse_program(src, "s").unwrap();
+        let Node::Loop(l) = &p.body[0] else { panic!() };
+        let Node::If { conds, .. } = &l.body[0] else {
+            panic!()
+        };
+        assert_eq!(conds.len(), 2);
+    }
+
+    #[test]
+    fn parses_stepped_loop() {
+        let src = "param N = 16;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i < N; i += 4) A[i] = 1.0;\n#pragma endscop\n";
+        let p = parse_program(src, "s").unwrap();
+        let Node::Loop(l) = &p.body[0] else { panic!() };
+        assert_eq!(l.step, 4);
+        assert!(!l.ub_inclusive);
+    }
+
+    #[test]
+    fn error_positions_point_at_token() {
+        let src = "param N = 4;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) { A[i] @ 1.0; }\n#pragma endscop\n";
+        let e = parse_program(src, "bad").unwrap_err();
+        assert_eq!(e.pos.line, 5);
+    }
+}

@@ -1,0 +1,160 @@
+//! Pretty-printing programs back to the C-subset surface syntax.
+//!
+//! The printer and [`crate::parser`] round-trip: `parse(print(p))`
+//! reproduces `p` up to statement ids. The emitted text is also the
+//! document form indexed by the BM25 retriever and the form shown to the
+//! (simulated) LLM in prompts.
+
+use crate::expr::Bound;
+use crate::program::{Node, Program};
+use std::fmt::Write as _;
+
+/// Prints a complete program: declarations, then the `#pragma scop` region.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for param in &p.params {
+        let _ = writeln!(out, "param {} = {};", param.name, param.value);
+    }
+    for a in &p.arrays {
+        if a.dims.is_empty() {
+            let _ = writeln!(out, "double {};", a.name);
+        } else {
+            let mut dims = String::new();
+            for d in &a.dims {
+                let _ = write!(dims, "[{d}]");
+            }
+            let _ = writeln!(out, "array {}{};", a.name, dims);
+        }
+    }
+    for o in &p.outputs {
+        let _ = writeln!(out, "out {};", o);
+    }
+    out.push_str("#pragma scop\n");
+    print_nodes(&p.body, 0, &mut out);
+    out.push_str("#pragma endscop\n");
+    out
+}
+
+/// Prints only the SCoP region (the part between the pragmas).
+pub fn print_scop(p: &Program) -> String {
+    let mut out = String::new();
+    print_nodes(&p.body, 0, &mut out);
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn print_bound(b: &Bound) -> String {
+    b.to_string()
+}
+
+fn print_nodes(nodes: &[Node], level: usize, out: &mut String) {
+    for n in nodes {
+        print_node(n, level, out);
+    }
+}
+
+fn print_node(node: &Node, level: usize, out: &mut String) {
+    match node {
+        Node::Loop(l) => {
+            if l.parallel {
+                indent(level, out);
+                out.push_str("#pragma omp parallel for\n");
+            }
+            indent(level, out);
+            let cmp = if l.ub_inclusive { "<=" } else { "<" };
+            let step = if l.step == 1 {
+                format!("{}++", l.iter)
+            } else {
+                format!("{} += {}", l.iter, l.step)
+            };
+            let _ = writeln!(
+                out,
+                "for ({it} = {lb}; {it} {cmp} {ub}; {step}) {{",
+                it = l.iter,
+                lb = print_bound(&l.lb),
+                ub = print_bound(&l.ub),
+            );
+            print_nodes(&l.body, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Node::If { conds, then } => {
+            indent(level, out);
+            let cond_text: Vec<String> = conds.iter().map(|c| c.to_string()).collect();
+            let _ = writeln!(out, "if ({}) {{", cond_text.join(" && "));
+            print_nodes(then, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Node::Stmt(s) => {
+            indent(level, out);
+            let _ = writeln!(out, "{s}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Access, AffineExpr, AssignOp, Bound, Expr};
+    use crate::program::{ArrayDecl, Loop, ParamDecl, Statement};
+
+    #[test]
+    fn prints_small_kernel() {
+        let s = Statement::new(
+            Access::new("A", vec![AffineExpr::var("i")]),
+            AssignOp::AddAssign,
+            Expr::num(1.0),
+        );
+        let mut l = Loop::new(
+            "i",
+            Bound::constant(0),
+            Bound::affine(AffineExpr::var("N") - 1),
+            vec![Node::Stmt(s)],
+        );
+        l.parallel = true;
+        let mut p = Program::new("k");
+        p.params.push(ParamDecl {
+            name: "N".into(),
+            value: 4,
+        });
+        p.arrays.push(ArrayDecl::new("A", vec![AffineExpr::var("N")]));
+        p.outputs.push("A".into());
+        p.body = vec![Node::Loop(l)];
+        let text = print_program(&p);
+        assert!(text.contains("param N = 4;"));
+        assert!(text.contains("array A[N];"));
+        assert!(text.contains("#pragma omp parallel for"));
+        assert!(text.contains("for (i = 0; i <= N - 1; i++) {"));
+        assert!(text.contains("A[i] += 1.0;"));
+        assert!(text.starts_with("param"));
+        assert!(text.ends_with("#pragma endscop\n"));
+    }
+
+    #[test]
+    fn prints_scalars_and_if() {
+        let mut p = Program::new("k");
+        p.arrays.push(ArrayDecl::scalar("t"));
+        p.body = vec![Node::If {
+            conds: vec![crate::expr::Condition::new(
+                AffineExpr::var("i"),
+                crate::expr::CmpOp::Lt,
+                AffineExpr::var("N"),
+            )],
+            then: vec![Node::stmt(
+                Access::scalar("t"),
+                AssignOp::Assign,
+                Expr::num(0.0),
+            )],
+        }];
+        let text = print_program(&p);
+        assert!(text.contains("double t;"));
+        assert!(text.contains("if (i < N) {"));
+        assert!(text.contains("t = 0.0;"));
+    }
+}

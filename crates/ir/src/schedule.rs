@@ -1,0 +1,247 @@
+//! Derivation of 2d+1 schedules from the loop-nest tree.
+//!
+//! A statement surrounded by `d` loops has a schedule vector
+//! `[c0, i1, c1, i2, c2, ..., id, cd]` alternating *constant* dimensions
+//! (textual position among siblings) and *iterator* dimensions. The paper
+//! uses this form both to explain SCoPs (§2.1) and as one of the two loop
+//! features driving retrieval (Appendix D).
+
+use crate::program::{Node, Program};
+use std::fmt;
+
+/// One entry of a 2d+1 schedule vector.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SchedEntry {
+    /// A constant (textual-order) dimension.
+    Const(i64),
+    /// An iterator dimension, by iterator name.
+    Iter(String),
+}
+
+impl fmt::Display for SchedEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedEntry::Const(c) => write!(f, "{c}"),
+            SchedEntry::Iter(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// The 2d+1 schedule of one statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule2d1 {
+    /// Statement id the schedule belongs to.
+    pub stmt_id: usize,
+    /// Alternating constant and iterator dimensions; always odd length,
+    /// starting and ending with a constant dimension.
+    pub entries: Vec<SchedEntry>,
+}
+
+impl Schedule2d1 {
+    /// Loop depth of the statement (number of iterator dimensions).
+    pub fn depth(&self) -> usize {
+        self.entries.len() / 2
+    }
+
+    /// The constant dimensions, outermost first.
+    pub fn constants(&self) -> Vec<i64> {
+        self.entries
+            .iter()
+            .filter_map(|e| match e {
+                SchedEntry::Const(c) => Some(*c),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The iterator dimensions, outermost first.
+    pub fn iterators(&self) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter_map(|e| match e {
+                SchedEntry::Iter(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Pads the schedule with trailing zero constant dimensions so its
+    /// length becomes `2 * depth + 1`.
+    pub fn padded_to(&self, depth: usize) -> Schedule2d1 {
+        let mut entries = self.entries.clone();
+        while entries.len() < 2 * depth + 1 {
+            entries.push(SchedEntry::Const(0));
+        }
+        Schedule2d1 {
+            stmt_id: self.stmt_id,
+            entries,
+        }
+    }
+}
+
+impl fmt::Display for Schedule2d1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Derives the 2d+1 schedule of every statement in textual order.
+///
+/// ```
+/// let src = "param N = 4;\narray A[N];\nout A;\n#pragma scop\n\
+/// for (i = 0; i <= N - 1; i++) { A[i] = 0.0; A[i] += 1.0; }\n#pragma endscop\n";
+/// let p = looprag_ir::parse_program(src, "k").unwrap();
+/// let scheds = looprag_ir::schedules(&p);
+/// assert_eq!(scheds[0].to_string(), "[0, i, 0]");
+/// assert_eq!(scheds[1].to_string(), "[0, i, 1]");
+/// ```
+pub fn schedules(p: &Program) -> Vec<Schedule2d1> {
+    fn walk(nodes: &[Node], prefix: &mut Vec<SchedEntry>, out: &mut Vec<Schedule2d1>) {
+        // The constant dimension counts only statement/loop positions,
+        // ignoring `if` wrappers (guards do not affect textual order depth).
+        let mut position = 0i64;
+        for n in nodes {
+            match n {
+                Node::Stmt(s) => {
+                    let mut entries = prefix.clone();
+                    entries.push(SchedEntry::Const(position));
+                    out.push(Schedule2d1 {
+                        stmt_id: s.id,
+                        entries,
+                    });
+                    position += 1;
+                }
+                Node::Loop(l) => {
+                    prefix.push(SchedEntry::Const(position));
+                    prefix.push(SchedEntry::Iter(l.iter.clone()));
+                    walk(&l.body, prefix, out);
+                    prefix.pop();
+                    prefix.pop();
+                    position += 1;
+                }
+                Node::If { then, .. } => {
+                    // Statements under a guard keep their sibling position
+                    // relative to the guard's own position.
+                    prefix.push(SchedEntry::Const(position));
+                    let before = out.len();
+                    walk_guarded(then, prefix, out);
+                    prefix.pop();
+                    if out.len() > before {
+                        position += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Inside a guard we continue the walk but the guard consumed the
+    // position constant, so children start a fresh position counter whose
+    // entries nest one level deeper only if they are loops.
+    fn walk_guarded(nodes: &[Node], prefix: &mut Vec<SchedEntry>, out: &mut Vec<Schedule2d1>) {
+        let mut position = 0i64;
+        for n in nodes {
+            match n {
+                Node::Stmt(s) => {
+                    let mut entries = prefix.clone();
+                    // merge: guard's position constant already pushed; add
+                    // sub-position only when there are multiple children.
+                    if position > 0 {
+                        entries.push(SchedEntry::Const(position));
+                    }
+                    out.push(Schedule2d1 {
+                        stmt_id: s.id,
+                        entries,
+                    });
+                    position += 1;
+                }
+                Node::Loop(l) => {
+                    prefix.push(SchedEntry::Iter(l.iter.clone()));
+                    walk(&l.body, prefix, out);
+                    prefix.pop();
+                    position += 1;
+                }
+                Node::If { then, .. } => {
+                    walk_guarded(then, prefix, out);
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    walk(&p.body, &mut Vec::new(), &mut out);
+    out.sort_by_key(|s| s.stmt_id);
+    out
+}
+
+/// Derives schedules and pads them all to the maximum depth, mirroring the
+/// paper's fixed-width presentation (e.g. `S1: [0, i, 0, j, 0, 0, 0]`).
+pub fn padded_schedules(p: &Program) -> Vec<Schedule2d1> {
+    let scheds = schedules(p);
+    let depth = scheds.iter().map(Schedule2d1::depth).max().unwrap_or(0);
+    scheds.into_iter().map(|s| s.padded_to(depth)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    const SYRK: &str = "\
+param N = 8;
+param M = 8;
+param alpha = 2;
+param beta = 3;
+array C[N][N];
+array A[N][M];
+out C;
+#pragma scop
+for (i = 0; i <= N - 1; i++) {
+  for (j = 0; j <= i; j++) {
+    C[i][j] *= beta;
+  }
+  for (k = 0; k <= M - 1; k++) {
+    for (j = 0; j <= i; j++) {
+      C[i][j] += alpha * A[i][k] * A[j][k];
+    }
+  }
+}
+#pragma endscop
+";
+
+    #[test]
+    fn syrk_matches_paper_figure_2() {
+        // Paper: S1: [0, i, 0, j, 0, 0, 0], S2: [0, i, 1, k, 0, j, 0].
+        let p = parse_program(SYRK, "syrk").unwrap();
+        let scheds = padded_schedules(&p);
+        assert_eq!(scheds[0].to_string(), "[0, i, 0, j, 0, 0, 0]");
+        assert_eq!(scheds[1].to_string(), "[0, i, 1, k, 0, j, 0]");
+    }
+
+    #[test]
+    fn depth_and_dims() {
+        let p = parse_program(SYRK, "syrk").unwrap();
+        let scheds = schedules(&p);
+        assert_eq!(scheds[0].depth(), 2);
+        assert_eq!(scheds[1].depth(), 3);
+        assert_eq!(scheds[1].iterators(), vec!["i", "k", "j"]);
+        assert_eq!(scheds[1].constants(), vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn guarded_statement_keeps_position() {
+        let src = "param N = 8;\narray A[N];\nout A;\n#pragma scop\n\
+for (i = 0; i <= N - 1; i++) {\n  A[i] = 0.0;\n  if (i >= 1) A[i] += 1.0;\n}\n#pragma endscop\n";
+        let p = parse_program(src, "g").unwrap();
+        let scheds = schedules(&p);
+        assert_eq!(scheds.len(), 2);
+        assert_eq!(scheds[0].to_string(), "[0, i, 0]");
+        assert_eq!(scheds[1].to_string(), "[0, i, 1]");
+    }
+}

@@ -1,0 +1,246 @@
+//! Structural analysis of demonstration pairs: which transformation
+//! families does an (example, optimized) pair exhibit?
+//!
+//! This models the "analyze what methods are used in above examples"
+//! instruction of the demonstration prompt (Appendix E.2): the simulated
+//! model compares the two programs structurally, exactly as a capable
+//! human or LLM would read them.
+
+use looprag_ir::{has_parallel_loop, max_floordiv_divisor, Node, Program};
+use looprag_transform::Family;
+
+fn max_stmts_in_one_loop(p: &Program) -> usize {
+    fn walk(nodes: &[Node], best: &mut usize) {
+        for n in nodes {
+            if let Node::Loop(l) = n {
+                let direct = l
+                    .body
+                    .iter()
+                    .filter(|c| match c {
+                        Node::Stmt(_) => true,
+                        Node::If { then, .. } => {
+                            then.iter().any(|t| matches!(t, Node::Stmt(_)))
+                        }
+                        Node::Loop(_) => false,
+                    })
+                    .count();
+                *best = (*best).max(direct);
+                walk(&l.body, best);
+            } else {
+                walk(n.children(), best);
+            }
+        }
+    }
+    let mut best = 0;
+    walk(&p.body, &mut best);
+    best
+}
+
+fn stmt_parent_loops(p: &Program) -> usize {
+    fn walk(nodes: &[Node], count: &mut usize) {
+        for n in nodes {
+            if let Node::Loop(l) = n {
+                let has_stmt = l.body.iter().any(|c| match c {
+                    Node::Stmt(_) => true,
+                    Node::If { then, .. } => then.iter().any(|t| matches!(t, Node::Stmt(_))),
+                    Node::Loop(_) => false,
+                });
+                if has_stmt {
+                    *count += 1;
+                }
+                walk(&l.body, count);
+            } else {
+                walk(n.children(), count);
+            }
+        }
+    }
+    let mut count = 0;
+    walk(&p.body, &mut count);
+    count
+}
+
+fn has_guards(p: &Program) -> bool {
+    fn walk(nodes: &[Node]) -> bool {
+        nodes.iter().any(|n| match n {
+            Node::If { .. } => true,
+            Node::Loop(l) => walk(&l.body),
+            Node::Stmt(_) => false,
+        })
+    }
+    walk(&p.body)
+}
+
+fn has_multi_iter_subscript(p: &Program) -> bool {
+    // A subscript combining two loop iterators (e.g. `c1 - i`) is the
+    // footprint of skewing.
+    let param_names: Vec<&str> = p.params.iter().map(|d| d.name.as_str()).collect();
+    p.statements().iter().any(|s| {
+        let mut accs = s.reads();
+        accs.push(s.lhs.clone());
+        accs.iter().any(|a| {
+            a.indexes.iter().any(|e| {
+                e.symbols()
+                    .filter(|sym| !param_names.contains(sym))
+                    .count()
+                    >= 2
+            })
+        })
+    })
+}
+
+fn scalar_count(p: &Program) -> usize {
+    p.arrays.iter().filter(|a| a.dims.is_empty()).count()
+}
+
+fn iter_order_signature(p: &Program, common: &[String]) -> Vec<Vec<String>> {
+    (0..p.num_statements())
+        .map(|id| {
+            p.surrounding_iters(id)
+                .into_iter()
+                .filter(|i| common.contains(i))
+                .collect()
+        })
+        .collect()
+}
+
+/// Detects the transformation families exhibited by an
+/// (example, optimized) pair.
+pub fn detect_families(source: &Program, optimized: &Program) -> Vec<Family> {
+    let mut fams = Vec::new();
+    if max_floordiv_divisor(optimized) > max_floordiv_divisor(source) {
+        fams.push(Family::Tiling);
+    }
+    if has_parallel_loop(optimized) && !has_parallel_loop(source) {
+        fams.push(Family::Parallelization);
+    }
+    if max_stmts_in_one_loop(optimized) > max_stmts_in_one_loop(source) {
+        fams.push(Family::Fusion);
+    }
+    if stmt_parent_loops(optimized) > stmt_parent_loops(source)
+        && optimized.num_statements() == source.num_statements()
+    {
+        fams.push(Family::Distribution);
+    }
+    if has_guards(optimized) && !has_guards(source) {
+        fams.push(Family::Shifting);
+    }
+    if has_multi_iter_subscript(optimized) && !has_multi_iter_subscript(source) {
+        fams.push(Family::Skewing);
+    }
+    if scalar_count(optimized) > scalar_count(source) {
+        fams.push(Family::Scalarization);
+    }
+    // Interchange: the relative order of the source's own iterators
+    // around some statement changed (tile iterators are ignored because
+    // they are new names).
+    if source.num_statements() == optimized.num_statements() {
+        let mut common: Vec<String> = Vec::new();
+        for id in 0..source.num_statements() {
+            for it in source.surrounding_iters(id) {
+                if !common.contains(&it) {
+                    common.push(it);
+                }
+            }
+        }
+        let sig_s = iter_order_signature(source, &common);
+        let sig_o = iter_order_signature(optimized, &common);
+        let reordered = sig_s.iter().zip(&sig_o).any(|(a, b)| {
+            // Same multiset of iterators, different order.
+            let mut sa = a.clone();
+            let mut sb = b.clone();
+            sa.sort();
+            sb.sort();
+            sa == sb && a != b
+        });
+        if reordered {
+            fams.push(Family::Interchange);
+        }
+    }
+    fams
+}
+
+/// Extracts a tile size hinted by a demonstration's optimized version
+/// (the largest `floord` divisor), if any.
+pub fn demo_tile_size(optimized: &Program) -> Option<i64> {
+    let d = max_floordiv_divisor(optimized);
+    if d > 0 {
+        Some(d)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use looprag_ir::compile;
+    use looprag_polyopt::{optimize, PolyOptions};
+    use looprag_transform::{fuse, interchange, parallelize, scalarize_reduction, tile_band};
+
+    fn gemm() -> Program {
+        compile(
+            "param N = 64;\narray C[N][N];\narray A[N][N];\narray B[N][N];\nout C;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= N - 1; j++) for (k = 0; k <= N - 1; k++) C[i][j] += A[i][k] * B[k][j];\n#pragma endscop\n",
+            "gemm",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn detects_tiling_and_parallel() {
+        let p = gemm();
+        let t = parallelize(&tile_band(&p, &[0], 3, 8).unwrap(), &[0]).unwrap();
+        let fams = detect_families(&p, &t);
+        assert!(fams.contains(&Family::Tiling));
+        assert!(fams.contains(&Family::Parallelization));
+        assert_eq!(demo_tile_size(&t), Some(8));
+    }
+
+    #[test]
+    fn detects_interchange() {
+        let p = gemm();
+        let t = interchange(&p, &[0]).unwrap();
+        assert!(detect_families(&p, &t).contains(&Family::Interchange));
+    }
+
+    #[test]
+    fn detects_fusion() {
+        let p = compile(
+            "param N = 64;\narray A[N];\narray B[N];\nout B;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i] = 2.0;\nfor (j = 0; j <= N - 1; j++) B[j] = A[j] + 1.0;\n#pragma endscop\n",
+            "two",
+        )
+        .unwrap();
+        let t = fuse(&p, &[], 0).unwrap();
+        assert!(detect_families(&p, &t).contains(&Family::Fusion));
+    }
+
+    #[test]
+    fn detects_scalarization() {
+        let p = compile(
+            "param N = 16;\nparam M = 16;\narray A[N];\narray B[N][M];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (k = 0; k <= M - 1; k++) A[i] += B[i][k];\n#pragma endscop\n",
+            "red",
+        )
+        .unwrap();
+        let t = scalarize_reduction(&p, &[0, 0]).unwrap();
+        assert!(detect_families(&p, &t).contains(&Family::Scalarization));
+    }
+
+    #[test]
+    fn polyopt_recipes_are_rediscovered_from_text() {
+        // The detector must recover at least the headline families the
+        // optimizer reports, from the programs alone.
+        let p = gemm();
+        let r = optimize(&p, &PolyOptions::default());
+        let detected = detect_families(&p, &r.program);
+        for f in r.recipe.families() {
+            if matches!(f, Family::Tiling | Family::Parallelization) {
+                assert!(detected.contains(&f), "missing {f}: {detected:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_pair_detects_nothing() {
+        let p = gemm();
+        assert!(detect_families(&p, &p).is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! # looprag-llm
+//!
+//! The language-model layer of the reproduction: prompt construction
+//! following the paper's Appendix E templates, structural analysis of
+//! demonstration pairs, and a deterministic **simulated LLM** whose
+//! capability profile models the paper's base models (GPT-4,
+//! DeepSeek-V3).
+//!
+//! The simulated model is honest about failure: transformations applied
+//! without legality reasoning genuinely corrupt semantics, syntax slips
+//! genuinely fail compilation, and only the downstream testing pipeline
+//! can tell.
+//!
+//! ```
+//! use looprag_llm::{LanguageModel, LlmProfile, Prompt, SimLlm};
+//! let src = "param N = 8;\narray A[N];\nout A;\n#pragma scop\n\
+//! for (i = 0; i <= N - 1; i++) A[i] = A[i] * 2.0;\n#pragma endscop\n";
+//! let mut model = SimLlm::new(LlmProfile::gpt4(), 42);
+//! let answer = model.generate(&Prompt::base(src));
+//! assert!(answer.contains("#pragma scop"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod detect;
+mod profile;
+mod prompt;
+mod sim;
+
+pub use detect::{demo_tile_size, detect_families};
+pub use profile::LlmProfile;
+pub use prompt::{Demonstration, Feedback, Prompt};
+pub use sim::{LanguageModel, SimLlm};

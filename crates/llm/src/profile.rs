@@ -1,0 +1,127 @@
+//! Capability profiles for the simulated language models.
+
+use looprag_transform::Family;
+use std::collections::HashMap;
+
+/// A capability profile: what a model applies unaided, how strongly
+/// demonstrations widen that repertoire, and how often it errs.
+///
+/// The two built-in profiles approximate the paper's base LLMs. They are
+/// *not* calibrated to reproduce absolute numbers — they encode the
+/// qualitative findings of the paper's Figure 1 study: base models
+/// rarely tile or parallelize, like introducing scalar temporaries,
+/// sometimes emit non-equivalent code, and improve sharply when shown
+/// demonstrations and given feedback.
+#[derive(Debug, Clone)]
+pub struct LlmProfile {
+    /// Display name.
+    pub name: String,
+    /// Probability of *considering* each transformation family without
+    /// demonstrations.
+    pub base_skill: HashMap<Family, f64>,
+    /// Probability that the model reasons about dependences before
+    /// applying a transformation; unaware applications can produce
+    /// genuinely wrong code.
+    pub legality_awareness: f64,
+    /// Probability of a syntax slip in the emitted text (compile error).
+    pub syntax_slip: f64,
+    /// Probability of a semantic slip (subscript off-by-one), producing
+    /// incorrect answers or runtime faults.
+    pub semantic_slip: f64,
+    /// How strongly a demonstrated family's probability rises
+    /// (`p = base + icl_gain * relevance`, clamped).
+    pub icl_gain: f64,
+    /// Probability of repairing a compile error given the diagnostic.
+    pub feedback_fix: f64,
+    /// Probability of choosing profitable parameters (tile size, which
+    /// loop to parallelize) rather than guessing.
+    pub param_insight: f64,
+}
+
+fn skills(pairs: &[(Family, f64)]) -> HashMap<Family, f64> {
+    pairs.iter().cloned().collect()
+}
+
+impl LlmProfile {
+    /// A GPT-4-like profile (general-purpose: decent repair, cautious
+    /// optimization, fond of scalar temporaries).
+    pub fn gpt4() -> Self {
+        LlmProfile {
+            name: "gpt-4".into(),
+            base_skill: skills(&[
+                (Family::Tiling, 0.10),
+                (Family::Interchange, 0.40),
+                (Family::Skewing, 0.02),
+                (Family::Fusion, 0.40),
+                (Family::Distribution, 0.15),
+                (Family::Shifting, 0.02),
+                (Family::Parallelization, 0.03),
+                (Family::Scalarization, 0.55),
+            ]),
+            legality_awareness: 0.62,
+            syntax_slip: 0.10,
+            semantic_slip: 0.14,
+            icl_gain: 0.85,
+            feedback_fix: 0.85,
+            param_insight: 0.55,
+        }
+    }
+
+    /// A DeepSeek-V3-like profile (code-specialized: slightly bolder
+    /// optimization and parameter choices, marginally more slips).
+    pub fn deepseek() -> Self {
+        LlmProfile {
+            name: "deepseek".into(),
+            base_skill: skills(&[
+                (Family::Tiling, 0.14),
+                (Family::Interchange, 0.45),
+                (Family::Skewing, 0.03),
+                (Family::Fusion, 0.45),
+                (Family::Distribution, 0.18),
+                (Family::Shifting, 0.03),
+                (Family::Parallelization, 0.04),
+                (Family::Scalarization, 0.60),
+            ]),
+            legality_awareness: 0.60,
+            syntax_slip: 0.11,
+            semantic_slip: 0.15,
+            icl_gain: 0.92,
+            feedback_fix: 0.82,
+            param_insight: 0.65,
+        }
+    }
+
+    /// Base probability for a family (0 when unknown).
+    pub fn skill(&self, f: Family) -> f64 {
+        self.base_skill.get(&f).copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_sane() {
+        for p in [LlmProfile::gpt4(), LlmProfile::deepseek()] {
+            for f in Family::all() {
+                let s = p.skill(f);
+                assert!((0.0..=1.0).contains(&s), "{}: {f} = {s}", p.name);
+            }
+            assert!(p.skill(Family::Tiling) < 0.2, "base models rarely tile");
+            assert!(
+                p.skill(Family::Scalarization) > 0.5,
+                "base models love scalar temps"
+            );
+            assert!(p.legality_awareness < 1.0);
+        }
+    }
+
+    #[test]
+    fn deepseek_is_bolder_than_gpt4() {
+        let d = LlmProfile::deepseek();
+        let g = LlmProfile::gpt4();
+        assert!(d.skill(Family::Tiling) > g.skill(Family::Tiling));
+        assert!(d.param_insight > g.param_insight);
+    }
+}

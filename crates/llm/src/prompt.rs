@@ -1,0 +1,204 @@
+//! Prompt construction, following the templates of Appendix E.
+//!
+//! The simulated model consumes the structured [`Prompt`]; the
+//! [`render`](Prompt::render) method produces the English template text
+//! the paper shows, which keeps the pipeline inspectable and is what a
+//! real-LLM backend would receive.
+
+use std::fmt::Write as _;
+
+/// One retrieved demonstration: an example code and its optimized version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Demonstration {
+    /// Example source text.
+    pub source: String,
+    /// Optimized version text.
+    pub optimized: String,
+}
+
+/// Feedback carried into a regeneration round (§4.3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Feedback {
+    /// Compilation results: the failing code and the compiler diagnostic.
+    Compile {
+        /// The code that failed to compile.
+        last_code: String,
+        /// The compiler's error message.
+        error: String,
+    },
+    /// Testing results and performance rankings over prior candidates.
+    TestAndRank {
+        /// `(candidate index, code)` for candidates that passed testing,
+        /// ordered best-performing first.
+        available: Vec<(usize, String)>,
+        /// Indices of candidates that failed testing.
+        failed: Vec<usize>,
+    },
+}
+
+/// A full prompt for one generation call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prompt {
+    /// The target code to optimize.
+    pub target: String,
+    /// Retrieved demonstrations (empty for base-LLM prompting).
+    pub demonstrations: Vec<Demonstration>,
+    /// Optional feedback from earlier rounds.
+    pub feedback: Option<Feedback>,
+}
+
+impl Prompt {
+    /// A base prompt (Appendix E.1): no demonstrations, no feedback.
+    pub fn base(target: impl Into<String>) -> Self {
+        Prompt {
+            target: target.into(),
+            demonstrations: Vec::new(),
+            feedback: None,
+        }
+    }
+
+    /// A demonstration prompt (Appendix E.2).
+    pub fn with_demonstrations(
+        target: impl Into<String>,
+        demonstrations: Vec<Demonstration>,
+    ) -> Self {
+        Prompt {
+            target: target.into(),
+            demonstrations,
+            feedback: None,
+        }
+    }
+
+    /// Renders the prompt as the Appendix E template text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        match &self.feedback {
+            Some(Feedback::Compile { last_code, error }) => {
+                let _ = writeln!(out, "This optimized version:\n{last_code}");
+                let _ = writeln!(
+                    out,
+                    "did a wrong transformation from the source code, resulting in a compilation error. This is the compiler error message:\n{error}"
+                );
+                let _ = writeln!(out, "Please check the optimized code and regenerate it.");
+                return out;
+            }
+            Some(Feedback::TestAndRank { available, failed }) => {
+                for (idx, code) in available {
+                    let _ = writeln!(out, "Available Example [{idx}]:\n{code}");
+                }
+                for idx in failed {
+                    let _ = writeln!(out, "Failed Example [{idx}]: (did not pass testing)");
+                }
+                let _ = writeln!(
+                    out,
+                    "The above examples are optimized by LLMs using meaning-preserving loop transformation methods. Available examples pass compilation, execution and equivalence checks; failed examples do not. Here is the original code:\n{}",
+                    self.target
+                );
+                let ranked: Vec<String> =
+                    available.iter().map(|(i, _)| i.to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    "Performance rank result (\">\" means better than): {}",
+                    ranked.join(" > ")
+                );
+                let failed_s: Vec<String> = failed.iter().map(|i| i.to_string()).collect();
+                let _ = writeln!(out, "Failed: {}", failed_s.join(", "));
+                let _ = writeln!(
+                    out,
+                    "Task: Analyze why available examples succeeded and failed examples broke correctness. Improve the performance of original code using the highest-impact meaning-preserving loop transformation methods learnt from the ranked examples."
+                );
+                return out;
+            }
+            None => {}
+        }
+        if self.demonstrations.is_empty() {
+            let _ = writeln!(
+                out,
+                "As a compiler, given the C program below, improve its performance using meaning-preserving loop transformation methods:\n{}",
+                self.target
+            );
+        } else {
+            for d in &self.demonstrations {
+                let _ = writeln!(out, "// original code\n{}", d.source);
+                let _ = writeln!(out, "// optimized code\n{}", d.optimized);
+            }
+            let _ = writeln!(
+                out,
+                "Please analyze what meaning-preserving loop transformation methods are used in above examples, and tell me what you learn."
+            );
+            let _ = writeln!(
+                out,
+                "please use appropriate methods you learn from examples to improve its performance:\n{}",
+                self.target
+            );
+        }
+        let _ = writeln!(
+            out,
+            "Here are some generation rules: 1. Provide one optimized code. 2. Do not include the original C program in your response. 3. Do not define new function. 4. Existed variables do not need to be redefined. If you generate new variable for computing, please use the double type. 5. Put your code in markdown code block."
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_prompt_matches_template() {
+        let p = Prompt::base("CODE");
+        let text = p.render();
+        assert!(text.starts_with("As a compiler, given the C program below"));
+        assert!(text.contains("CODE"));
+        assert!(text.contains("generation rules"));
+    }
+
+    #[test]
+    fn demonstration_prompt_interleaves_pairs() {
+        let p = Prompt::with_demonstrations(
+            "TARGET",
+            vec![Demonstration {
+                source: "SRC".into(),
+                optimized: "OPT".into(),
+            }],
+        );
+        let text = p.render();
+        let src_pos = text.find("SRC").unwrap();
+        let opt_pos = text.find("OPT").unwrap();
+        let tgt_pos = text.find("TARGET").unwrap();
+        assert!(src_pos < opt_pos && opt_pos < tgt_pos);
+        assert!(text.contains("analyze"));
+        assert!(text.contains("learn"));
+    }
+
+    #[test]
+    fn compile_feedback_prompt_carries_error() {
+        let p = Prompt {
+            target: "T".into(),
+            demonstrations: vec![],
+            feedback: Some(Feedback::Compile {
+                last_code: "BAD".into(),
+                error: "error at 3:1: expected ';'".into(),
+            }),
+        };
+        let text = p.render();
+        assert!(text.contains("compilation error"));
+        assert!(text.contains("expected ';'"));
+        assert!(text.contains("regenerate"));
+    }
+
+    #[test]
+    fn rank_feedback_prompt_orders_candidates() {
+        let p = Prompt {
+            target: "T".into(),
+            demonstrations: vec![],
+            feedback: Some(Feedback::TestAndRank {
+                available: vec![(2, "C2".into()), (0, "C0".into())],
+                failed: vec![1],
+            }),
+        };
+        let text = p.render();
+        assert!(text.contains("2 > 0"));
+        assert!(text.contains("Failed: 1"));
+    }
+}

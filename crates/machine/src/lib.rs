@@ -1,0 +1,26 @@
+//! # looprag-machine
+//!
+//! The performance substrate of the reproduction: a trace-driven
+//! two-level cache simulator plus vectorization, parallelization and
+//! loop-overhead models, standing in for the paper's hardware testbed.
+//! Speedups reported by the experiment harness are ratios of
+//! [`estimate_cost`] results.
+//!
+//! ```
+//! use looprag_machine::{estimate_cost, MachineConfig};
+//! let src = "param N = 1024;\narray A[N];\nout A;\n#pragma scop\n\
+//! #pragma omp parallel for\nfor (i = 0; i <= N - 1; i++) A[i] = A[i] * 2.0;\n#pragma endscop\n";
+//! let p = looprag_ir::compile(src, "scale")?;
+//! let report = estimate_cost(&p, &MachineConfig::gcc())?;
+//! assert!(report.cycles > 0.0);
+//! assert_eq!(report.parallel_entries, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod model;
+
+pub use cache::{CacheGeometry, CacheLevel, Hierarchy, ServiceLevel};
+pub use model::{estimate_cost, CostError, CostReport, CostVec, MachineConfig};

@@ -1,0 +1,161 @@
+//! Okapi BM25 over code text — the sparse base score of LAScore.
+//!
+//! This replaces the Elasticsearch deployment of the paper's
+//! implementation with an in-memory inverted index; the scoring function
+//! is the standard Okapi formulation (k1 = 1.2, b = 0.75).
+
+use std::collections::HashMap;
+
+/// Splits code text into lowercase alphanumeric tokens.
+///
+/// Identifiers, keywords and numbers all become tokens; punctuation is
+/// discarded. `A[i][j] += alpha;` tokenizes to `a i j alpha`.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            cur.push(ch.to_ascii_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// An immutable BM25 index over a corpus of documents.
+#[derive(Debug, Clone)]
+pub struct Bm25Index {
+    /// term -> (doc id, term frequency) postings.
+    postings: HashMap<String, Vec<(usize, u32)>>,
+    doc_len: Vec<u32>,
+    avg_len: f64,
+    k1: f64,
+    b: f64,
+}
+
+impl Bm25Index {
+    /// Builds an index over `docs` (document id = position).
+    pub fn build(docs: &[String]) -> Self {
+        let mut postings: HashMap<String, Vec<(usize, u32)>> = HashMap::new();
+        let mut doc_len = Vec::with_capacity(docs.len());
+        for (id, text) in docs.iter().enumerate() {
+            let toks = tokenize(text);
+            doc_len.push(toks.len() as u32);
+            let mut tf: HashMap<String, u32> = HashMap::new();
+            for t in toks {
+                *tf.entry(t).or_insert(0) += 1;
+            }
+            for (t, f) in tf {
+                postings.entry(t).or_default().push((id, f));
+            }
+        }
+        let avg_len = if doc_len.is_empty() {
+            0.0
+        } else {
+            doc_len.iter().map(|l| *l as f64).sum::<f64>() / doc_len.len() as f64
+        };
+        Bm25Index {
+            postings,
+            doc_len,
+            avg_len,
+            k1: 1.2,
+            b: 0.75,
+        }
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// True when no documents are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.doc_len.is_empty()
+    }
+
+    /// BM25 scores of every document for `query` text; index = doc id.
+    pub fn scores(&self, query: &str) -> Vec<f64> {
+        let n = self.len() as f64;
+        let mut scores = vec![0.0; self.len()];
+        let mut qtf: HashMap<String, u32> = HashMap::new();
+        for t in tokenize(query) {
+            *qtf.entry(t).or_insert(0) += 1;
+        }
+        for (term, _qf) in qtf {
+            let Some(posts) = self.postings.get(&term) else {
+                continue;
+            };
+            let df = posts.len() as f64;
+            let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+            for (doc, f) in posts {
+                let f = *f as f64;
+                let len_norm = 1.0 - self.b
+                    + self.b * self.doc_len[*doc] as f64 / self.avg_len.max(1.0);
+                scores[*doc] += idf * f * (self.k1 + 1.0) / (f + self.k1 * len_norm);
+            }
+        }
+        scores
+    }
+
+    /// The `top_n` documents for `query`, best first.
+    pub fn search(&self, query: &str, top_n: usize) -> Vec<(usize, f64)> {
+        let mut scored: Vec<(usize, f64)> = self
+            .scores(query)
+            .into_iter()
+            .enumerate()
+            .filter(|(_, s)| *s > 0.0)
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(top_n);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_strips_punctuation() {
+        assert_eq!(
+            tokenize("A[i][j] += alpha * B2;"),
+            vec!["a", "i", "j", "alpha", "b2"]
+        );
+    }
+
+    #[test]
+    fn exact_document_ranks_first() {
+        let docs = vec![
+            "for i A[i] = B[i] + alpha".to_string(),
+            "for i for j C[i][j] = C[i][j] * beta".to_string(),
+            "while x do nothing".to_string(),
+        ];
+        let idx = Bm25Index::build(&docs);
+        let hits = idx.search("C[i][j] *= beta", 3);
+        assert_eq!(hits[0].0, 1);
+    }
+
+    #[test]
+    fn rare_terms_outweigh_common_ones() {
+        let docs = vec![
+            "alpha alpha alpha common".to_string(),
+            "zeta common".to_string(),
+            "common common".to_string(),
+        ];
+        let idx = Bm25Index::build(&docs);
+        let s = idx.scores("zeta");
+        assert!(s[1] > s[0]);
+        assert!(s[1] > s[2]);
+    }
+
+    #[test]
+    fn empty_index_is_safe() {
+        let idx = Bm25Index::build(&[]);
+        assert!(idx.is_empty());
+        assert!(idx.search("anything", 5).is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! # looprag-retrieval
+//!
+//! Demonstration retrieval for LOOPRAG: an in-memory Okapi BM25 index
+//! (the Elasticsearch substitute), renaming-invariant loop-feature
+//! extraction (Appendix D) and the loop-aware LAScore of §4.2 that
+//! balances similarity and diversity.
+//!
+//! ```
+//! use looprag_retrieval::{Retriever, RetrievalMode};
+//! let ex = looprag_ir::compile(
+//!     "param N = 8;\narray A[N];\nout A;\n#pragma scop\n\
+//!      for (i = 0; i <= N - 1; i++) A[i] = A[i] * 2.0;\n#pragma endscop\n",
+//!     "ex0",
+//! )?;
+//! let retriever = Retriever::build([(0usize, &ex)]);
+//! let hits = retriever.query(&ex, RetrievalMode::LoopAware, 5);
+//! assert_eq!(hits[0].0, 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod bm25;
+mod features;
+mod lascore;
+
+pub use bm25::{tokenize, Bm25Index};
+pub use features::{extract_features, intersection_count, StmtFeatures, NUM_FEATURE_TYPES};
+pub use lascore::{weighted_score, LaWeights, RetrievalMode, Retriever};

@@ -1,0 +1,130 @@
+//! LORE-style loop nests: the LORE repository collects `for` nests
+//! extracted from benchmark suites, libraries and real applications.
+//! These 30 nests reproduce the *shapes* that population contains —
+//! stencils, reductions, triangular solves, imperfect nests, strided and
+//! transposed accesses, short-trip inner loops and deep nests — at
+//! machine-model-friendly sizes.
+
+/// `(name, source)` for every LORE-style nest.
+pub const LORE: &[(&str, &str)] = &[
+    (
+        "lore_stencil9",
+        "param N = 250;\narray A[N][N];\narray B[N][N];\nout B;\n#pragma scop\nfor (i = 1; i <= N - 2; i++) for (j = 1; j <= N - 2; j++) B[i][j] = A[i - 1][j - 1] + A[i - 1][j] + A[i - 1][j + 1] + A[i][j - 1] + A[i][j] + A[i][j + 1] + A[i + 1][j - 1] + A[i + 1][j] + A[i + 1][j + 1];\n#pragma endscop\n",
+    ),
+    (
+        "lore_blur3",
+        "param N = 4096;\narray x[N];\narray y[N];\nout y;\n#pragma scop\nfor (i = 1; i <= N - 2; i++) y[i] = 0.25 * x[i - 1] + 0.5 * x[i] + 0.25 * x[i + 1];\n#pragma endscop\n",
+    ),
+    (
+        "lore_transpose_add",
+        "param N = 360;\narray A[N][N];\narray B[N][N];\nout B;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= N - 1; j++) B[i][j] = A[j][i] + B[i][j];\n#pragma endscop\n",
+    ),
+    (
+        "lore_rowsum",
+        "param N = 512;\nparam M = 512;\narray A[N][M];\narray r[N];\nout r;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) { r[i] = 0.0; for (j = 0; j <= M - 1; j++) r[i] += A[i][j]; }\n#pragma endscop\n",
+    ),
+    (
+        "lore_colsum",
+        "param N = 512;\nparam M = 512;\narray A[N][M];\narray cs[M];\nout cs;\n#pragma scop\nfor (j = 0; j <= M - 1; j++) { cs[j] = 0.0; for (i = 0; i <= N - 1; i++) cs[j] += A[i][j]; }\n#pragma endscop\n",
+    ),
+    (
+        "lore_saxpy_nest",
+        "param N = 256;\nparam M = 256;\nparam alpha = 2;\narray X[N][M];\narray Y[N][M];\nout Y;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= M - 1; j++) Y[i][j] = alpha * X[i][j] + Y[i][j];\n#pragma endscop\n",
+    ),
+    (
+        "lore_tri_solve",
+        "param N = 360;\narray L[N][N];\narray x[N];\narray b[N];\nout x;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) { x[i] = b[i]; for (j = 0; j <= i - 1; j++) x[i] -= L[i][j] * x[j]; }\n#pragma endscop\n",
+    ),
+    (
+        "lore_band_matvec",
+        "param N = 2048;\nparam K = 8;\narray A[N][2 * K + 1];\narray x[N + 2 * K];\narray y[N];\nout y;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) { y[i] = 0.0; for (k = 0; k <= 2 * K; k++) y[i] += A[i][k] * x[i + k]; }\n#pragma endscop\n",
+    ),
+    (
+        "lore_conv1d",
+        "param N = 4096;\nparam K = 9;\narray x[N + 9];\narray w[9];\narray y[N];\nout y;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) { y[i] = 0.0; for (k = 0; k <= K - 1; k++) y[i] += x[i + k] * w[k]; }\n#pragma endscop\n",
+    ),
+    (
+        "lore_conv2d",
+        "param N = 180;\narray img[N + 2][N + 2];\narray out0[N][N];\narray ker[3][3];\nout out0;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= N - 1; j++) { out0[i][j] = 0.0; for (p = 0; p <= 2; p++) for (q = 0; q <= 2; q++) out0[i][j] += img[i + p][j + q] * ker[p][q]; }\n#pragma endscop\n",
+    ),
+    (
+        "lore_prefix_sum",
+        "param N = 8192;\narray a[N];\nout a;\n#pragma scop\nfor (i = 1; i <= N - 1; i++) a[i] = a[i] + a[i - 1];\n#pragma endscop\n",
+    ),
+    (
+        "lore_rgb_scale",
+        "param N = 2048;\narray pix[3 * N];\nout pix;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) { pix[3 * i] *= 0.9; pix[3 * i + 1] *= 0.8; pix[3 * i + 2] *= 0.7; }\n#pragma endscop\n",
+    ),
+    (
+        "lore_matvec_strided",
+        "param N = 512;\narray A[N][N];\narray x[N];\narray y[N];\nout y;\n#pragma scop\nfor (j = 0; j <= N - 1; j++) for (i = 0; i <= N - 1; i++) y[i] += A[i][j] * x[j];\n#pragma endscop\n",
+    ),
+    (
+        "lore_diag_update",
+        "param N = 1024;\narray A[N][N];\narray d[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i][i] = A[i][i] + d[i];\n#pragma endscop\n",
+    ),
+    (
+        "lore_wavefront",
+        "param N = 360;\narray A[N][N];\nout A;\n#pragma scop\nfor (i = 1; i <= N - 1; i++) for (j = 1; j <= N - 1; j++) A[i][j] = A[i - 1][j] + A[i][j - 1];\n#pragma endscop\n",
+    ),
+    (
+        "lore_symmetrize",
+        "param N = 360;\narray A[N][N];\narray S[N][N];\nout S;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= N - 1; j++) S[i][j] = 0.5 * (A[i][j] + A[j][i]);\n#pragma endscop\n",
+    ),
+    (
+        "lore_outer_product",
+        "param N = 512;\narray u[N];\narray v[N];\narray A[N][N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= N - 1; j++) A[i][j] = u[i] * v[j];\n#pragma endscop\n",
+    ),
+    (
+        "lore_rank1_update",
+        "param N = 512;\nparam alpha = 2;\narray u[N];\narray v[N];\narray A[N][N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= N - 1; j++) A[i][j] += alpha * u[i] * v[j];\n#pragma endscop\n",
+    ),
+    (
+        "lore_smooth_time",
+        "param T = 24;\nparam N = 2048;\narray a[N];\narray b[N];\nout a;\n#pragma scop\nfor (t = 0; t <= T - 1; t++) { for (i = 1; i <= N - 2; i++) b[i] = 0.5 * (a[i - 1] + a[i + 1]); for (i = 1; i <= N - 2; i++) a[i] = b[i]; }\n#pragma endscop\n",
+    ),
+    (
+        "lore_energy_reduce",
+        "param N = 512;\ndouble en;\narray vx[N];\narray vy[N];\narray m[N];\narray outv[N];\nout outv;\n#pragma scop\nen = 0.0;\nfor (i = 0; i <= N - 1; i++) en += 0.5 * m[i] * (vx[i] * vx[i] + vy[i] * vy[i]);\nfor (i = 0; i <= N - 1; i++) outv[i] = en * m[i];\n#pragma endscop\n",
+    ),
+    (
+        "lore_crosscorr",
+        "param N = 2048;\nparam LAG = 32;\narray x[N + 32];\narray y[N];\narray rxy[32];\nout rxy;\n#pragma scop\nfor (k = 0; k <= LAG - 1; k++) { rxy[k] = 0.0; for (i = 0; i <= N - 1; i++) rxy[k] += x[i + k] * y[i]; }\n#pragma endscop\n",
+    ),
+    (
+        "lore_pack_even",
+        "param NH = 2048;\narray a[2 * NH];\narray packed[NH];\nout packed;\n#pragma scop\nfor (i = 0; i <= NH - 1; i++) packed[i] = a[2 * i];\n#pragma endscop\n",
+    ),
+    (
+        "lore_scale_shift",
+        "param N = 8192;\nparam alpha = 3;\nparam beta = 7;\narray a[N];\nout a;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) a[i] = alpha * a[i] + beta;\n#pragma endscop\n",
+    ),
+    (
+        "lore_pipeline3",
+        "param N = 4096;\narray a[N];\narray b[N];\narray c[N];\narray d[N];\nout d;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) b[i] = a[i] * 2.0;\nfor (i = 0; i <= N - 1; i++) c[i] = b[i] + 1.0;\nfor (i = 0; i <= N - 1; i++) d[i] = c[i] * c[i];\n#pragma endscop\n",
+    ),
+    (
+        "lore_imperfect_mix",
+        "param N = 360;\narray A[N][N];\narray r[N];\nout r;\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) { r[i] = A[i][0]; for (j = 1; j <= N - 1; j++) { A[i][j] = A[i][j] * 0.5; r[i] += A[i][j]; } A[i][0] = r[i]; }\n#pragma endscop\n",
+    ),
+    (
+        "lore_deep4",
+        "param N = 64;\narray A[N][N][N];\narray B[N][N][N];\nout B;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= N - 1; j++) for (k = 0; k <= N - 1; k++) for (l = 0; l <= 3; l++) B[i][j][k] += A[k][j][i] * 0.25;\n#pragma endscop\n",
+    ),
+    (
+        "lore_small_trip",
+        "param N = 2048;\narray A[N][4];\narray s[N];\nout s;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) { s[i] = 0.0; for (j = 0; j <= 3; j++) s[i] += A[i][j]; }\n#pragma endscop\n",
+    ),
+    (
+        "lore_reverse_copy",
+        "param N = 8192;\narray a[N];\narray b[N];\nout b;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) b[i] = a[N - 1 - i];\n#pragma endscop\n",
+    ),
+    (
+        "lore_checkerboard",
+        "param N = 250;\narray A[N][N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i += 2) for (j = 0; j <= N - 1; j += 2) A[i][j] = A[i][j] * 2.0;\nfor (i = 1; i <= N - 1; i += 2) for (j = 1; j <= N - 1; j += 2) A[i][j] = A[i][j] * 3.0;\n#pragma endscop\n",
+    ),
+    (
+        "lore_border_update",
+        "param N = 512;\narray A[N][N];\nout A;\n#pragma scop\nfor (j = 0; j <= N - 1; j++) A[0][j] = A[0][j] + 1.0;\nfor (j = 0; j <= N - 1; j++) A[N - 1][j] = A[N - 1][j] + 1.0;\nfor (i = 1; i <= N - 2; i++) { A[i][0] = A[i][0] + 1.0; A[i][N - 1] = A[i][N - 1] + 1.0; }\n#pragma endscop\n",
+    ),
+];

@@ -1,0 +1,133 @@
+//! The 30 PolyBench/C 4.2.1 kernels, transcribed into the C subset.
+//!
+//! Problem sizes are chosen per kernel so the machine model simulates
+//! them in bounded time while keeping the working sets much larger than
+//! the modeled caches (the role EXTRALARGE plays on real hardware);
+//! kernels with downward-counting loops in the original source are
+//! rewritten with flipped indexes (`i -> N-1-i`), which preserves the
+//! dependence structure. `fmin`/`fmax` intrinsics stand in for the
+//! data-dependent ternaries of floyd-warshall and nussinov.
+
+/// `(name, source)` for every PolyBench kernel.
+pub const POLYBENCH: &[(&str, &str)] = &[
+    (
+        "gemm",
+        "param NI = 256;\nparam NJ = 256;\nparam NK = 256;\nparam alpha = 2;\nparam beta = 3;\narray C[NI][NJ];\narray A[NI][NK];\narray B[NK][NJ];\nout C;\n#pragma scop\nfor (i = 0; i <= NI - 1; i++) {\n  for (j = 0; j <= NJ - 1; j++) {\n    C[i][j] *= beta;\n  }\n  for (k = 0; k <= NK - 1; k++) {\n    for (j = 0; j <= NJ - 1; j++) {\n      C[i][j] += alpha * A[i][k] * B[k][j];\n    }\n  }\n}\n#pragma endscop\n",
+    ),
+    (
+        "gemver",
+        "param N = 512;\nparam alpha = 2;\nparam beta = 3;\narray A[N][N];\narray u1[N];\narray v1[N];\narray u2[N];\narray v2[N];\narray x[N];\narray y[N];\narray z[N];\narray w[N];\nout w;\nout x;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) {\n  for (j = 0; j <= N - 1; j++) {\n    A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];\n  }\n}\nfor (i = 0; i <= N - 1; i++) {\n  for (j = 0; j <= N - 1; j++) {\n    x[i] = x[i] + beta * A[j][i] * y[j];\n  }\n}\nfor (i = 0; i <= N - 1; i++) {\n  x[i] = x[i] + z[i];\n}\nfor (i = 0; i <= N - 1; i++) {\n  for (j = 0; j <= N - 1; j++) {\n    w[i] = w[i] + alpha * A[i][j] * x[j];\n  }\n}\n#pragma endscop\n",
+    ),
+    (
+        "gesummv",
+        "param N = 512;\nparam alpha = 2;\nparam beta = 3;\narray A[N][N];\narray B[N][N];\narray tmp[N];\narray x[N];\narray y[N];\nout y;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) {\n  tmp[i] = 0.0;\n  y[i] = 0.0;\n  for (j = 0; j <= N - 1; j++) {\n    tmp[i] = A[i][j] * x[j] + tmp[i];\n    y[i] = B[i][j] * x[j] + y[i];\n  }\n  y[i] = alpha * tmp[i] + beta * y[i];\n}\n#pragma endscop\n",
+    ),
+    (
+        "symm",
+        "param M = 192;\nparam N = 192;\nparam alpha = 2;\nparam beta = 3;\ndouble temp2;\narray C[M][N];\narray A[M][M];\narray B[M][N];\nout C;\n#pragma scop\nfor (i = 0; i <= M - 1; i++) {\n  for (j = 0; j <= N - 1; j++) {\n    temp2 = 0.0;\n    for (k = 0; k <= i - 1; k++) {\n      C[k][j] += alpha * B[i][j] * A[i][k];\n      temp2 += B[k][j] * A[i][k];\n    }\n    C[i][j] = beta * C[i][j] + alpha * B[i][j] * A[i][i] + alpha * temp2;\n  }\n}\n#pragma endscop\n",
+    ),
+    (
+        "syr2k",
+        "param N = 256;\nparam M = 256;\nparam alpha = 2;\nparam beta = 3;\narray C[N][N];\narray A[N][M];\narray B[N][M];\nout C;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) {\n  for (j = 0; j <= i; j++) {\n    C[i][j] *= beta;\n  }\n  for (k = 0; k <= M - 1; k++) {\n    for (j = 0; j <= i; j++) {\n      C[i][j] += A[j][k] * alpha * B[i][k] + B[j][k] * alpha * A[i][k];\n    }\n  }\n}\n#pragma endscop\n",
+    ),
+    (
+        "syrk",
+        "param N = 256;\nparam M = 256;\nparam alpha = 2;\nparam beta = 3;\narray C[N][N];\narray A[N][M];\nout C;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) {\n  for (j = 0; j <= i; j++) {\n    C[i][j] *= beta;\n  }\n  for (k = 0; k <= M - 1; k++) {\n    for (j = 0; j <= i; j++) {\n      C[i][j] += alpha * A[i][k] * A[j][k];\n    }\n  }\n}\n#pragma endscop\n",
+    ),
+    (
+        "trmm",
+        "param M = 192;\nparam N = 192;\nparam alpha = 2;\narray A[M][M];\narray B[M][N];\nout B;\n#pragma scop\nfor (i = 0; i <= M - 1; i++) {\n  for (j = 0; j <= N - 1; j++) {\n    for (k = i + 1; k <= M - 1; k++) {\n      B[i][j] += A[k][i] * B[k][j];\n    }\n    B[i][j] = alpha * B[i][j];\n  }\n}\n#pragma endscop\n",
+    ),
+    (
+        "2mm",
+        "param NI = 192;\nparam NJ = 192;\nparam NK = 192;\nparam NL = 192;\nparam alpha = 2;\nparam beta = 3;\narray tmp[NI][NJ];\narray A[NI][NK];\narray B[NK][NJ];\narray C[NJ][NL];\narray D[NI][NL];\nout D;\n#pragma scop\nfor (i = 0; i <= NI - 1; i++) {\n  for (j = 0; j <= NJ - 1; j++) {\n    tmp[i][j] = 0.0;\n    for (k = 0; k <= NK - 1; k++) {\n      tmp[i][j] += alpha * A[i][k] * B[k][j];\n    }\n  }\n}\nfor (i = 0; i <= NI - 1; i++) {\n  for (j = 0; j <= NL - 1; j++) {\n    D[i][j] *= beta;\n    for (k = 0; k <= NJ - 1; k++) {\n      D[i][j] += tmp[i][k] * C[k][j];\n    }\n  }\n}\n#pragma endscop\n",
+    ),
+    (
+        "3mm",
+        "param NI = 160;\nparam NJ = 160;\nparam NK = 160;\nparam NL = 160;\nparam NM = 160;\narray E[NI][NJ];\narray A[NI][NK];\narray B[NK][NJ];\narray F[NJ][NL];\narray C[NJ][NM];\narray D[NM][NL];\narray G[NI][NL];\nout G;\n#pragma scop\nfor (i = 0; i <= NI - 1; i++) {\n  for (j = 0; j <= NJ - 1; j++) {\n    E[i][j] = 0.0;\n    for (k = 0; k <= NK - 1; k++) {\n      E[i][j] += A[i][k] * B[k][j];\n    }\n  }\n}\nfor (i = 0; i <= NJ - 1; i++) {\n  for (j = 0; j <= NL - 1; j++) {\n    F[i][j] = 0.0;\n    for (k = 0; k <= NM - 1; k++) {\n      F[i][j] += C[i][k] * D[k][j];\n    }\n  }\n}\nfor (i = 0; i <= NI - 1; i++) {\n  for (j = 0; j <= NL - 1; j++) {\n    G[i][j] = 0.0;\n    for (k = 0; k <= NJ - 1; k++) {\n      G[i][j] += E[i][k] * F[k][j];\n    }\n  }\n}\n#pragma endscop\n",
+    ),
+    (
+        "atax",
+        "param M = 512;\nparam N = 512;\narray A[M][N];\narray x[N];\narray y[N];\narray tmp[M];\nout y;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) {\n  y[i] = 0.0;\n}\nfor (i = 0; i <= M - 1; i++) {\n  tmp[i] = 0.0;\n  for (j = 0; j <= N - 1; j++) {\n    tmp[i] = tmp[i] + A[i][j] * x[j];\n  }\n  for (j = 0; j <= N - 1; j++) {\n    y[j] = y[j] + A[i][j] * tmp[i];\n  }\n}\n#pragma endscop\n",
+    ),
+    (
+        "bicg",
+        "param M = 512;\nparam N = 512;\narray A[N][M];\narray s[M];\narray q[N];\narray p[M];\narray r[N];\nout s;\nout q;\n#pragma scop\nfor (i = 0; i <= M - 1; i++) {\n  s[i] = 0.0;\n}\nfor (i = 0; i <= N - 1; i++) {\n  q[i] = 0.0;\n  for (j = 0; j <= M - 1; j++) {\n    s[j] = s[j] + r[i] * A[i][j];\n    q[i] = q[i] + A[i][j] * p[j];\n  }\n}\n#pragma endscop\n",
+    ),
+    (
+        "doitgen",
+        "param NR = 64;\nparam NQ = 64;\nparam NP = 64;\narray A[NR][NQ][NP];\narray C4[NP][NP];\narray sum[NP];\nout A;\n#pragma scop\nfor (r = 0; r <= NR - 1; r++) {\n  for (q = 0; q <= NQ - 1; q++) {\n    for (p = 0; p <= NP - 1; p++) {\n      sum[p] = 0.0;\n      for (s = 0; s <= NP - 1; s++) {\n        sum[p] += A[r][q][s] * C4[s][p];\n      }\n    }\n    for (p = 0; p <= NP - 1; p++) {\n      A[r][q][p] = sum[p];\n    }\n  }\n}\n#pragma endscop\n",
+    ),
+    (
+        "mvt",
+        "param N = 512;\narray x1[N];\narray x2[N];\narray y1[N];\narray y2[N];\narray A[N][N];\nout x1;\nout x2;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) {\n  for (j = 0; j <= N - 1; j++) {\n    x1[i] = x1[i] + A[i][j] * y1[j];\n  }\n}\nfor (i = 0; i <= N - 1; i++) {\n  for (j = 0; j <= N - 1; j++) {\n    x2[i] = x2[i] + A[j][i] * y2[j];\n  }\n}\n#pragma endscop\n",
+    ),
+    (
+        "cholesky",
+        "param N = 192;\narray A[N][N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) {\n  for (j = 0; j <= i - 1; j++) {\n    for (k = 0; k <= j - 1; k++) {\n      A[i][j] -= A[i][k] * A[j][k];\n    }\n    A[i][j] = A[i][j] / A[j][j];\n  }\n  for (k = 0; k <= i - 1; k++) {\n    A[i][i] -= A[i][k] * A[i][k];\n  }\n  A[i][i] = sqrt(fabs(A[i][i]) + 1.0);\n}\n#pragma endscop\n",
+    ),
+    (
+        "durbin",
+        "param N = 512;\ndouble alpha_s;\ndouble beta_s;\ndouble sum_s;\narray r[N];\narray y[N];\narray z[N];\nout y;\n#pragma scop\ny[0] = -r[0];\nbeta_s = 1.0;\nalpha_s = -r[0];\nfor (k = 1; k <= N - 1; k++) {\n  beta_s = (1.0 - alpha_s * alpha_s) * beta_s + 0.000001;\n  sum_s = 0.0;\n  for (i = 0; i <= k - 1; i++) {\n    sum_s += r[k - i - 1] * y[i];\n  }\n  alpha_s = -(r[k] + sum_s) / beta_s;\n  for (i = 0; i <= k - 1; i++) {\n    z[i] = y[i] + alpha_s * y[k - i - 1];\n  }\n  for (i = 0; i <= k - 1; i++) {\n    y[i] = z[i];\n  }\n  y[k] = alpha_s;\n}\n#pragma endscop\n",
+    ),
+    (
+        "gramschmidt",
+        "param M = 160;\nparam N = 160;\ndouble nrm;\narray A[M][N];\narray R[N][N];\narray Q[M][N];\nout Q;\nout R;\n#pragma scop\nfor (k = 0; k <= N - 1; k++) {\n  nrm = 0.0;\n  for (i = 0; i <= M - 1; i++) {\n    nrm += A[i][k] * A[i][k];\n  }\n  R[k][k] = sqrt(nrm) + 0.000001;\n  for (i = 0; i <= M - 1; i++) {\n    Q[i][k] = A[i][k] / R[k][k];\n  }\n  for (j = k + 1; j <= N - 1; j++) {\n    R[k][j] = 0.0;\n    for (i = 0; i <= M - 1; i++) {\n      R[k][j] += Q[i][k] * A[i][j];\n    }\n    for (i = 0; i <= M - 1; i++) {\n      A[i][j] = A[i][j] - Q[i][k] * R[k][j];\n    }\n  }\n}\n#pragma endscop\n",
+    ),
+    (
+        "lu",
+        "param N = 192;\narray A[N][N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) {\n  for (j = 0; j <= i - 1; j++) {\n    for (k = 0; k <= j - 1; k++) {\n      A[i][j] -= A[i][k] * A[k][j];\n    }\n    A[i][j] = A[i][j] / (A[j][j] + 1.0);\n  }\n  for (j = i; j <= N - 1; j++) {\n    for (k = 0; k <= i - 1; k++) {\n      A[i][j] -= A[i][k] * A[k][j];\n    }\n  }\n}\n#pragma endscop\n",
+    ),
+    (
+        "ludcmp",
+        "param N = 160;\ndouble w;\narray A[N][N];\narray b[N];\narray x[N];\narray y[N];\nout x;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) {\n  for (j = 0; j <= i - 1; j++) {\n    w = A[i][j];\n    for (k = 0; k <= j - 1; k++) {\n      w -= A[i][k] * A[k][j];\n    }\n    A[i][j] = w / (A[j][j] + 1.0);\n  }\n  for (j = i; j <= N - 1; j++) {\n    w = A[i][j];\n    for (k = 0; k <= i - 1; k++) {\n      w -= A[i][k] * A[k][j];\n    }\n    A[i][j] = w;\n  }\n}\nfor (i = 0; i <= N - 1; i++) {\n  w = b[i];\n  for (j = 0; j <= i - 1; j++) {\n    w -= A[i][j] * y[j];\n  }\n  y[i] = w;\n}\nfor (i = 0; i <= N - 1; i++) {\n  w = y[N - 1 - i];\n  for (j = N - i; j <= N - 1; j++) {\n    w -= A[N - 1 - i][j] * x[j];\n  }\n  x[N - 1 - i] = w / (A[N - 1 - i][N - 1 - i] + 1.0);\n}\n#pragma endscop\n",
+    ),
+    (
+        "trisolv",
+        "param N = 512;\narray L[N][N];\narray x[N];\narray b[N];\nout x;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) {\n  x[i] = b[i];\n  for (j = 0; j <= i - 1; j++) {\n    x[i] -= L[i][j] * x[j];\n  }\n  x[i] = x[i] / (L[i][i] + 1.0);\n}\n#pragma endscop\n",
+    ),
+    (
+        "correlation",
+        "param M = 200;\nparam NP = 220;\nparam float_n = 220;\narray data[NP][M];\narray corr[M][M];\narray mean[M];\narray stddev[M];\nout corr;\n#pragma scop\nfor (j = 0; j <= M - 1; j++) {\n  mean[j] = 0.0;\n  for (i = 0; i <= NP - 1; i++) {\n    mean[j] += data[i][j];\n  }\n  mean[j] = mean[j] / float_n;\n}\nfor (j = 0; j <= M - 1; j++) {\n  stddev[j] = 0.0;\n  for (i = 0; i <= NP - 1; i++) {\n    stddev[j] += (data[i][j] - mean[j]) * (data[i][j] - mean[j]);\n  }\n  stddev[j] = sqrt(stddev[j] / float_n) + 0.000001;\n}\nfor (i = 0; i <= NP - 1; i++) {\n  for (j = 0; j <= M - 1; j++) {\n    data[i][j] = (data[i][j] - mean[j]) / stddev[j];\n  }\n}\nfor (i = 0; i <= M - 2; i++) {\n  corr[i][i] = 1.0;\n  for (j = i + 1; j <= M - 1; j++) {\n    corr[i][j] = 0.0;\n    for (k = 0; k <= NP - 1; k++) {\n      corr[i][j] += data[k][i] * data[k][j];\n    }\n    corr[j][i] = corr[i][j];\n  }\n}\ncorr[M - 1][M - 1] = 1.0;\n#pragma endscop\n",
+    ),
+    (
+        "covariance",
+        "param M = 200;\nparam NP = 220;\nparam float_n = 220;\narray data[NP][M];\narray cov[M][M];\narray mean[M];\nout cov;\n#pragma scop\nfor (j = 0; j <= M - 1; j++) {\n  mean[j] = 0.0;\n  for (i = 0; i <= NP - 1; i++) {\n    mean[j] += data[i][j];\n  }\n  mean[j] = mean[j] / float_n;\n}\nfor (i = 0; i <= NP - 1; i++) {\n  for (j = 0; j <= M - 1; j++) {\n    data[i][j] = data[i][j] - mean[j];\n  }\n}\nfor (i = 0; i <= M - 1; i++) {\n  for (j = i; j <= M - 1; j++) {\n    cov[i][j] = 0.0;\n    for (k = 0; k <= NP - 1; k++) {\n      cov[i][j] += data[k][i] * data[k][j];\n    }\n    cov[i][j] = cov[i][j] / (float_n - 1);\n    cov[j][i] = cov[i][j];\n  }\n}\n#pragma endscop\n",
+    ),
+    (
+        "deriche",
+        "param W = 256;\nparam H = 256;\nparam a1 = 1;\nparam a2 = 1;\ndouble ym1;\ndouble ym2;\ndouble xm1;\narray imgIn[W][H];\narray imgOut[W][H];\narray y1[W][H];\narray y2[W][H];\nout imgOut;\n#pragma scop\nfor (i = 0; i <= W - 1; i++) {\n  ym1 = 0.0;\n  ym2 = 0.0;\n  xm1 = 0.0;\n  for (j = 0; j <= H - 1; j++) {\n    y1[i][j] = a1 * imgIn[i][j] + a2 * xm1 + 0.5 * ym1;\n    xm1 = imgIn[i][j];\n    ym2 = ym1;\n    ym1 = y1[i][j];\n  }\n}\nfor (i = 0; i <= W - 1; i++) {\n  ym1 = 0.0;\n  ym2 = 0.0;\n  for (j = 0; j <= H - 1; j++) {\n    y2[i][H - 1 - j] = a2 * ym1 + 0.25 * ym2;\n    ym2 = ym1;\n    ym1 = y2[i][H - 1 - j];\n  }\n}\nfor (i = 0; i <= W - 1; i++) {\n  for (j = 0; j <= H - 1; j++) {\n    imgOut[i][j] = 0.5 * (y1[i][j] + y2[i][j]);\n  }\n}\n#pragma endscop\n",
+    ),
+    (
+        "floyd-warshall",
+        "param N = 128;\narray path[N][N];\nout path;\n#pragma scop\nfor (k = 0; k <= N - 1; k++) {\n  for (i = 0; i <= N - 1; i++) {\n    for (j = 0; j <= N - 1; j++) {\n      path[i][j] = fmin(path[i][j], path[i][k] + path[k][j]);\n    }\n  }\n}\n#pragma endscop\n",
+    ),
+    (
+        "nussinov",
+        "param N = 180;\narray table[N][N];\narray seq[N];\nout table;\n#pragma scop\nfor (ii = 1; ii <= N - 1; ii++) {\n  for (j = ii; j <= N - 1; j++) {\n    table[N - 1 - ii][j] = fmax(table[N - 1 - ii][j], table[N - 1 - ii][j - 1]);\n    table[N - 1 - ii][j] = fmax(table[N - 1 - ii][j], table[N - ii][j]);\n    table[N - 1 - ii][j] = fmax(table[N - 1 - ii][j], table[N - ii][j - 1] + seq[N - 1 - ii] * seq[j]);\n    for (k = N - ii; k <= j - 1; k++) {\n      table[N - 1 - ii][j] = fmax(table[N - 1 - ii][j], table[N - 1 - ii][k] + table[k + 1][j]);\n    }\n  }\n}\n#pragma endscop\n",
+    ),
+    (
+        "adi",
+        "param T = 8;\nparam N = 200;\narray u[N][N];\narray v[N][N];\narray p[N][N];\narray q[N][N];\nout u;\n#pragma scop\nfor (t = 1; t <= T; t++) {\n  for (i = 1; i <= N - 2; i++) {\n    v[0][i] = 1.0;\n    p[i][0] = 0.0;\n    q[i][0] = v[0][i];\n    for (j = 1; j <= N - 2; j++) {\n      p[i][j] = 0.25 * p[i][j - 1] - 0.125;\n      q[i][j] = (u[j][i - 1] + u[j][i + 1] - u[j][i] + 0.25 * q[i][j - 1]) * 0.5;\n    }\n    v[N - 1][i] = 1.0;\n    for (j = 1; j <= N - 2; j++) {\n      v[N - 1 - j][i] = p[i][N - 1 - j] * v[N - j][i] + q[i][N - 1 - j];\n    }\n  }\n  for (i = 1; i <= N - 2; i++) {\n    u[i][0] = 1.0;\n    p[i][0] = 0.0;\n    q[i][0] = u[i][0];\n    for (j = 1; j <= N - 2; j++) {\n      p[i][j] = 0.25 * p[i][j - 1] - 0.125;\n      q[i][j] = (v[i - 1][j] + v[i + 1][j] - v[i][j] + 0.25 * q[i][j - 1]) * 0.5;\n    }\n    u[i][N - 1] = 1.0;\n    for (j = 1; j <= N - 2; j++) {\n      u[i][N - 1 - j] = p[i][N - 1 - j] * u[i][N - j] + q[i][N - 1 - j];\n    }\n  }\n}\n#pragma endscop\n",
+    ),
+    (
+        "fdtd-2d",
+        "param T = 16;\nparam NX = 200;\nparam NY = 200;\narray ex[NX][NY];\narray ey[NX][NY];\narray hz[NX][NY];\narray fict[T + 1];\nout hz;\n#pragma scop\nfor (t = 0; t <= T - 1; t++) {\n  for (j = 0; j <= NY - 1; j++) {\n    ey[0][j] = fict[t];\n  }\n  for (i = 1; i <= NX - 1; i++) {\n    for (j = 0; j <= NY - 1; j++) {\n      ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i - 1][j]);\n    }\n  }\n  for (i = 0; i <= NX - 1; i++) {\n    for (j = 1; j <= NY - 1; j++) {\n      ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j - 1]);\n    }\n  }\n  for (i = 0; i <= NX - 2; i++) {\n    for (j = 0; j <= NY - 2; j++) {\n      hz[i][j] = hz[i][j] - 0.7 * (ex[i][j + 1] - ex[i][j] + ey[i + 1][j] - ey[i][j]);\n    }\n  }\n}\n#pragma endscop\n",
+    ),
+    (
+        "heat-3d",
+        "param T = 12;\nparam N = 64;\narray A[N][N][N];\narray B[N][N][N];\nout A;\n#pragma scop\nfor (t = 1; t <= T; t++) {\n  for (i = 1; i <= N - 2; i++) {\n    for (j = 1; j <= N - 2; j++) {\n      for (k = 1; k <= N - 2; k++) {\n        B[i][j][k] = 0.125 * (A[i + 1][j][k] - 2.0 * A[i][j][k] + A[i - 1][j][k]) + 0.125 * (A[i][j + 1][k] - 2.0 * A[i][j][k] + A[i][j - 1][k]) + 0.125 * (A[i][j][k + 1] - 2.0 * A[i][j][k] + A[i][j][k - 1]) + A[i][j][k];\n      }\n    }\n  }\n  for (i = 1; i <= N - 2; i++) {\n    for (j = 1; j <= N - 2; j++) {\n      for (k = 1; k <= N - 2; k++) {\n        A[i][j][k] = 0.125 * (B[i + 1][j][k] - 2.0 * B[i][j][k] + B[i - 1][j][k]) + 0.125 * (B[i][j + 1][k] - 2.0 * B[i][j][k] + B[i][j - 1][k]) + 0.125 * (B[i][j][k + 1] - 2.0 * B[i][j][k] + B[i][j][k - 1]) + B[i][j][k];\n      }\n    }\n  }\n}\n#pragma endscop\n",
+    ),
+    (
+        "jacobi-1d",
+        "param T = 64;\nparam N = 4096;\narray A[N];\narray B[N];\nout A;\n#pragma scop\nfor (t = 0; t <= T - 1; t++) {\n  for (i = 1; i <= N - 2; i++) {\n    B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1]);\n  }\n  for (i = 1; i <= N - 2; i++) {\n    A[i] = 0.33333 * (B[i - 1] + B[i] + B[i + 1]);\n  }\n}\n#pragma endscop\n",
+    ),
+    (
+        "jacobi-2d",
+        "param T = 16;\nparam N = 250;\narray A[N][N];\narray B[N][N];\nout A;\n#pragma scop\nfor (t = 0; t <= T - 1; t++) {\n  for (i = 1; i <= N - 2; i++) {\n    for (j = 1; j <= N - 2; j++) {\n      B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][1 + j] + A[1 + i][j] + A[i - 1][j]);\n    }\n  }\n  for (i = 1; i <= N - 2; i++) {\n    for (j = 1; j <= N - 2; j++) {\n      A[i][j] = 0.2 * (B[i][j] + B[i][j - 1] + B[i][1 + j] + B[1 + i][j] + B[i - 1][j]);\n    }\n  }\n}\n#pragma endscop\n",
+    ),
+    (
+        "seidel-2d",
+        "param T = 12;\nparam N = 250;\narray A[N][N];\nout A;\n#pragma scop\nfor (t = 0; t <= T - 1; t++) {\n  for (i = 1; i <= N - 2; i++) {\n    for (j = 1; j <= N - 2; j++) {\n      A[i][j] = (A[i - 1][j - 1] + A[i - 1][j] + A[i - 1][j + 1] + A[i][j - 1] + A[i][j] + A[i][j + 1] + A[i + 1][j - 1] + A[i + 1][j] + A[i + 1][j + 1]) / 9.0;\n    }\n  }\n}\n#pragma endscop\n",
+    ),
+];

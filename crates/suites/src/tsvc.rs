@@ -1,0 +1,322 @@
+//! The SCoP-compatible subset of TSVC (Callahan/Dongarra/Levine),
+//! transcribed into the C subset.
+//!
+//! TSVC's outer repetition loop and `dummy()` calls exist only to make
+//! wall-clock timing stable; they are omitted here (the machine model
+//! needs no repetition). Kernels gated on *data* values (s16x, s27x,
+//! s33x, s34x families) are outside SCoP form — the paper likewise keeps
+//! only 84 of 149 kernels — and downward loops are index-flipped.
+//! 1-D arrays use `N = 8192`; 2-D arrays use `M = 256`.
+
+const HDR1: &str = "param N = 8192;\narray a[N];\narray b[N];\narray c[N];\narray d[N];\narray e[N];\nout a;\n#pragma scop\n";
+const HDR2: &str = "param M = 256;\narray aa[M][M];\narray bb[M][M];\narray cc[M][M];\nout aa;\n#pragma scop\n";
+const END: &str = "#pragma endscop\n";
+
+/// Builds a 1-D kernel source from its body.
+fn k1(body: &str) -> String {
+    format!("{HDR1}{body}{END}")
+}
+
+/// Builds a 2-D kernel source from its body.
+fn k2(body: &str) -> String {
+    format!("{HDR2}{body}{END}")
+}
+
+/// Builds a reduction kernel (scalar output folded into `a[0]`).
+fn kr(body: &str) -> String {
+    format!("param N = 8192;\ndouble sum;\narray a[N];\narray b[N];\narray c[N];\nout a;\n#pragma scop\n{body}{END}")
+}
+
+/// `(name, source)` for every transcribed TSVC kernel.
+pub fn tsvc() -> Vec<(&'static str, String)> {
+    vec![
+        ("s000", k1("for (i = 0; i <= N - 1; i++) a[i] = b[i] + 1.0;\n")),
+        (
+            "s111",
+            k1("for (i = 1; i <= N - 1; i += 2) a[i] = a[i - 1] + b[i];\n"),
+        ),
+        (
+            "s112",
+            // original counts down; flipped index preserves the dependence
+            k1("for (i = 0; i <= N - 2; i++) a[N - 1 - i] = a[N - 2 - i] + b[N - 2 - i];\n"),
+        ),
+        (
+            "s113",
+            k1("for (i = 1; i <= N - 1; i++) a[i] = a[0] + b[i];\n"),
+        ),
+        (
+            "s114",
+            k2("for (i = 0; i <= M - 1; i++) for (j = 0; j <= i - 1; j++) aa[i][j] = aa[j][i] + bb[i][j];\n"),
+        ),
+        (
+            "s115",
+            k2("for (j = 0; j <= M - 1; j++) for (i = j + 1; i <= M - 1; i++) aa[i][0] = aa[i][0] - aa[j][0] * bb[j][i];\n"),
+        ),
+        (
+            "s116",
+            k1("for (i = 0; i <= N - 6; i += 5) { a[i] = a[i + 1] * a[i]; a[i + 1] = a[i + 2] * a[i + 1]; a[i + 2] = a[i + 3] * a[i + 2]; a[i + 3] = a[i + 4] * a[i + 3]; a[i + 4] = a[i + 5] * a[i + 4]; }\n"),
+        ),
+        (
+            "s119",
+            k2("for (i = 1; i <= M - 1; i++) for (j = 1; j <= M - 1; j++) aa[i][j] = aa[i - 1][j - 1] + bb[i][j];\n"),
+        ),
+        (
+            "s121",
+            k1("for (i = 0; i <= N - 2; i++) a[i] = a[i + 1] + b[i];\n"),
+        ),
+        (
+            "s127",
+            "param NH = 4096;\narray a[2 * NH];\narray b[NH];\narray c[NH];\nout a;\n#pragma scop\nfor (i = 0; i <= NH - 2; i++) { a[2 * i] = c[i] + b[i]; a[2 * i + 1] = c[i] * b[i]; }\n#pragma endscop\n".to_string(),
+        ),
+        (
+            "s131",
+            k1("for (i = 0; i <= N - 2; i++) a[i] = a[i + 1] + b[i];\n"),
+        ),
+        (
+            "s132",
+            k2("for (j = 1; j <= M - 1; j++) aa[0][j] = aa[1][j - 1] + bb[0][j];\n"),
+        ),
+        (
+            "s151",
+            k1("for (i = 0; i <= N - 2; i++) a[i] = a[i + 1] + b[i];\n"),
+        ),
+        (
+            "s152",
+            k1("for (i = 0; i <= N - 1; i++) { b[i] = d[i] * e[i]; a[i] = a[i] + b[i] * c[i]; }\n"),
+        ),
+        (
+            "s171",
+            "param NH = 4096;\narray a[2 * NH];\narray b[NH];\nout a;\n#pragma scop\nfor (i = 0; i <= NH - 1; i++) a[i * 2] += b[i];\n#pragma endscop\n".to_string(),
+        ),
+        (
+            "s172",
+            "param NH = 4096;\narray a[2 * NH];\narray b[NH];\nout a;\n#pragma scop\nfor (i = 0; i <= NH - 1; i++) a[2 * i] += b[i];\n#pragma endscop\n".to_string(),
+        ),
+        (
+            "s173",
+            "param NH = 4096;\narray a[2 * NH];\narray b[NH];\nout a;\n#pragma scop\nfor (i = 0; i <= NH - 1; i++) a[i + NH] = a[i] + b[i];\n#pragma endscop\n".to_string(),
+        ),
+        (
+            "s174",
+            "param NH = 4096;\narray a[2 * NH];\narray b[NH];\nout a;\n#pragma scop\nfor (i = 0; i <= NH - 1; i++) a[i + NH] = a[i] + b[i];\n#pragma endscop\n".to_string(),
+        ),
+        (
+            "s175",
+            k1("for (i = 0; i <= N - 3; i += 2) a[i] = a[i + 2] + b[i];\n"),
+        ),
+        (
+            "s176",
+            "param NQ = 128;\narray a[NQ];\narray b[2 * NQ];\narray c[NQ];\nout a;\n#pragma scop\nfor (j = 0; j <= NQ - 1; j++) for (i = 0; i <= NQ - 1; i++) a[i] += b[i + NQ - j - 1] * c[j];\n#pragma endscop\n".to_string(),
+        ),
+        (
+            "s211",
+            k1("for (i = 1; i <= N - 2; i++) { a[i] = b[i - 1] + c[i] * d[i]; b[i] = b[i + 1] - e[i] * d[i]; }\n"),
+        ),
+        (
+            "s212",
+            k1("for (i = 0; i <= N - 2; i++) { a[i] *= c[i]; b[i] += a[i + 1] * d[i]; }\n"),
+        ),
+        (
+            "s221",
+            k1("for (i = 1; i <= N - 1; i++) { a[i] += c[i] * d[i]; b[i] = b[i - 1] + a[i] + d[i]; }\n"),
+        ),
+        (
+            "s222",
+            k1("for (i = 1; i <= N - 1; i++) { a[i] += b[i] * c[i]; e[i] = e[i - 1] * e[i - 1]; a[i] -= b[i] * c[i]; }\n"),
+        ),
+        (
+            "s231",
+            k2("for (i = 0; i <= M - 1; i++) for (j = 1; j <= M - 1; j++) aa[j][i] = aa[j - 1][i] + bb[j][i];\n"),
+        ),
+        (
+            "s232",
+            k2("for (j = 1; j <= M - 1; j++) for (i = 1; i <= j; i++) aa[j][i] = aa[j][i - 1] * aa[j][i - 1] + bb[j][i];\n"),
+        ),
+        (
+            "s233",
+            k2("for (i = 1; i <= M - 1; i++) { for (j = 1; j <= M - 1; j++) aa[j][i] = aa[j - 1][i] + cc[j][i];\n for (j = 1; j <= M - 1; j++) bb[j][i] = bb[j][i - 1] + cc[j][i]; }\n"),
+        ),
+        (
+            "s235",
+            k2("for (i = 0; i <= M - 1; i++) for (j = 1; j <= M - 1; j++) aa[j][i] = aa[j - 1][i] + bb[j][i] * cc[0][i];\n"),
+        ),
+        (
+            "s241",
+            k1("for (i = 0; i <= N - 2; i++) { a[i] = b[i] * c[i] * d[i]; b[i] = a[i] * a[i + 1] * d[i]; }\n"),
+        ),
+        (
+            "s242",
+            k1("for (i = 1; i <= N - 1; i++) a[i] = a[i - 1] + 1.0 + 2.0 + b[i] + c[i];\n"),
+        ),
+        (
+            "s243",
+            k1("for (i = 0; i <= N - 2; i++) { a[i] = b[i] + c[i] * d[i]; b[i] = a[i] + d[i] + e[i]; a[i] = b[i] + a[i + 1] * d[i]; }\n"),
+        ),
+        (
+            "s244",
+            k1("for (i = 0; i <= N - 2; i++) { a[i] = b[i] + c[i] * d[i]; b[i] = c[i] + b[i]; a[i + 1] = b[i] + a[i + 1] * d[i]; }\n"),
+        ),
+        (
+            "s251",
+            "param N = 8192;\ndouble s;\narray a[N];\narray b[N];\narray c[N];\narray d[N];\nout a;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) { s = b[i] + c[i] * d[i]; a[i] = s * s; }\n#pragma endscop\n".to_string(),
+        ),
+        (
+            "s252",
+            "param N = 8192;\ndouble t;\ndouble s;\narray a[N];\narray b[N];\narray c[N];\nout a;\n#pragma scop\nt = 0.0;\nfor (i = 0; i <= N - 1; i++) { s = b[i] * c[i]; a[i] = s + t; t = s; }\n#pragma endscop\n".to_string(),
+        ),
+        (
+            "s254",
+            "param N = 8192;\ndouble x;\narray a[N];\narray b[N];\nout a;\n#pragma scop\nx = b[N - 1];\nfor (i = 0; i <= N - 1; i++) { a[i] = (b[i] + x) * 0.5; x = b[i]; }\n#pragma endscop\n".to_string(),
+        ),
+        (
+            "s255",
+            "param N = 8192;\ndouble x;\ndouble y;\narray a[N];\narray b[N];\nout a;\n#pragma scop\nx = b[N - 1];\ny = b[N - 2];\nfor (i = 0; i <= N - 1; i++) { a[i] = (b[i] + x + y) * 0.333; y = x; x = b[i]; }\n#pragma endscop\n".to_string(),
+        ),
+        (
+            "s256",
+            k2("for (i = 0; i <= M - 1; i++) for (j = 1; j <= M - 1; j++) { aa[j][i] = 1.0 - aa[j - 1][i]; cc[j][i] = aa[j][i] + bb[j][i]; }\n"),
+        ),
+        (
+            "s257",
+            k2("for (i = 1; i <= M - 1; i++) for (j = 0; j <= M - 1; j++) { aa[j][i] = aa[j][i - 1] * aa[j][i]; }\n"),
+        ),
+        (
+            "s261",
+            "param N = 8192;\ndouble t;\narray a[N];\narray b[N];\narray c[N];\narray d[N];\nout a;\n#pragma scop\nfor (i = 1; i <= N - 1; i++) { t = a[i] + b[i]; a[i] = t + c[i - 1]; t = c[i] * d[i]; c[i] = t; }\n#pragma endscop\n".to_string(),
+        ),
+        (
+            "s311",
+            kr("sum = 0.0;\nfor (i = 0; i <= N - 1; i++) sum += a[i];\na[0] = sum;\n"),
+        ),
+        (
+            "s312",
+            kr("sum = 1.0;\nfor (i = 0; i <= N - 1; i++) sum *= (1.0 + a[i] * 0.0001);\na[0] = sum;\n"),
+        ),
+        (
+            "s313",
+            kr("sum = 0.0;\nfor (i = 0; i <= N - 1; i++) sum += a[i] * b[i];\na[0] = sum;\n"),
+        ),
+        (
+            "s314",
+            kr("sum = a[0];\nfor (i = 0; i <= N - 1; i++) sum = fmax(sum, a[i]);\na[0] = sum;\n"),
+        ),
+        (
+            "s316",
+            kr("sum = a[0];\nfor (i = 0; i <= N - 1; i++) sum = fmin(sum, a[i]);\na[0] = sum;\n"),
+        ),
+        (
+            "s319",
+            kr("sum = 0.0;\nfor (i = 0; i <= N - 1; i++) { a[i] = c[i] + b[i]; sum += a[i]; b[i] = c[i] + b[i]; sum += b[i]; }\na[0] = sum;\n"),
+        ),
+        (
+            "s321",
+            k1("for (i = 1; i <= N - 1; i++) a[i] += a[i - 1] * b[i];\n"),
+        ),
+        (
+            "s322",
+            k1("for (i = 2; i <= N - 1; i++) a[i] = a[i] + a[i - 1] * b[i] + a[i - 2] * c[i];\n"),
+        ),
+        (
+            "s323",
+            k1("for (i = 1; i <= N - 1; i++) { a[i] = b[i - 1] + c[i] * d[i]; b[i] = a[i] + c[i] + d[i]; }\n"),
+        ),
+        (
+            "s351",
+            k1("for (i = 0; i <= N - 5; i += 5) { a[i] += 2.0 * b[i]; a[i + 1] += 2.0 * b[i + 1]; a[i + 2] += 2.0 * b[i + 2]; a[i + 3] += 2.0 * b[i + 3]; a[i + 4] += 2.0 * b[i + 4]; }\n"),
+        ),
+        (
+            "s352",
+            kr("sum = 0.0;\nfor (i = 0; i <= N - 5; i += 5) { sum += a[i] * b[i] + a[i + 1] * b[i + 1] + a[i + 2] * b[i + 2] + a[i + 3] * b[i + 3] + a[i + 4] * b[i + 4]; }\na[0] = sum;\n"),
+        ),
+        (
+            "s1112",
+            k1("for (i = 0; i <= N - 1; i++) a[N - 1 - i] = b[N - 1 - i] + 1.0;\n"),
+        ),
+        (
+            "s1115",
+            k2("for (i = 0; i <= M - 1; i++) for (j = 0; j <= M - 1; j++) aa[i][j] = aa[i][j] * cc[j][i] + bb[i][j];\n"),
+        ),
+        (
+            "s1119",
+            k2("for (i = 1; i <= M - 1; i++) for (j = 0; j <= M - 1; j++) aa[i][j] = aa[i - 1][j] + bb[i][j];\n"),
+        ),
+        (
+            "s118",
+            k2("for (i = 1; i <= M - 1; i++) for (j = 0; j <= i - 1; j++) aa[i][0] += bb[i][j] * aa[i - j - 1][0];\n"),
+        ),
+        (
+            "s317",
+            kr("sum = 1.0;\nfor (i = 0; i <= N - 1; i++) sum *= 0.99;\na[0] = sum;\n"),
+        ),
+        (
+            "s421",
+            k1("for (i = 0; i <= N - 2; i++) a[i] = a[i + 1] + b[i];\n"),
+        ),
+        (
+            "s431",
+            k1("for (i = 0; i <= N - 1; i++) a[i] = a[i] + b[i];\n"),
+        ),
+        (
+            "s452",
+            k1("for (i = 0; i <= N - 1; i++) a[i] = b[i] + c[i] * i;\n"),
+        ),
+        (
+            "s453",
+            "param N = 8192;\ndouble s;\narray a[N];\narray b[N];\nout a;\n#pragma scop\ns = 0.0;\nfor (i = 0; i <= N - 1; i++) { s += 2.0; a[i] = s * b[i]; }\n#pragma endscop\n".to_string(),
+        ),
+        (
+            "va",
+            k1("for (i = 0; i <= N - 1; i++) a[i] = b[i];\n"),
+        ),
+        (
+            "s141",
+            k2("for (i = 0; i <= M - 1; i++) for (j = i; j <= M - 1; j++) aa[j][i] = aa[j][i] + bb[j][i];\n"),
+        ),
+        (
+            "s2251",
+            "param N = 8192;\ndouble s;\narray a[N];\narray b[N];\narray c[N];\narray d[N];\narray e[N];\nout a;\n#pragma scop\ns = 0.0;\nfor (i = 0; i <= N - 1; i++) { a[i] = s * e[i]; s = b[i] + c[i]; b[i] = a[i] + d[i]; }\n#pragma endscop\n".to_string(),
+        ),
+        (
+            "s2275",
+            k2("for (i = 0; i <= M - 1; i++) { for (j = 0; j <= M - 1; j++) aa[j][i] = aa[j][i] + bb[j][i] * cc[j][i];\n }\n"),
+        ),
+        (
+            "s125",
+            k2("for (i = 0; i <= M - 1; i++) for (j = 0; j <= M - 1; j++) cc[i][j] = aa[i][j] + bb[i][j] * 2.0;\n"),
+        ),
+        (
+            "s2102",
+            k2("for (i = 0; i <= M - 1; i++) { for (j = 0; j <= M - 1; j++) aa[j][i] = 0.0;\n aa[i][i] = 1.0; }\n"),
+        ),
+        ("vpv", k1("for (i = 0; i <= N - 1; i++) a[i] += b[i];\n")),
+        ("vtv", k1("for (i = 0; i <= N - 1; i++) a[i] *= b[i];\n")),
+        (
+            "vpvtv",
+            k1("for (i = 0; i <= N - 1; i++) a[i] += b[i] * c[i];\n"),
+        ),
+        (
+            "vpvts",
+            "param N = 8192;\nparam s = 3;\narray a[N];\narray b[N];\nout a;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) a[i] += b[i] * s;\n#pragma endscop\n".to_string(),
+        ),
+        (
+            "vpvpv",
+            k1("for (i = 0; i <= N - 1; i++) a[i] += b[i] + c[i];\n"),
+        ),
+        (
+            "vtvtv",
+            k1("for (i = 0; i <= N - 1; i++) a[i] = a[i] * b[i] * c[i];\n"),
+        ),
+        (
+            "vsumr",
+            kr("sum = 0.0;\nfor (i = 0; i <= N - 1; i++) sum += a[i];\na[0] = sum;\n"),
+        ),
+        (
+            "vdotr",
+            kr("sum = 0.0;\nfor (i = 0; i <= N - 1; i++) sum += a[i] * b[i];\na[0] = sum;\n"),
+        ),
+        (
+            "vbor",
+            "param N = 8192;\ndouble s;\narray a[N];\narray b[N];\narray c[N];\narray d[N];\narray e[N];\narray x[N];\nout x;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) { s = b[i] * c[i] + b[i] * d[i] + b[i] * e[i] + c[i] * d[i] + c[i] * e[i] + d[i] * e[i]; x[i] = a[i] * s; }\n#pragma endscop\n".to_string(),
+        ),
+    ]
+}

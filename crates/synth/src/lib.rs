@@ -1,0 +1,28 @@
+//! # looprag-synth
+//!
+//! Dataset synthesis for LOOPRAG: the parameter-driven example-code
+//! generator (Appendix A/B of the paper), the COLA-Gen baseline
+//! generator, loop-property statistics (Figure 9) and the dataset
+//! container with JSON persistence.
+//!
+//! ```
+//! use looprag_synth::{build_dataset, GeneratorKind, SynthConfig};
+//! let cfg = SynthConfig { count: 3, ..Default::default() };
+//! let dataset = build_dataset(&cfg);
+//! assert_eq!(dataset.examples.len(), 3);
+//! assert!(dataset.examples[0].source.contains("#pragma scop"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod generator;
+mod params;
+mod stats;
+
+pub use dataset::{build_dataset, Dataset, ExampleRecord, GeneratorKind, SynthConfig};
+pub use generator::{generate_cola_example, generate_example};
+pub use params::LoopParams;
+pub use stats::{
+    cluster_histogram, clusters, property_stats, spread, LoopPropertyStats, PROPERTY_NAMES,
+};

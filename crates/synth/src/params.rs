@@ -1,0 +1,105 @@
+//! The ten loop parameters of the parameter-driven method (Appendix A).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One sampled configuration of the ten loop parameters.
+///
+/// Each parameter's range matches Appendix A of the paper; a fresh
+/// configuration is drawn per synthesized example, which is what spreads
+/// the loop-property distribution across clusters (Figure 9).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopParams {
+    /// Probability (%) that an inner loop bound references an outer
+    /// iterator; halves at each deeper level. One of {20, 40, 60}.
+    pub iterator_bound: u32,
+    /// Maximum loop depth of the SCoP, in 2..=4.
+    pub loop_depth: usize,
+    /// Maximum number of loop branches per nesting level, in 1..=3.
+    pub statement_index: usize,
+    /// Number of statements, in 1..=6.
+    pub num_statements: usize,
+    /// Maximum absolute dependence distance per dimension, in 1..=2.
+    pub dep_distance: i64,
+    /// Maximum number of WAR/RAW dependences per statement, in 1..=3.
+    pub read_dep: usize,
+    /// Probability (%) of a WAW dependence per statement. One of
+    /// {20, 40, 60}.
+    pub write_dep: u32,
+    /// Number of alternative arrays available per statement, in 1..=3.
+    pub array_list: usize,
+    /// Maximum number of reads per statement. One of {1, 3, 5}.
+    pub read_array: usize,
+    /// Maximum absolute constant coefficient in array indexes, in 1..=2.
+    pub array_indexes: i64,
+}
+
+impl LoopParams {
+    /// Samples a configuration uniformly from the Appendix A ranges.
+    pub fn sample(rng: &mut impl Rng) -> Self {
+        let pct = [20u32, 40, 60];
+        let reads = [1usize, 3, 5];
+        LoopParams {
+            iterator_bound: pct[rng.gen_range(0..3)],
+            loop_depth: rng.gen_range(2..=4),
+            statement_index: rng.gen_range(1..=3),
+            num_statements: rng.gen_range(1..=6),
+            dep_distance: rng.gen_range(1..=2),
+            read_dep: rng.gen_range(1..=3),
+            write_dep: pct[rng.gen_range(0..3)],
+            array_list: rng.gen_range(1..=3),
+            read_array: reads[rng.gen_range(0..3)],
+            array_indexes: rng.gen_range(1..=2),
+        }
+    }
+
+    /// The fixed configuration COLA-Gen's defaults correspond to:
+    /// depth 2, a single statement in a perfect nest, one array read,
+    /// loop-carried dependence only.
+    pub fn cola_gen_defaults() -> Self {
+        LoopParams {
+            iterator_bound: 0,
+            loop_depth: 2,
+            statement_index: 1,
+            num_statements: 1,
+            dep_distance: 1,
+            read_dep: 1,
+            write_dep: 0,
+            array_list: 1,
+            read_array: 1,
+            array_indexes: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_values_stay_in_appendix_a_ranges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let p = LoopParams::sample(&mut rng);
+            assert!([20, 40, 60].contains(&p.iterator_bound));
+            assert!((2..=4).contains(&p.loop_depth));
+            assert!((1..=3).contains(&p.statement_index));
+            assert!((1..=6).contains(&p.num_statements));
+            assert!((1..=2).contains(&p.dep_distance));
+            assert!((1..=3).contains(&p.read_dep));
+            assert!([20, 40, 60].contains(&p.write_dep));
+            assert!((1..=3).contains(&p.array_list));
+            assert!([1, 3, 5].contains(&p.read_array));
+            assert!((1..=2).contains(&p.array_indexes));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = LoopParams::sample(&mut StdRng::seed_from_u64(42));
+        let b = LoopParams::sample(&mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,184 @@
+//! The differential semantics oracle.
+//!
+//! Given an original and a transformed program, [`semantics_preserving`]
+//! executes both on scaled-down parameter bindings (several initial
+//! memory images, plus permuted schedules for parallel-marked loops) and
+//! compares the declared outputs element-wise. It is the transform-time
+//! analogue of the paper's differential testing: cheap, exact on the
+//! sampled inputs, and the final arbiter the auto-optimizer uses before
+//! accepting a recipe.
+
+use looprag_dependence::scaled_params;
+use looprag_exec::{run, ExecConfig, ParallelOrder};
+use looprag_ir::{adaptive_sampling_cap, has_parallel_loop, InitKind, Program};
+
+/// Oracle configuration.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// Parameter cap for the scaled-down runs.
+    pub param_cap: i64,
+    /// Relative tolerance for element comparisons (loop transformations
+    /// may reassociate floating-point reductions).
+    pub rel_eps: f64,
+    /// Statement budget per run.
+    pub stmt_budget: u64,
+    /// Extra initial-value patterns to try beyond the program's own.
+    pub extra_inits: Vec<InitKind>,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            param_cap: 8,
+            rel_eps: 1e-6,
+            stmt_budget: 50_000_000,
+            extra_inits: vec![
+                InitKind::IndexPattern { a: 13, b: 5, m: 101 },
+                InitKind::Constant(1.0),
+            ],
+        }
+    }
+}
+
+/// Clones `p` with each parameter default replaced by its scaled-down
+/// value (order-preserving, capped at `cap`).
+pub fn scaled_clone(p: &Program, cap: i64) -> Program {
+    let scaled = scaled_params(p, cap);
+    let mut out = p.clone();
+    for d in &mut out.params {
+        if let Some(v) = scaled.get(&d.name) {
+            d.value = *v;
+        }
+    }
+    out
+}
+
+fn with_init(p: &Program, init: &InitKind) -> Program {
+    let mut out = p.clone();
+    out.inits = out
+        .arrays
+        .iter()
+        .filter(|a| !a.local)
+        .map(|a| (a.name.clone(), init.clone()))
+        .collect();
+    out
+}
+
+/// True when `candidate` computes the same outputs as `original` on every
+/// sampled configuration, including under permuted parallel schedules.
+///
+/// A `false` result is definitive for the sampled inputs; a `true` result
+/// is strong evidence, not a proof — which mirrors the paper's testing
+/// stance on the undecidable equivalence problem (§4.3).
+pub fn semantics_preserving(original: &Program, candidate: &Program, cfg: &OracleConfig) -> bool {
+    // Widen the sampling cap so tiled candidates exercise at least two
+    // tiles; a tile loop with a single iteration would hide reordering
+    // bugs and illegal parallel marks.
+    let cap = adaptive_sampling_cap(candidate, cfg.param_cap, 3_000_000.0)
+        .max(adaptive_sampling_cap(original, cfg.param_cap, 3_000_000.0));
+    let orig = scaled_clone(original, cap);
+    let cand = scaled_clone(candidate, cap);
+    if orig.outputs != cand.outputs {
+        return false;
+    }
+
+    let mut variants: Vec<(Program, Program)> = vec![(orig.clone(), cand.clone())];
+    for init in &cfg.extra_inits {
+        variants.push((with_init(&orig, init), with_init(&cand, init)));
+    }
+
+    let base_cfg = ExecConfig {
+        stmt_budget: cfg.stmt_budget,
+        parallel_order: ParallelOrder::Forward,
+    };
+    for (o, c) in &variants {
+        let Ok((ostore, _)) = run(o, &base_cfg) else {
+            // The original must execute; if it cannot, nothing is checkable.
+            return false;
+        };
+        let orders: &[ParallelOrder] = if has_parallel_loop(c) {
+            &[
+                ParallelOrder::Forward,
+                ParallelOrder::Reverse,
+                ParallelOrder::EvenOdd,
+            ]
+        } else {
+            &[ParallelOrder::Forward]
+        };
+        for &order in orders {
+            let ccfg = ExecConfig {
+                stmt_budget: cfg.stmt_budget,
+                parallel_order: order,
+            };
+            let Ok((cstore, _)) = run(c, &ccfg) else {
+                return false;
+            };
+            if ostore
+                .element_diff(&cstore, &o.outputs, cfg.rel_eps)
+                .is_some()
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives::{interchange, parallelize, tile_band};
+    use looprag_ir::compile;
+
+    fn gemm_like() -> Program {
+        compile(
+            "param N = 64;\narray C[N][N];\narray A[N][N];\narray B[N][N];\nout C;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= N - 1; j++) for (k = 0; k <= N - 1; k++) C[i][j] += A[i][k] * B[k][j];\n#pragma endscop\n",
+            "gemm",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tiling_preserves_semantics() {
+        let p = gemm_like();
+        let t = tile_band(&p, &[0], 3, 4).unwrap();
+        assert!(semantics_preserving(&p, &t, &OracleConfig::default()));
+    }
+
+    #[test]
+    fn legal_interchange_preserves_semantics() {
+        let p = gemm_like();
+        let t = interchange(&p, &[0]).unwrap();
+        assert!(semantics_preserving(&p, &t, &OracleConfig::default()));
+    }
+
+    #[test]
+    fn legal_parallelization_passes_permutation_check() {
+        let p = gemm_like();
+        let t = parallelize(&p, &[0]).unwrap();
+        assert!(semantics_preserving(&p, &t, &OracleConfig::default()));
+    }
+
+    #[test]
+    fn illegal_parallelization_is_caught() {
+        let p = compile(
+            "param N = 64;\narray A[N];\nout A;\n#pragma scop\nfor (i = 1; i <= N - 1; i++) A[i] = A[i - 1] + 1.0;\n#pragma endscop\n",
+            "rec",
+        )
+        .unwrap();
+        let t = parallelize(&p, &[0]).unwrap();
+        assert!(!semantics_preserving(&p, &t, &OracleConfig::default()));
+    }
+
+    #[test]
+    fn wrong_rewrite_is_caught() {
+        let p = gemm_like();
+        // "Optimize" by dropping the k loop's accumulation semantics.
+        let wrong = compile(
+            "param N = 64;\narray C[N][N];\narray A[N][N];\narray B[N][N];\nout C;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= N - 1; j++) C[i][j] = A[i][j] * B[i][j];\n#pragma endscop\n",
+            "wrong",
+        )
+        .unwrap();
+        assert!(!semantics_preserving(&p, &wrong, &OracleConfig::default()));
+    }
+}

@@ -1,0 +1,830 @@
+//! The loop-transformation primitives.
+//!
+//! Each primitive is *structural*: it checks applicability (shape) and
+//! rewrites the tree, but does not prove semantic legality. Callers
+//! combine them with [`looprag_dependence`] legality queries and/or the
+//! differential [`crate::oracle`].
+
+use looprag_ir::{
+    node_at, node_at_mut, Access, AffineExpr, AssignOp, Bound, CmpOp, Condition, Expr, Loop, Node,
+    Program, Statement,
+};
+use std::fmt;
+
+/// Failure to apply a transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl TransformError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        TransformError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transform error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+type TResult<T> = Result<T, TransformError>;
+
+fn loop_at<'a>(p: &'a Program, path: &[usize]) -> TResult<&'a Loop> {
+    match node_at(&p.body, path) {
+        Some(Node::Loop(l)) => Ok(l),
+        Some(_) => Err(TransformError::new(format!(
+            "node at {path:?} is not a loop"
+        ))),
+        None => Err(TransformError::new(format!("no node at {path:?}"))),
+    }
+}
+
+fn loop_at_mut<'a>(p: &'a mut Program, path: &[usize]) -> TResult<&'a mut Loop> {
+    match node_at_mut(&mut p.body, path) {
+        Some(Node::Loop(l)) => Ok(l),
+        Some(_) => Err(TransformError::new(format!(
+            "node at {path:?} is not a loop"
+        ))),
+        None => Err(TransformError::new(format!("no node at {path:?}"))),
+    }
+}
+
+fn all_symbols(p: &Program) -> Vec<String> {
+    let mut out: Vec<String> = p.params.iter().map(|d| d.name.clone()).collect();
+    out.extend(p.arrays.iter().map(|a| a.name.clone()));
+    fn walk(nodes: &[Node], out: &mut Vec<String>) {
+        for n in nodes {
+            if let Node::Loop(l) = n {
+                out.push(l.iter.clone());
+                walk(&l.body, out);
+            } else {
+                walk(n.children(), out);
+            }
+        }
+    }
+    walk(&p.body, &mut out);
+    out
+}
+
+fn fresh_iter(p: &Program, hint: &str, taken: &mut Vec<String>) -> String {
+    let mut used = all_symbols(p);
+    used.append(&mut taken.clone());
+    let mut k = 1;
+    loop {
+        let cand = format!("{hint}{k}");
+        if !used.iter().any(|s| s == &cand) {
+            taken.push(cand.clone());
+            return cand;
+        }
+        k += 1;
+    }
+}
+
+/// Returns the perfectly nested band of loops starting at `path`, up to
+/// `max_depth` deep: each loop's body must consist of exactly one node,
+/// the next loop (except the innermost).
+pub fn perfect_band(p: &Program, path: &[usize], max_depth: usize) -> TResult<Vec<Loop>> {
+    let mut band = Vec::new();
+    let mut cur = loop_at(p, path)?.clone();
+    loop {
+        band.push(cur.clone());
+        if band.len() == max_depth {
+            break;
+        }
+        if cur.body.len() == 1 {
+            if let Node::Loop(inner) = &cur.body[0] {
+                cur = inner.clone();
+                continue;
+            }
+        }
+        break;
+    }
+    Ok(band)
+}
+
+/// Tiles the perfectly nested band of `depth` loops rooted at `path` with
+/// square tiles of `tile_size`, producing the classic
+/// `(t1..td, i1..id)` structure with `floord`/`min`/`max` bounds.
+///
+/// Single-loop tiling (`depth == 1`) is strip-mining and always legal;
+/// deeper bands reorder execution, so callers must check permutability
+/// (e.g. [`looprag_dependence::DependenceSet::is_interchange_legal`]) or
+/// verify with the oracle.
+///
+/// # Errors
+///
+/// Fails when `path` is not a loop, the band is shallower than `depth`,
+/// a band loop has a non-unit step, or `tile_size < 2`.
+pub fn tile_band(
+    p: &Program,
+    path: &[usize],
+    depth: usize,
+    tile_size: i64,
+) -> TResult<Program> {
+    if tile_size < 2 {
+        return Err(TransformError::new("tile size must be at least 2"));
+    }
+    if depth == 0 {
+        return Err(TransformError::new("tile depth must be at least 1"));
+    }
+    let band = perfect_band(p, path, depth)?;
+    if band.len() < depth {
+        return Err(TransformError::new(format!(
+            "loop nest at {path:?} is only {} deep and perfectly nested; cannot tile {} levels",
+            band.len(),
+            depth
+        )));
+    }
+    for l in &band {
+        if l.step != 1 {
+            return Err(TransformError::new(format!(
+                "cannot tile loop '{}' with step {}",
+                l.iter, l.step
+            )));
+        }
+        if !l.ub_inclusive && !matches!(l.ub, Bound::Affine(_)) {
+            return Err(TransformError::new(format!(
+                "cannot tile loop '{}' with an exclusive min/max/floord bound",
+                l.iter
+            )));
+        }
+    }
+    let innermost_body = band.last().unwrap().body.clone();
+
+    let mut out = p.clone();
+    let mut taken = Vec::new();
+    let tile_iters: Vec<String> = (0..depth)
+        .map(|_| fresh_iter(p, "t", &mut taken))
+        .collect();
+
+    // Point loops, innermost band loop first when building bottom-up.
+    let mut body = innermost_body;
+    for k in (0..depth).rev() {
+        let l = &band[k];
+        let t = AffineExpr::var(tile_iters[k].clone());
+        let tile_lo = Bound::Affine(t.clone() * tile_size);
+        let tile_hi = Bound::Affine(t * tile_size + (tile_size - 1));
+        let mut ub = l.ub.clone();
+        if !l.ub_inclusive {
+            ub = sub_one(ub);
+        }
+        let point = Loop {
+            iter: l.iter.clone(),
+            lb: l.lb.clone().max(tile_lo).simplify(),
+            ub: ub.min(tile_hi).simplify(),
+            ub_inclusive: true,
+            step: 1,
+            parallel: false,
+            body,
+        };
+        body = vec![Node::Loop(point)];
+    }
+
+    // Tile loops, with outer-iterator references replaced by tile corners.
+    for k in (0..depth).rev() {
+        let l = &band[k];
+        let mut lb = l.lb.clone();
+        let mut ub = l.ub.clone();
+        if !l.ub_inclusive {
+            ub = sub_one(ub);
+        }
+        for m in 0..k {
+            let outer = &band[m].iter;
+            let lo = AffineExpr::var(tile_iters[m].clone()) * tile_size;
+            let hi = AffineExpr::var(tile_iters[m].clone()) * tile_size + (tile_size - 1);
+            if lb.uses(outer) {
+                lb = lb.substitute(outer, &lo).min(lb.substitute(outer, &hi));
+            }
+            if ub.uses(outer) {
+                ub = ub.substitute(outer, &lo).max(ub.substitute(outer, &hi));
+            }
+        }
+        let tile = Loop {
+            iter: tile_iters[k].clone(),
+            lb: lb.floor_div(tile_size).simplify(),
+            ub: ub.floor_div(tile_size).simplify(),
+            ub_inclusive: true,
+            step: 1,
+            parallel: false,
+            body,
+        };
+        body = vec![Node::Loop(tile)];
+    }
+
+    let slot = node_at_mut(&mut out.body, path).unwrap();
+    *slot = body.pop().unwrap();
+    out.renumber_statements();
+    Ok(out)
+}
+
+/// `b - 1`, distributing over `min`/`max`. `floord` bounds are rejected
+/// by `tile_band` before this is reached.
+fn sub_one(b: Bound) -> Bound {
+    match b {
+        Bound::Affine(e) => Bound::Affine(e - 1),
+        Bound::Min(a, bb) => Bound::Min(Box::new(sub_one(*a)), Box::new(sub_one(*bb))),
+        Bound::Max(a, bb) => Bound::Max(Box::new(sub_one(*a)), Box::new(sub_one(*bb))),
+        fd @ Bound::FloorDiv(..) => fd,
+    }
+}
+
+/// Interchanges the loop at `path` with its single directly nested loop.
+///
+/// # Errors
+///
+/// Fails when the nest is not a perfect pair or the inner loop's bounds
+/// reference the outer iterator (triangular nests need skewing first).
+pub fn interchange(p: &Program, path: &[usize]) -> TResult<Program> {
+    let outer = loop_at(p, path)?.clone();
+    if outer.body.len() != 1 {
+        return Err(TransformError::new(format!(
+            "loop '{}' does not perfectly nest a single inner loop",
+            outer.iter
+        )));
+    }
+    let Node::Loop(inner) = &outer.body[0] else {
+        return Err(TransformError::new(format!(
+            "loop '{}' has no directly nested loop to interchange with",
+            outer.iter
+        )));
+    };
+    if inner.lb.uses(&outer.iter) || inner.ub.uses(&outer.iter) {
+        return Err(TransformError::new(format!(
+            "bounds of inner loop '{}' depend on outer iterator '{}'",
+            inner.iter, outer.iter
+        )));
+    }
+    let mut new_inner = outer.clone();
+    let mut new_outer = inner.clone();
+    new_inner.body = inner.body.clone();
+    new_inner.parallel = false;
+    new_outer.parallel = false;
+    new_outer.body = vec![Node::Loop(new_inner)];
+    let mut out = p.clone();
+    *node_at_mut(&mut out.body, path).unwrap() = Node::Loop(new_outer);
+    out.renumber_statements();
+    Ok(out)
+}
+
+/// Fuses the two adjacent sibling loops at positions `index` and
+/// `index + 1` of the body addressed by `container` (empty path = SCoP
+/// root). The second loop's iterator is renamed to the first's.
+///
+/// # Errors
+///
+/// Fails when the siblings are not both loops or their bounds/steps
+/// differ. Fusion legality (dependences) must be checked by the caller.
+pub fn fuse(p: &Program, container: &[usize], index: usize) -> TResult<Program> {
+    let body: &[Node] = if container.is_empty() {
+        &p.body
+    } else {
+        match node_at(&p.body, container) {
+            Some(n) => n.children(),
+            None => return Err(TransformError::new(format!("no node at {container:?}"))),
+        }
+    };
+    let (Some(Node::Loop(a)), Some(Node::Loop(b))) = (body.get(index), body.get(index + 1)) else {
+        return Err(TransformError::new(
+            "fusion needs two adjacent sibling loops",
+        ));
+    };
+    if a.step != b.step || a.ub_inclusive != b.ub_inclusive {
+        return Err(TransformError::new(
+            "cannot fuse loops with different steps or bound kinds",
+        ));
+    }
+    let renamed_lb = rename_bound(&b.lb, &b.iter, &a.iter);
+    let renamed_ub = rename_bound(&b.ub, &b.iter, &a.iter);
+    if renamed_lb != a.lb || renamed_ub != a.ub {
+        return Err(TransformError::new(format!(
+            "cannot fuse loops '{}' and '{}' with different bounds",
+            a.iter, b.iter
+        )));
+    }
+    let mut fused = a.clone();
+    let from = b.iter.clone();
+    let to = AffineExpr::var(a.iter.clone());
+    for n in &b.body {
+        fused.body.push(substitute_node(n, &from, &to));
+    }
+    let mut out = p.clone();
+    let body_mut: &mut Vec<Node> = if container.is_empty() {
+        &mut out.body
+    } else {
+        node_at_mut(&mut out.body, container).unwrap().children_mut()
+    };
+    body_mut[index] = Node::Loop(fused);
+    body_mut.remove(index + 1);
+    out.renumber_statements();
+    Ok(out)
+}
+
+fn rename_bound(b: &Bound, from: &str, to: &str) -> Bound {
+    b.substitute(from, &AffineExpr::var(to))
+}
+
+fn substitute_node(n: &Node, from: &str, to: &AffineExpr) -> Node {
+    match n {
+        Node::Stmt(s) => Node::Stmt(s.substitute(from, to)),
+        Node::Loop(l) => {
+            let mut l2 = l.clone();
+            l2.lb = l2.lb.substitute(from, to);
+            l2.ub = l2.ub.substitute(from, to);
+            l2.body = l.body.iter().map(|c| substitute_node(c, from, to)).collect();
+            Node::Loop(l2)
+        }
+        Node::If { conds, then } => Node::If {
+            conds: conds.iter().map(|c| c.substitute(from, to)).collect(),
+            then: then.iter().map(|c| substitute_node(c, from, to)).collect(),
+        },
+    }
+}
+
+/// Distributes the loop at `path` into two loops split before body child
+/// `at` (so children `0..at` stay in the first loop, `at..` move to the
+/// second).
+///
+/// # Errors
+///
+/// Fails when `at` does not split the body into two non-empty halves.
+/// Distribution legality must be checked by the caller (it is illegal when
+/// a dependence flows backward from the second group to the first).
+pub fn distribute(p: &Program, path: &[usize], at: usize) -> TResult<Program> {
+    let l = loop_at(p, path)?.clone();
+    if at == 0 || at >= l.body.len() {
+        return Err(TransformError::new(format!(
+            "cannot split a loop with {} children at position {at}",
+            l.body.len()
+        )));
+    }
+    let mut first = l.clone();
+    let mut second = l.clone();
+    first.body = l.body[..at].to_vec();
+    second.body = l.body[at..].to_vec();
+    let mut out = p.clone();
+    let (last, parent_path) = path.split_last().unwrap();
+    let body_mut: &mut Vec<Node> = if parent_path.is_empty() {
+        &mut out.body
+    } else {
+        node_at_mut(&mut out.body, parent_path)
+            .unwrap()
+            .children_mut()
+    };
+    body_mut[*last] = Node::Loop(first);
+    body_mut.insert(*last + 1, Node::Loop(second));
+    out.renumber_statements();
+    Ok(out)
+}
+
+/// Skews the inner loop of the perfect pair at `path` by `factor`:
+/// the inner iterator `j` becomes `j' = j + factor * i`, enabling
+/// wavefront parallelism on stencil-style nests.
+///
+/// # Errors
+///
+/// Fails when the nest is not a perfect pair, `factor == 0`, or the
+/// inner bounds are not plain affine expressions.
+pub fn skew(p: &Program, path: &[usize], factor: i64) -> TResult<Program> {
+    if factor == 0 {
+        return Err(TransformError::new("skew factor must be non-zero"));
+    }
+    let outer = loop_at(p, path)?.clone();
+    if outer.body.len() != 1 {
+        return Err(TransformError::new(
+            "skewing needs a perfectly nested loop pair",
+        ));
+    }
+    let Node::Loop(inner) = &outer.body[0] else {
+        return Err(TransformError::new(
+            "skewing needs a perfectly nested loop pair",
+        ));
+    };
+    let (Bound::Affine(ilb), Bound::Affine(iub)) = (&inner.lb, &inner.ub) else {
+        return Err(TransformError::new(
+            "cannot skew a loop with min/max/floord bounds",
+        ));
+    };
+    let i = AffineExpr::var(outer.iter.clone());
+    // j' = j + f*i  =>  j = j' - f*i
+    let jp = fresh_iter(p, "c", &mut Vec::new());
+    let j_of_jp = AffineExpr::var(jp.clone()) - i.clone() * factor;
+    let mut new_inner = inner.clone();
+    new_inner.iter = jp.clone();
+    new_inner.lb = Bound::Affine(ilb.clone() + i.clone() * factor);
+    new_inner.ub = Bound::Affine(iub.clone() + i * factor);
+    new_inner.body = inner
+        .body
+        .iter()
+        .map(|n| substitute_node(n, &inner.iter, &j_of_jp))
+        .collect();
+    let mut new_outer = outer.clone();
+    new_outer.body = vec![Node::Loop(new_inner)];
+    let mut out = p.clone();
+    *node_at_mut(&mut out.body, path).unwrap() = Node::Loop(new_outer);
+    out.renumber_statements();
+    Ok(out)
+}
+
+/// Shifts the `stmt_index`-th direct child of the loop at `path` by
+/// `offset` iterations (offset > 0 delays it). The loop range is extended
+/// and both the shifted and unshifted children receive `if` guards, the
+/// form the paper's Listing 5 exhibits.
+///
+/// # Errors
+///
+/// Fails when `path` is not a loop, the child index is out of range,
+/// `offset <= 0`, or the loop bounds are not plain affine.
+pub fn shift(p: &Program, path: &[usize], stmt_index: usize, offset: i64) -> TResult<Program> {
+    if offset <= 0 {
+        return Err(TransformError::new("shift offset must be positive"));
+    }
+    let l = loop_at(p, path)?.clone();
+    if stmt_index >= l.body.len() {
+        return Err(TransformError::new(format!(
+            "loop has {} children; cannot shift child {stmt_index}",
+            l.body.len()
+        )));
+    }
+    let (Bound::Affine(lb), Bound::Affine(ub)) = (&l.lb, &l.ub) else {
+        return Err(TransformError::new(
+            "cannot shift inside a loop with min/max/floord bounds",
+        ));
+    };
+    let ub_incl = if l.ub_inclusive {
+        ub.clone()
+    } else {
+        ub.clone() - 1
+    };
+    let i = AffineExpr::var(l.iter.clone());
+    let mut new_body = Vec::new();
+    for (k, child) in l.body.iter().enumerate() {
+        if k == stmt_index {
+            // Runs during iterations [lb + offset, ub + offset], reading
+            // its original iteration i - offset.
+            let shifted = substitute_node(child, &l.iter, &(i.clone() - offset));
+            new_body.push(Node::If {
+                conds: vec![Condition::new(
+                    i.clone(),
+                    CmpOp::Ge,
+                    lb.clone() + offset,
+                )],
+                then: vec![shifted],
+            });
+        } else {
+            new_body.push(Node::If {
+                conds: vec![Condition::new(i.clone(), CmpOp::Le, ub_incl.clone())],
+                then: vec![child.clone()],
+            });
+        }
+    }
+    let mut new_loop = l.clone();
+    new_loop.ub = Bound::Affine(ub_incl + offset);
+    new_loop.ub_inclusive = true;
+    new_loop.body = new_body;
+    let mut out = p.clone();
+    *node_at_mut(&mut out.body, path).unwrap() = Node::Loop(new_loop);
+    out.renumber_statements();
+    Ok(out)
+}
+
+/// Fuses two adjacent sibling loops whose ranges are offset by a
+/// constant: the second loop's iterator `j` is replaced by `i + c`
+/// (loop *shifting*), after which the bodies share the first loop's
+/// range. This is the shifting pattern of the paper's Listing 5.
+///
+/// # Errors
+///
+/// Fails when the siblings are not loops, have different trip lengths,
+/// or their bounds are not plain affine expressions.
+pub fn shift_fuse(p: &Program, container: &[usize], index: usize) -> TResult<Program> {
+    let body: &[Node] = if container.is_empty() {
+        &p.body
+    } else {
+        match node_at(&p.body, container) {
+            Some(n) => n.children(),
+            None => return Err(TransformError::new(format!("no node at {container:?}"))),
+        }
+    };
+    let (Some(Node::Loop(a)), Some(Node::Loop(b))) = (body.get(index), body.get(index + 1)) else {
+        return Err(TransformError::new(
+            "shift-fusion needs two adjacent sibling loops",
+        ));
+    };
+    if a.step != b.step || a.ub_inclusive != b.ub_inclusive || a.step != 1 {
+        return Err(TransformError::new(
+            "cannot shift-fuse loops with different steps or bound kinds",
+        ));
+    }
+    let (Bound::Affine(alb), Bound::Affine(aub), Bound::Affine(blb), Bound::Affine(bub)) =
+        (&a.lb, &a.ub, &b.lb, &b.ub)
+    else {
+        return Err(TransformError::new(
+            "cannot shift-fuse loops with min/max/floord bounds",
+        ));
+    };
+    let lb_diff = blb.clone() - alb.clone();
+    let ub_diff = bub.clone() - aub.clone();
+    let Some(c) = lb_diff.as_constant() else {
+        return Err(TransformError::new(
+            "loop ranges are not offset by a constant",
+        ));
+    };
+    if ub_diff.as_constant() != Some(c) {
+        return Err(TransformError::new(
+            "loop ranges have different lengths; cannot shift-fuse",
+        ));
+    }
+    if c == 0 {
+        return fuse(p, container, index);
+    }
+    // j = i + c throughout the second body.
+    let mut fused = a.clone();
+    let from = b.iter.clone();
+    let to = AffineExpr::var(a.iter.clone()) + c;
+    for n in &b.body {
+        fused.body.push(substitute_node(n, &from, &to));
+    }
+    let mut out = p.clone();
+    let body_mut: &mut Vec<Node> = if container.is_empty() {
+        &mut out.body
+    } else {
+        node_at_mut(&mut out.body, container).unwrap().children_mut()
+    };
+    body_mut[index] = Node::Loop(fused);
+    body_mut.remove(index + 1);
+    out.renumber_statements();
+    Ok(out)
+}
+
+/// Marks the loop at `path` `#pragma omp parallel for`.
+///
+/// # Errors
+///
+/// Fails when `path` is not a loop. Legality (no carried dependence) must
+/// be checked by the caller.
+pub fn parallelize(p: &Program, path: &[usize]) -> TResult<Program> {
+    let mut out = p.clone();
+    loop_at_mut(&mut out, path)?.parallel = true;
+    Ok(out)
+}
+
+/// Removes a `parallel` mark.
+///
+/// # Errors
+///
+/// Fails when `path` is not a loop.
+pub fn serialize(p: &Program, path: &[usize]) -> TResult<Program> {
+    let mut out = p.clone();
+    loop_at_mut(&mut out, path)?.parallel = false;
+    Ok(out)
+}
+
+/// Rewrites a reduction loop `for k { A[e] += rhs; }` (where `e` does not
+/// use `k`) into `t = A[e]; for k { t += rhs; } A[e] = t;`, introducing a
+/// fresh scalar. This is the auxiliary *scalar renaming* technique the
+/// paper notes LLMs add beyond PLuTo's repertoire (§6.3).
+///
+/// # Errors
+///
+/// Fails when the loop body is not a single compound assignment whose
+/// target is invariant in the loop iterator.
+pub fn scalarize_reduction(p: &Program, path: &[usize]) -> TResult<Program> {
+    let l = loop_at(p, path)?.clone();
+    if l.body.len() != 1 {
+        return Err(TransformError::new(
+            "scalarization needs a single-statement loop body",
+        ));
+    }
+    let Node::Stmt(s) = &l.body[0] else {
+        return Err(TransformError::new(
+            "scalarization needs a single-statement loop body",
+        ));
+    };
+    if !matches!(s.op, AssignOp::AddAssign | AssignOp::MulAssign | AssignOp::SubAssign) {
+        return Err(TransformError::new(
+            "scalarization needs a compound (reduction) assignment",
+        ));
+    }
+    if s.lhs.indexes.iter().any(|e| e.uses(&l.iter)) {
+        return Err(TransformError::new(format!(
+            "target '{}' varies with loop iterator '{}'",
+            s.lhs.array, l.iter
+        )));
+    }
+    let mut out = p.clone();
+    let tname = {
+        let mut taken = Vec::new();
+        fresh_iter(p, "red", &mut taken)
+    };
+    out.arrays.push(looprag_ir::ArrayDecl {
+        name: tname.clone(),
+        dims: Vec::new(),
+        local: true,
+    });
+    let t = Access::scalar(tname);
+    let load = Node::Stmt(Statement::new(
+        t.clone(),
+        AssignOp::Assign,
+        Expr::Access(s.lhs.clone()),
+    ));
+    let mut red_loop = l.clone();
+    red_loop.body = vec![Node::Stmt(Statement::new(t.clone(), s.op, s.rhs.clone()))];
+    let store = Node::Stmt(Statement::new(
+        s.lhs.clone(),
+        AssignOp::Assign,
+        Expr::Access(t),
+    ));
+    let (last, parent_path) = path.split_last().unwrap();
+    let body_mut: &mut Vec<Node> = if parent_path.is_empty() {
+        &mut out.body
+    } else {
+        node_at_mut(&mut out.body, parent_path)
+            .unwrap()
+            .children_mut()
+    };
+    body_mut[*last] = load;
+    body_mut.insert(*last + 1, Node::Loop(red_loop));
+    body_mut.insert(*last + 2, store);
+    out.renumber_statements();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{semantics_preserving, OracleConfig};
+    use looprag_ir::{compile, print_program};
+
+    fn syrk() -> Program {
+        compile(
+            "param N = 32;\nparam M = 32;\nparam alpha = 2;\nparam beta = 3;\narray C[N][N];\narray A[N][M];\nout C;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) {\n  for (j = 0; j <= i; j++) C[i][j] *= beta;\n  for (k = 0; k <= M - 1; k++) for (j = 0; j <= i; j++) C[i][j] += alpha * A[i][k] * A[j][k];\n}\n#pragma endscop\n",
+            "syrk",
+        )
+        .unwrap()
+    }
+
+    fn oracle() -> OracleConfig {
+        OracleConfig::default()
+    }
+
+    #[test]
+    fn strip_mine_single_loop() {
+        let p = compile(
+            "param N = 100;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i] = A[i] + 1.0;\n#pragma endscop\n",
+            "t",
+        )
+        .unwrap();
+        let t = tile_band(&p, &[0], 1, 32).unwrap();
+        let text = print_program(&t);
+        assert!(text.contains("floord(N - 1, 32)"));
+        assert!(text.contains("max(0, 32*t1)"));
+        assert!(text.contains("min(N - 1, 32*t1 + 31)"));
+        assert!(semantics_preserving(&p, &t, &oracle()));
+    }
+
+    #[test]
+    fn tile_triangular_band_like_paper_listing_1() {
+        // Tiling the (i, j) band of syrk's first nest yields t2 <= t1-ish
+        // bounds via corner substitution, as in the paper's Listing 1.
+        let p = compile(
+            "param N = 64;\nparam beta = 3;\narray C[N][N];\nout C;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= i; j++) C[i][j] *= beta;\n#pragma endscop\n",
+            "tri",
+        )
+        .unwrap();
+        let t = tile_band(&p, &[0], 2, 32).unwrap();
+        assert!(semantics_preserving(&p, &t, &oracle()));
+        // Tile loop for j covers 0..t1, exactly the paper's Listing 1 shape.
+        let text = print_program(&t);
+        assert!(text.contains("for (t2 = 0; t2 <= t1; t2++)"), "{text}");
+    }
+
+    #[test]
+    fn tile_rejects_imperfect_nest() {
+        let p = syrk();
+        let err = tile_band(&p, &[0], 2, 32).unwrap_err();
+        assert!(err.message.contains("perfectly nested"), "{}", err.message);
+    }
+
+    #[test]
+    fn interchange_swaps_perfect_pair() {
+        let p = compile(
+            "param N = 16;\nparam M = 24;\narray A[N][M];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= M - 1; j++) A[i][j] = A[i][j] * 2.0;\n#pragma endscop\n",
+            "t",
+        )
+        .unwrap();
+        let t = interchange(&p, &[0]).unwrap();
+        let Node::Loop(outer) = &t.body[0] else { panic!() };
+        assert_eq!(outer.iter, "j");
+        assert!(semantics_preserving(&p, &t, &oracle()));
+    }
+
+    #[test]
+    fn interchange_rejects_triangular() {
+        let p = compile(
+            "param N = 16;\narray A[N][N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= i; j++) A[i][j] = 1.0;\n#pragma endscop\n",
+            "t",
+        )
+        .unwrap();
+        let err = interchange(&p, &[0]).unwrap_err();
+        assert!(err.message.contains("depend on outer iterator"));
+    }
+
+    #[test]
+    fn fuse_adjacent_siblings() {
+        let p = compile(
+            "param N = 16;\narray A[N];\narray B[N];\nout B;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i] = 2.0;\nfor (j = 0; j <= N - 1; j++) B[j] = A[j] + 1.0;\n#pragma endscop\n",
+            "t",
+        )
+        .unwrap();
+        let t = fuse(&p, &[], 0).unwrap();
+        assert_eq!(t.body.len(), 1);
+        let Node::Loop(l) = &t.body[0] else { panic!() };
+        assert_eq!(l.body.len(), 2);
+        // B[j] was renamed to B[i].
+        assert!(print_program(&t).contains("B[i] = A[i] + 1.0;"));
+        assert!(semantics_preserving(&p, &t, &oracle()));
+    }
+
+    #[test]
+    fn fuse_rejects_mismatched_bounds() {
+        let p = compile(
+            "param N = 16;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i] = 2.0;\nfor (j = 0; j <= N - 2; j++) A[j] += 1.0;\n#pragma endscop\n",
+            "t",
+        )
+        .unwrap();
+        assert!(fuse(&p, &[], 0).is_err());
+    }
+
+    #[test]
+    fn distribute_splits_body() {
+        let p = compile(
+            "param N = 16;\narray A[N];\narray B[N];\nout B;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) { A[i] = 2.0; B[i] = A[i] + 1.0; }\n#pragma endscop\n",
+            "t",
+        )
+        .unwrap();
+        let t = distribute(&p, &[0], 1).unwrap();
+        assert_eq!(t.body.len(), 2);
+        assert!(semantics_preserving(&p, &t, &oracle()));
+    }
+
+    #[test]
+    fn skew_enables_wavefront_and_preserves_semantics() {
+        let p = compile(
+            "param N = 16;\narray A[N][N];\nout A;\n#pragma scop\nfor (i = 1; i <= N - 1; i++) for (j = 1; j <= N - 1; j++) A[i][j] = A[i - 1][j] + A[i][j - 1];\n#pragma endscop\n",
+            "t",
+        )
+        .unwrap();
+        let t = skew(&p, &[0], 1).unwrap();
+        assert!(semantics_preserving(&p, &t, &oracle()));
+        let text = print_program(&t);
+        assert!(text.contains("c1 - i"), "{text}");
+    }
+
+    #[test]
+    fn shift_aligns_statements_with_guards() {
+        let p = compile(
+            "param N = 16;\narray A[N + 4];\narray B[N + 4];\nout B;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) { A[i] = 2.0; B[i] = 1.0; }\n#pragma endscop\n",
+            "t",
+        )
+        .unwrap();
+        let t = shift(&p, &[0], 1, 2).unwrap();
+        assert!(semantics_preserving(&p, &t, &oracle()));
+        let text = print_program(&t);
+        assert!(text.contains("if (i >= 2)"), "{text}");
+        assert!(text.contains("B[i - 2] = 1.0;"), "{text}");
+    }
+
+    #[test]
+    fn scalarize_reduction_introduces_temp() {
+        let p = compile(
+            "param N = 16;\nparam M = 16;\narray A[N];\narray B[N][M];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (k = 0; k <= M - 1; k++) A[i] += B[i][k];\n#pragma endscop\n",
+            "t",
+        )
+        .unwrap();
+        let t = scalarize_reduction(&p, &[0, 0]).unwrap();
+        assert!(semantics_preserving(&p, &t, &oracle()));
+        let text = print_program(&t);
+        assert!(text.contains("double red1;"), "{text}");
+        assert!(text.contains("red1 += B[i][k];"), "{text}");
+    }
+
+    #[test]
+    fn parallelize_marks_loop() {
+        let p = compile(
+            "param N = 16;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i] = 1.0;\n#pragma endscop\n",
+            "t",
+        )
+        .unwrap();
+        let t = parallelize(&p, &[0]).unwrap();
+        assert!(print_program(&t).contains("#pragma omp parallel for"));
+        let back = serialize(&t, &[0]).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,56 @@
+//! Explores a synthesized demonstration dataset: Figure-9-style property
+//! distributions, the transformation families the optimizer triggered,
+//! and a printed demonstration pair — the raw material of every prompt.
+//!
+//! ```text
+//! cargo run --release --example dataset_explorer
+//! ```
+
+use looprag::looprag_synth::{
+    build_dataset, cluster_histogram, spread, GeneratorKind, SynthConfig, PROPERTY_NAMES,
+};
+
+fn main() {
+    for kind in [GeneratorKind::ParameterDriven, GeneratorKind::ColaGen] {
+        let dataset = build_dataset(&SynthConfig {
+            count: 100,
+            generator: kind,
+            ..Default::default()
+        });
+        println!("\n==== {kind:?}: {} examples ====", dataset.examples.len());
+
+        let stats: Vec<_> = dataset.examples.iter().map(|e| e.stats.clone()).collect();
+        let hist = cluster_histogram(&stats);
+        println!("{:<12} {:>6} {:>6} {:>6} {:>6}   spread", "property", "A", "B", "C", "D");
+        for (i, name) in PROPERTY_NAMES.iter().enumerate() {
+            println!(
+                "{name:<12} {:>6} {:>6} {:>6} {:>6}   {:.2}",
+                hist[i][0],
+                hist[i][1],
+                hist[i][2],
+                hist[i][3],
+                spread(&hist[i])
+            );
+        }
+
+        let mut families: Vec<String> = dataset
+            .examples
+            .iter()
+            .flat_map(|e| e.families.iter().cloned())
+            .collect();
+        families.sort();
+        families.dedup();
+        println!("families triggered: {}", families.join(", "));
+
+        if let Some(e) = dataset
+            .examples
+            .iter()
+            .find(|e| e.families.len() >= 2)
+            .or_else(|| dataset.examples.first())
+        {
+            println!("\n--- sample example (id {}) ---\n{}", e.id, e.source);
+            println!("--- its optimized version ---\n{}", e.optimized);
+            println!("recipe: {}", e.recipe.join("; "));
+        }
+    }
+}

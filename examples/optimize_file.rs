@@ -1,0 +1,54 @@
+//! A small command-line optimizer: reads a kernel in the C subset from a
+//! file (or optimizes the built-in `jacobi-2d` when no path is given),
+//! runs the full pipeline and prints the best optimized code.
+//!
+//! ```text
+//! cargo run --release --example optimize_file -- path/to/kernel.c
+//! ```
+
+use looprag::looprag_core::{LoopRag, LoopRagConfig};
+use looprag::looprag_ir::{compile, print_program};
+use looprag::looprag_llm::LlmProfile;
+use looprag::looprag_synth::{build_dataset, SynthConfig};
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let (name, source) = match &arg {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            (path.clone(), text)
+        }
+        None => {
+            let b = looprag::looprag_suites::find("jacobi-2d").unwrap();
+            (b.name.clone(), b.source.clone())
+        }
+    };
+
+    let program = match compile(&source, &name) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("compilation failed:\n{e}");
+            std::process::exit(1);
+        }
+    };
+
+    eprintln!("building demonstration dataset...");
+    let dataset = build_dataset(&SynthConfig {
+        count: 80,
+        ..Default::default()
+    });
+    let rag = LoopRag::new(LoopRagConfig::new(LlmProfile::deepseek()), dataset);
+
+    eprintln!("optimizing {name}...");
+    let outcome = rag.optimize(&name, &program);
+    if let Some(best) = &outcome.best {
+        println!("// estimated speedup: {:.2}x", outcome.speedup);
+        println!("{}", print_program(best));
+    } else {
+        println!("// no verified optimization found; original kept");
+        println!("{}", print_program(&program));
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: synthesize a demonstration dataset, build the LOOPRAG
+//! optimizer, and optimize a gemm kernel end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use looprag::looprag_core::{LoopRag, LoopRagConfig};
+use looprag::looprag_ir::print_program;
+use looprag::looprag_llm::LlmProfile;
+use looprag::looprag_synth::{build_dataset, SynthConfig};
+
+fn main() {
+    // 1. A demonstration dataset: synthesized example codes, optimized by
+    //    the polyhedral optimizer, stored with their loop properties.
+    let dataset = build_dataset(&SynthConfig {
+        count: 60,
+        ..Default::default()
+    });
+    println!("dataset: {} demonstration pairs", dataset.examples.len());
+
+    // 2. The optimizer: retrieval + feedback-based iterative generation
+    //    over a (simulated) LLM.
+    let rag = LoopRag::new(LoopRagConfig::new(LlmProfile::deepseek()), dataset);
+
+    // 3. A target kernel.
+    let gemm = looprag::looprag_suites::find("gemm")
+        .expect("gemm is in the PolyBench suite")
+        .program();
+    println!("--- target ---\n{}", print_program(&gemm));
+
+    // 4. Optimize.
+    let outcome = rag.optimize("gemm", &gemm);
+    println!(
+        "passed: {} | estimated speedup: {:.2}x | candidates tried: {}",
+        outcome.passed,
+        outcome.speedup,
+        outcome.candidates.len()
+    );
+    if let Some(best) = &outcome.best {
+        println!("--- best optimized code ---\n{}", print_program(best));
+    }
+}

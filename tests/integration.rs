@@ -1,0 +1,175 @@
+//! Cross-crate integration tests: the full LOOPRAG stack from source
+//! text to verified, scored optimized code.
+
+use looprag::looprag_core::{average_speedup, pass_at_k, LoopRag, LoopRagConfig};
+use looprag::looprag_eqcheck::{build_test_suite, differential_test, EqCheckConfig, TestVerdict};
+use looprag::looprag_ir::{compile, print_program};
+use looprag::looprag_llm::LlmProfile;
+use looprag::looprag_machine::{estimate_cost, MachineConfig};
+use looprag::looprag_polyopt::{optimize, PolyOptions};
+use looprag::looprag_suites::{find, suite, Suite};
+use looprag::looprag_synth::{build_dataset, GeneratorKind, SynthConfig};
+use looprag::looprag_transform::{semantics_preserving, OracleConfig};
+
+fn small_dataset() -> looprag::looprag_synth::Dataset {
+    build_dataset(&SynthConfig {
+        count: 16,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn polyopt_improves_polybench_kernels_under_the_machine_model() {
+    // The polyhedral optimizer must deliver real modeled speedups on the
+    // classic locality kernels, and must never break semantics.
+    let machine = MachineConfig::gcc();
+    let mut wins = 0;
+    for name in ["gemm", "syrk", "2mm", "mvt"] {
+        let p = find(name).unwrap().program();
+        let r = optimize(&p, &PolyOptions::default());
+        assert!(
+            semantics_preserving(&p, &r.program, &OracleConfig::default()),
+            "{name}: polyopt broke semantics"
+        );
+        let base = estimate_cost(&p, &machine).unwrap();
+        if let Ok(opt) = estimate_cost(&r.program, &machine) {
+            if base.speedup_of(&opt) > 2.0 {
+                wins += 1;
+            }
+        }
+    }
+    assert!(wins >= 3, "only {wins}/4 kernels gained >2x from polyopt");
+}
+
+#[test]
+fn pluto_over_tiles_short_tsvc_loops() {
+    // The paper's §6.3 finding: PLuTo's tiling hurts short TSVC kernels.
+    let machine = MachineConfig::gcc();
+    let mut hurt = 0;
+    let mut total = 0;
+    for name in ["vpv", "vpvtv", "s000", "vtvtv"] {
+        let p = find(name).unwrap().program();
+        let base = estimate_cost(&p, &machine).unwrap();
+        // Tiling-only PLuTo (no parallel marks) isolates the tiling cost.
+        let r = optimize(
+            &p,
+            &PolyOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        let Ok(opt) = estimate_cost(&r.program, &machine) else {
+            continue;
+        };
+        total += 1;
+        if opt.cycles > base.cycles {
+            hurt += 1;
+        }
+    }
+    assert!(
+        hurt * 2 >= total,
+        "tiling should hurt most short stream kernels ({hurt}/{total})"
+    );
+}
+
+#[test]
+fn full_pipeline_beats_base_llm_on_polybench_sample() {
+    let dataset = small_dataset();
+    let sample: Vec<_> = ["gemm", "syrk", "mvt", "atax", "jacobi-2d"]
+        .iter()
+        .map(|n| find(n).unwrap())
+        .collect();
+
+    let rag = LoopRag::new(LoopRagConfig::new(LlmProfile::deepseek()), dataset);
+    let mut base_cfg = LoopRagConfig::new(LlmProfile::deepseek());
+    base_cfg.demos = 0;
+    base_cfg.single_shot = true;
+    let base = LoopRag::new(base_cfg, looprag::looprag_synth::Dataset::default());
+
+    let rag_speedups: Vec<f64> = sample
+        .iter()
+        .map(|b| rag.optimize(&b.name, &b.program()).speedup)
+        .collect();
+    let base_speedups: Vec<f64> = sample
+        .iter()
+        .map(|b| base.optimize(&b.name, &b.program()).speedup)
+        .collect();
+    let rag_avg = average_speedup(&rag_speedups);
+    let base_avg = average_speedup(&base_speedups);
+    assert!(
+        rag_avg > base_avg,
+        "LOOPRAG {rag_avg:.2}x should beat base {base_avg:.2}x on {rag_speedups:?} vs {base_speedups:?}"
+    );
+}
+
+#[test]
+fn pipeline_never_outputs_unverified_code() {
+    let dataset = small_dataset();
+    let rag = LoopRag::new(LoopRagConfig::new(LlmProfile::gpt4()), dataset);
+    for b in suite(Suite::Tsvc).into_iter().take(6) {
+        let p = b.program();
+        let outcome = rag.optimize(&b.name, &p);
+        if let Some(best) = &outcome.best {
+            // Re-verify independently of the pipeline's own testing.
+            assert!(
+                semantics_preserving(&p, best, &OracleConfig::default()),
+                "{}: pipeline emitted non-equivalent code:\n{}",
+                b.name,
+                print_program(best)
+            );
+        }
+    }
+}
+
+#[test]
+fn differential_testing_blocks_known_bad_rewrites() {
+    let p = find("jacobi-1d").unwrap().program();
+    let cfg = EqCheckConfig::default();
+    let suite = build_test_suite(&p, &cfg);
+    // Fusing jacobi's two update loops is illegal (B feeds A).
+    let bad = looprag::looprag_transform::fuse(&p, &[0], 0);
+    if let Ok(bad) = bad {
+        assert_ne!(
+            differential_test(&p, &bad, &suite, &cfg),
+            TestVerdict::Pass,
+            "illegal fusion must not pass testing"
+        );
+    }
+}
+
+#[test]
+fn dataset_demonstrations_round_trip_through_prompts() {
+    let dataset = build_dataset(&SynthConfig {
+        count: 6,
+        generator: GeneratorKind::ParameterDriven,
+        ..Default::default()
+    });
+    for e in &dataset.examples {
+        // Every stored text must still compile and the optimized version
+        // must be equivalent to its source.
+        let src = compile(&e.source, "src").expect("stored source compiles");
+        let opt = compile(&e.optimized, "opt").expect("stored optimized compiles");
+        assert!(
+            semantics_preserving(&src, &opt, &OracleConfig::default()),
+            "dataset pair {} is not equivalent", e.id
+        );
+    }
+}
+
+#[test]
+fn metrics_shapes_hold_on_tiny_run() {
+    let dataset = small_dataset();
+    let rag = LoopRag::new(LoopRagConfig::new(LlmProfile::deepseek()), dataset);
+    let kernels: Vec<_> = suite(Suite::Lore).into_iter().take(4).collect();
+    let outcomes: Vec<_> = kernels
+        .iter()
+        .map(|b| rag.optimize(&b.name, &b.program()))
+        .collect();
+    let passes: Vec<bool> = outcomes.iter().map(|o| o.passed).collect();
+    let p = pass_at_k(&passes);
+    assert!((0.0..=100.0).contains(&p));
+    for o in &outcomes {
+        assert!(o.speedup >= 0.0);
+        assert_eq!(o.candidates.len(), 14);
+    }
+}

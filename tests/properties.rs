@@ -1,0 +1,192 @@
+//! Property-based tests over the core data structures and invariants.
+
+use looprag::looprag_dependence::analyze;
+use looprag::looprag_exec::{run, ExecConfig, ParallelOrder};
+use looprag::looprag_ir::{
+    parse_program, print_program, AffineExpr, Bound, CmpOp, Condition,
+};
+use looprag::looprag_retrieval::{Bm25Index, Retriever, RetrievalMode};
+use looprag::looprag_synth::{generate_example, LoopParams};
+use looprag::looprag_transform::{scaled_clone, semantics_preserving, tile_band, OracleConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// ---- affine expression laws ---------------------------------------------
+
+fn affine_strategy() -> impl Strategy<Value = AffineExpr> {
+    let syms = prop::sample::select(vec!["i", "j", "k", "N", "M"]);
+    let term = (syms, -6i64..=6).prop_map(|(s, c)| AffineExpr::scaled_var(s, c));
+    (prop::collection::vec(term, 0..4), -20i64..=20).prop_map(|(terms, c)| {
+        let mut acc = AffineExpr::constant(c);
+        for t in terms {
+            acc = acc + t;
+        }
+        acc
+    })
+}
+
+fn env(i: i64, j: i64, k: i64, n: i64, m: i64) -> impl Fn(&str) -> Option<i64> {
+    move |s| match s {
+        "i" => Some(i),
+        "j" => Some(j),
+        "k" => Some(k),
+        "N" => Some(n),
+        "M" => Some(m),
+        "x" => Some(3),
+        _ => None,
+    }
+}
+
+proptest! {
+    #[test]
+    fn affine_addition_is_homomorphic(a in affine_strategy(), b in affine_strategy(),
+                                      i in -5i64..5, j in -5i64..5) {
+        let e = env(i, j, 2, 10, 7);
+        let sum = a.clone() + b.clone();
+        prop_assert_eq!(sum.eval(&e).unwrap(), a.eval(&e).unwrap() + b.eval(&e).unwrap());
+    }
+
+    #[test]
+    fn affine_substitution_matches_evaluation(a in affine_strategy(),
+                                              r in affine_strategy(),
+                                              i in -5i64..5, j in -5i64..5) {
+        // a[i := r] evaluated == a evaluated with i bound to eval(r)
+        let e = env(i, j, 2, 10, 7);
+        let r_val = r.eval(&e).unwrap();
+        let substituted = a.substitute("i", &r);
+        let e2 = env(r_val, j, 2, 10, 7);
+        prop_assert_eq!(substituted.eval(&e).unwrap(), a.eval(&e2).unwrap());
+    }
+
+    #[test]
+    fn bound_simplify_preserves_value(a in affine_strategy(), b in affine_strategy(),
+                                      d in 1i64..9, i in -5i64..5) {
+        let e = env(i, 1, 2, 10, 7);
+        let bound = Bound::Affine(a).max(Bound::Affine(b)).floor_div(d);
+        prop_assert_eq!(bound.simplify().eval(&e).unwrap(), bound.eval(&e).unwrap());
+    }
+
+    #[test]
+    fn condition_negation_consistency(a in affine_strategy(), b in affine_strategy(),
+                                      i in -5i64..5) {
+        let e = env(i, 0, 1, 8, 8);
+        let lt = Condition::new(a.clone(), CmpOp::Lt, b.clone()).eval(&e).unwrap();
+        let ge = Condition::new(a, CmpOp::Ge, b).eval(&e).unwrap();
+        prop_assert_ne!(lt, ge);
+    }
+}
+
+// ---- generator-driven whole-program properties ---------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every program the parameter-driven generator emits pretty-prints
+    /// to text that parses back to the identical program.
+    #[test]
+    fn printer_parser_round_trip(seed in 0u64..5000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = LoopParams::sample(&mut rng);
+        if let Some(p) = generate_example(&params, 0, &mut rng) {
+            let text = print_program(&p);
+            let back = parse_program(&text, &p.name).expect("printed text parses");
+            prop_assert_eq!(back, p);
+        }
+    }
+
+    /// Strip-mining (depth-1 tiling) never changes semantics, for any
+    /// tile size and any generated example.
+    #[test]
+    fn strip_mining_preserves_semantics(seed in 0u64..2000, tile in 2i64..9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = LoopParams::sample(&mut rng);
+        if let Some(p) = generate_example(&params, 0, &mut rng) {
+            if let Ok(t) = tile_band(&p, &[0], 1, tile) {
+                let oracle = OracleConfig { param_cap: 6, ..Default::default() };
+                prop_assert!(semantics_preserving(&p, &t, &oracle),
+                    "strip-mining broke semantics at tile={tile}:\n{}", print_program(&p));
+            }
+        }
+    }
+
+    /// If the analyzer says the outermost loop is parallel-legal, running
+    /// its iterations in any order gives identical results.
+    #[test]
+    fn parallel_legality_implies_order_independence(seed in 0u64..2000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = LoopParams::sample(&mut rng);
+        if let Some(p) = generate_example(&params, 0, &mut rng) {
+            let deps = analyze(&p);
+            if deps.is_parallel_legal(&[0]) {
+                let marked = looprag::looprag_transform::parallelize(&p, &[0]).unwrap();
+                let small = scaled_clone(&marked, 6);
+                let fwd = run(&small, &ExecConfig::default()).unwrap().0;
+                for order in [ParallelOrder::Reverse, ParallelOrder::EvenOdd] {
+                    let cfg = ExecConfig { parallel_order: order, ..Default::default() };
+                    let alt = run(&small, &cfg).unwrap().0;
+                    prop_assert!(fwd.element_diff(&alt, &small.outputs, 1e-9).is_none(),
+                        "dependence analysis mislabeled a loop as parallel:\n{}",
+                        print_program(&p));
+                }
+            }
+        }
+    }
+
+    /// The interpreter's statement budget is respected: execution never
+    /// reports more statements than the budget allows.
+    #[test]
+    fn budget_is_respected(seed in 0u64..1000, budget in 1u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = LoopParams::sample(&mut rng);
+        if let Some(p) = generate_example(&params, 0, &mut rng) {
+            let small = scaled_clone(&p, 5);
+            let cfg = ExecConfig { stmt_budget: budget, ..Default::default() };
+            match run(&small, &cfg) {
+                Ok((_, stats)) => prop_assert!(stats.stmts_executed <= budget),
+                Err(_) => {}
+            }
+        }
+    }
+}
+
+// ---- retrieval properties -------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A document always retrieves itself first under the loop-aware
+    /// score (self-similarity dominates).
+    #[test]
+    fn self_retrieval_is_top_ranked(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut programs = Vec::new();
+        for id in 0..5 {
+            let params = LoopParams::sample(&mut rng);
+            if let Some(p) = generate_example(&params, id, &mut rng) {
+                programs.push(p);
+            }
+        }
+        if programs.len() >= 2 {
+            let retriever = Retriever::build(programs.iter().enumerate().map(|(i, p)| (i, p)));
+            for (i, p) in programs.iter().enumerate() {
+                let hits = retriever.query(p, RetrievalMode::LoopAware, programs.len());
+                prop_assert!(!hits.is_empty());
+                let top_score = hits[0].1;
+                let own = hits.iter().find(|(id, _)| *id == i).map(|(_, s)| *s).unwrap();
+                prop_assert!(own >= top_score - 1e-9,
+                    "program {i} did not retrieve itself at the top: {hits:?}");
+            }
+        }
+    }
+
+    /// BM25 scores are non-negative and queries never panic.
+    #[test]
+    fn bm25_scores_are_nonnegative(docs in prop::collection::vec("[a-z ]{0,40}", 0..6),
+                                   query in "[a-z ]{0,30}") {
+        let idx = Bm25Index::build(&docs);
+        for s in idx.scores(&query) {
+            prop_assert!(s >= 0.0);
+        }
+    }
+}
