@@ -11,10 +11,7 @@ use looprag_synth::{build_dataset, Dataset, GeneratorKind, SynthConfig};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let path = args.first().map(String::as_str).unwrap_or("dataset.json");
-    let count: usize = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200);
+    let count: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200);
     let generator = if args.iter().any(|a| a == "cola") {
         GeneratorKind::ColaGen
     } else {

@@ -70,10 +70,21 @@ pub fn table1(h: &Harness) {
         "{:<14}| {:^16} | {:^16} | {:^16}",
         "", "PolyBench", "TSVC", "LORE"
     );
-    println!("{:<14}| pass@k  speedup | pass@k  speedup | pass@k  speedup", "");
+    println!(
+        "{:<14}| pass@k  speedup | pass@k  speedup | pass@k  speedup",
+        ""
+    );
     println!("{:-<68}", "");
-    println!("{:<14}|{}", "LD-GCC", row(h, &h.looprag_arm("deepseek", "gcc")));
-    println!("{:<14}|{}", "LG-GCC", row(h, &h.looprag_arm("gpt-4", "gcc")));
+    println!(
+        "{:<14}|{}",
+        "LD-GCC",
+        row(h, &h.looprag_arm("deepseek", "gcc"))
+    );
+    println!(
+        "{:<14}|{}",
+        "LG-GCC",
+        row(h, &h.looprag_arm("gpt-4", "gcc"))
+    );
     // Graphite: excluded from TSVC (dummy-function SCoP detection).
     {
         let mut cells = Vec::new();
@@ -91,8 +102,16 @@ pub fn table1(h: &Harness) {
         }
         println!("{:<14}|{}", "Graphite", cells.join(" |"));
     }
-    println!("{:<14}|{}", "LD-Clang", row(h, &h.looprag_arm("deepseek", "clang")));
-    println!("{:<14}|{}", "LG-Clang", row(h, &h.looprag_arm("gpt-4", "clang")));
+    println!(
+        "{:<14}|{}",
+        "LD-Clang",
+        row(h, &h.looprag_arm("deepseek", "clang"))
+    );
+    println!(
+        "{:<14}|{}",
+        "LG-Clang",
+        row(h, &h.looprag_arm("gpt-4", "clang"))
+    );
     {
         let mut cells = Vec::new();
         for s in SUITES {
@@ -121,8 +140,16 @@ pub fn table1(h: &Harness) {
         }
         println!("{:<14}|{}", "Perspective", cells.join(" |"));
     }
-    println!("{:<14}|{}", "LD-ICX", row(h, &h.looprag_arm("deepseek", "icx")));
-    println!("{:<14}|{}", "LG-ICX", row(h, &h.looprag_arm("gpt-4", "icx")));
+    println!(
+        "{:<14}|{}",
+        "LD-ICX",
+        row(h, &h.looprag_arm("deepseek", "icx"))
+    );
+    println!(
+        "{:<14}|{}",
+        "LG-ICX",
+        row(h, &h.looprag_arm("gpt-4", "icx"))
+    );
 }
 
 /// Figure 6: percentage of kernels where LOOPRAG beats each compiler.
@@ -311,8 +338,16 @@ pub fn table4(h: &Harness) {
     for f in all {
         println!(
             "{f:<14} {:^8} {:^8}",
-            if pd.iter().any(|x| x == f) { "yes" } else { "no" },
-            if cg.iter().any(|x| x == f) { "yes" } else { "no" }
+            if pd.iter().any(|x| x == f) {
+                "yes"
+            } else {
+                "no"
+            },
+            if cg.iter().any(|x| x == f) {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
 }
@@ -346,7 +381,10 @@ pub fn table5_fig10(h: &Harness) {
         };
         let a = speedups(&h.pipeline(&pd_arm, s));
         let b = speedups(&h.pipeline(&cola_arm, s));
-        println!("{s:<10}  LD(pd) vs LD(cola) {:5.1}%", percent_faster(&a, &b));
+        println!(
+            "{s:<10}  LD(pd) vs LD(cola) {:5.1}%",
+            percent_faster(&a, &b)
+        );
     }
 }
 
@@ -517,8 +555,7 @@ pub fn ablation_tile(_h: &Harness) {
 pub fn ablation_demos(h: &Harness) {
     println!("\n=== Ablation: demonstrations per prompt (PolyBench, LD) ===");
     for demos in [0usize, 1, 3, 5] {
-        let mut cfg =
-            looprag_core::LoopRagConfig::new(looprag_llm::LlmProfile::deepseek());
+        let mut cfg = looprag_core::LoopRagConfig::new(looprag_llm::LlmProfile::deepseek());
         cfg.demos = demos;
         let rag = looprag_core::LoopRag::new(cfg, h.dataset.clone());
         let kernels = h.kernels(Suite::PolyBench);
@@ -552,15 +589,12 @@ pub fn ablation_penalty(h: &Harness) {
             symmetric_penalty: symmetric,
             ..Default::default()
         };
-        let retriever =
-            Retriever::with_weights(programs.iter().map(|(i, p)| (*i, p)), weights);
+        let retriever = Retriever::with_weights(programs.iter().map(|(i, p)| (*i, p)), weights);
         let mut covered = 0usize;
         let mut wanted = 0usize;
         for b in h.kernels(Suite::PolyBench).iter().take(10) {
             let target = b.program();
-            let target_fams = optimize(&target, &PolyOptions::default())
-                .recipe
-                .families();
+            let target_fams = optimize(&target, &PolyOptions::default()).recipe.families();
             if target_fams.is_empty() {
                 continue;
             }

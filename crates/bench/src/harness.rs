@@ -86,7 +86,7 @@ impl Default for EvalOptions {
         EvalOptions {
             dataset_size: 160,
             kernel_stride: 1,
-            seed: 0xA5F0_0D5,
+            seed: 0x0A5F_00D5,
         }
     }
 }
@@ -256,7 +256,12 @@ impl Harness {
     }
 
     /// A compiler baseline over a suite.
-    pub fn compiler(&self, which: Suite, baseline: CompilerBaseline, machine: &str) -> Vec<KernelResult> {
+    pub fn compiler(
+        &self,
+        which: Suite,
+        baseline: CompilerBaseline,
+        machine: &str,
+    ) -> Vec<KernelResult> {
         let key = format!("{baseline}/{machine}/{which}");
         if let Some(hit) = self.cache.lock().unwrap().get(&key) {
             return hit.clone();

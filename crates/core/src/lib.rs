@@ -21,12 +21,8 @@
 mod metrics;
 mod pipeline;
 
-pub use metrics::{
-    average_speedup, candidate_speedup, pass_at_k, percent_faster, OUTLIER_SPEEDUP,
-};
-pub use pipeline::{
-    CandidateReport, LoopRag, LoopRagConfig, OptimizationOutcome, StepTrace,
-};
+pub use metrics::{average_speedup, candidate_speedup, pass_at_k, percent_faster, OUTLIER_SPEEDUP};
+pub use pipeline::{CandidateReport, LoopRag, LoopRagConfig, OptimizationOutcome, StepTrace};
 
 #[cfg(test)]
 mod tests {

@@ -78,7 +78,11 @@ pub fn pass_at_k(passed: &[bool]) -> f64 {
 /// Percentage of kernels where `ours` strictly beats `theirs`
 /// (pairwise, same kernel order).
 pub fn percent_faster(ours: &[f64], theirs: &[f64]) -> f64 {
-    assert_eq!(ours.len(), theirs.len(), "pairwise comparison needs equal lengths");
+    assert_eq!(
+        ours.len(),
+        theirs.len(),
+        "pairwise comparison needs equal lengths"
+    );
     if ours.is_empty() {
         return 0.0;
     }

@@ -164,7 +164,11 @@ impl LoopRag {
     }
 
     /// Retrieves top-N and samples the prompt demonstrations.
-    fn demonstrations(&self, target: &Program, rng: &mut StdRng) -> (Vec<Demonstration>, Vec<usize>) {
+    fn demonstrations(
+        &self,
+        target: &Program,
+        rng: &mut StdRng,
+    ) -> (Vec<Demonstration>, Vec<usize>) {
         if self.dataset.examples.is_empty() || self.config.demos == 0 {
             return (Vec::new(), Vec::new());
         }
@@ -337,18 +341,20 @@ impl LoopRag {
 
         // Step 2: test the (possibly repaired) batch and rank.
         self.test_batch(target, &orig_cost, &suite, &mut batch1, deadline);
-        let mut steps = StepTrace::default();
-        steps.pass_step1 = batch1
-            .iter()
-            .any(|(r, _)| r.compiled && !r.repaired && r.verdict == Some(TestVerdict::Pass));
-        steps.pass_step2 = batch1
-            .iter()
-            .any(|(r, _)| r.verdict == Some(TestVerdict::Pass));
-        steps.best_speedup_step2 = batch1
-            .iter()
-            .filter(|(r, _)| r.verdict == Some(TestVerdict::Pass))
-            .map(|(r, _)| r.speedup)
-            .fold(0.0, f64::max);
+        let mut steps = StepTrace {
+            pass_step1: batch1
+                .iter()
+                .any(|(r, _)| r.compiled && !r.repaired && r.verdict == Some(TestVerdict::Pass)),
+            pass_step2: batch1
+                .iter()
+                .any(|(r, _)| r.verdict == Some(TestVerdict::Pass)),
+            best_speedup_step2: batch1
+                .iter()
+                .filter(|(r, _)| r.verdict == Some(TestVerdict::Pass))
+                .map(|(r, _)| r.speedup)
+                .fold(0.0, f64::max),
+            ..StepTrace::default()
+        };
 
         if self.config.single_shot {
             let best = batch1

@@ -352,7 +352,12 @@ impl Tracer {
         for r in s.reads() {
             if let Some(key) = self.flat_key(&r) {
                 let array = key.0.clone();
-                let last_write = self.cells.entry(key.clone()).or_default().last_write.clone();
+                let last_write = self
+                    .cells
+                    .entry(key.clone())
+                    .or_default()
+                    .last_write
+                    .clone();
                 if let Some(w) = last_write {
                     self.record_edge(&w, &inst, &array, DepKind::Raw);
                 }

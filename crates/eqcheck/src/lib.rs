@@ -119,7 +119,11 @@ pub fn seed_inputs(p: &Program) -> Vec<InputSpec> {
     let names = array_names(p);
     let patterns = [
         InitKind::default_pattern(),
-        InitKind::IndexPattern { a: 31, b: 7, m: 113 },
+        InitKind::IndexPattern {
+            a: 31,
+            b: 7,
+            m: 113,
+        },
         InitKind::Constant(1.0),
         InitKind::Zero,
     ];
@@ -142,9 +146,9 @@ pub fn mutate_input(spec: &InputSpec, rng: &mut StdRng) -> InputSpec {
             let k = rng.gen_range(0..out.len());
             out[k].1 = match &out[k].1 {
                 InitKind::IndexPattern { a, b, m } => InitKind::IndexPattern {
-                    a: a + rng.gen_range(1..7),
-                    b: b + rng.gen_range(0..5),
-                    m: (m + rng.gen_range(0..17)).max(2),
+                    a: a + rng.gen_range(1..7i64),
+                    b: b + rng.gen_range(0..5i64),
+                    m: (m + rng.gen_range(0..17i64)).max(2),
                 },
                 InitKind::Constant(c) => InitKind::Constant(c + rng.gen_range(-3..=3) as f64),
                 InitKind::Zero => InitKind::Constant(rng.gen_range(-2..=2) as f64),
@@ -302,9 +306,7 @@ pub fn differential_test(
             };
             if !checksum_ok {
                 return TestVerdict::IncorrectAnswer {
-                    detail: format!(
-                        "checksum mismatch: expected {expected_sum}, got {got_sum}"
-                    ),
+                    detail: format!("checksum mismatch: expected {expected_sum}, got {got_sum}"),
                 };
             }
             // Element-wise testing: the precise comparison.
@@ -438,7 +440,10 @@ mod tests {
             ..Default::default()
         };
         let suite = build_test_suite(&p, &cfg);
-        assert_eq!(differential_test(&p, &slow, &suite, &cfg), TestVerdict::Timeout);
+        assert_eq!(
+            differential_test(&p, &slow, &suite, &cfg),
+            TestVerdict::Timeout
+        );
     }
 
     #[test]

@@ -482,9 +482,7 @@ mod tests {
         )
         .unwrap()
         .0;
-        assert!(fwd
-            .element_diff(&rev, &["A".to_string()], 1e-9)
-            .is_some());
+        assert!(fwd.element_diff(&rev, &["A".to_string()], 1e-9).is_some());
     }
 
     #[test]
@@ -506,7 +504,10 @@ mod tests {
             "param N = 4;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i] += 1.0;\n#pragma endscop\n",
         );
         let mut store = ArrayStore::from_program(&p);
-        let mut c = Counter { reads: 0, writes: 0 };
+        let mut c = Counter {
+            reads: 0,
+            writes: 0,
+        };
         run_with_store(&p, &mut store, &ExecConfig::default(), Some(&mut c)).unwrap();
         assert_eq!(c.writes, 4);
         assert_eq!(c.reads, 4); // compound assignment reads the target

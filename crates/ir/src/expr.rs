@@ -720,21 +720,25 @@ impl Expr {
     }
 
     /// `a + b`
+    #[allow(clippy::should_implement_trait)] // constructor over two operands, not `self`
     pub fn add(a: Expr, b: Expr) -> Expr {
         Expr::Binary(BinOp::Add, Box::new(a), Box::new(b))
     }
 
     /// `a - b`
+    #[allow(clippy::should_implement_trait)] // constructor over two operands, not `self`
     pub fn sub(a: Expr, b: Expr) -> Expr {
         Expr::Binary(BinOp::Sub, Box::new(a), Box::new(b))
     }
 
     /// `a * b`
+    #[allow(clippy::should_implement_trait)] // constructor over two operands, not `self`
     pub fn mul(a: Expr, b: Expr) -> Expr {
         Expr::Binary(BinOp::Mul, Box::new(a), Box::new(b))
     }
 
     /// `a / b`
+    #[allow(clippy::should_implement_trait)] // constructor over two operands, not `self`
     pub fn div(a: Expr, b: Expr) -> Expr {
         Expr::Binary(BinOp::Div, Box::new(a), Box::new(b))
     }

@@ -41,9 +41,7 @@ mod program;
 mod schedule;
 mod validate;
 
-pub use expr::{
-    Access, AffineExpr, AssignOp, BinOp, Bound, CmpOp, Condition, Expr, MathFn,
-};
+pub use expr::{Access, AffineExpr, AssignOp, BinOp, Bound, CmpOp, Condition, Expr, MathFn};
 pub use lexer::{lex, LexError, Pos, Tok, Token};
 pub use parser::{parse_program, ParseError};
 pub use printer::{print_program, print_scop};

@@ -176,7 +176,9 @@ impl Parser {
                     }
                 }
                 Some(Tok::Slash) => {
-                    return self.err("division is not allowed in affine expressions (use floord in loop bounds)");
+                    return self.err(
+                        "division is not allowed in affine expressions (use floord in loop bounds)",
+                    );
                 }
                 _ => return Ok(acc),
             }
@@ -570,8 +572,7 @@ impl Parser {
                 }
                 Some(Tok::PragmaScop) => break,
                 Some(t) => {
-                    let msg =
-                        format!("expected declaration or '#pragma scop', found {t}");
+                    let msg = format!("expected declaration or '#pragma scop', found {t}");
                     return self.err(msg);
                 }
                 None => return self.err("expected '#pragma scop', found end of input"),

@@ -123,7 +123,8 @@ mod tests {
             name: "N".into(),
             value: 4,
         });
-        p.arrays.push(ArrayDecl::new("A", vec![AffineExpr::var("N")]));
+        p.arrays
+            .push(ArrayDecl::new("A", vec![AffineExpr::var("N")]));
         p.outputs.push("A".into());
         p.body = vec![Node::Loop(l)];
         let text = print_program(&p);

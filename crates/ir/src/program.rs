@@ -533,7 +533,7 @@ pub fn node_at<'a>(body: &'a [Node], path: &[usize]) -> Option<&'a Node> {
 }
 
 /// Returns the node at `path` mutably, or `None` when the path is invalid.
-pub fn node_at_mut<'a>(body: &'a mut Vec<Node>, path: &[usize]) -> Option<&'a mut Node> {
+pub fn node_at_mut<'a>(body: &'a mut [Node], path: &[usize]) -> Option<&'a mut Node> {
     let (&first, rest) = path.split_first()?;
     let node = body.get_mut(first)?;
     if rest.is_empty() {
@@ -610,7 +610,8 @@ mod tests {
             "A",
             vec![AffineExpr::var("N"), AffineExpr::var("N")],
         ));
-        p.arrays.push(ArrayDecl::new("B", vec![AffineExpr::var("N")]));
+        p.arrays
+            .push(ArrayDecl::new("B", vec![AffineExpr::var("N")]));
         p.outputs.push("A".into());
         p.body = vec![il];
         p.renumber_statements();
@@ -669,7 +670,10 @@ mod tests {
     #[test]
     fn referenced_arrays_dedup() {
         let p = small_program();
-        assert_eq!(p.referenced_arrays(), vec!["A".to_string(), "B".to_string()]);
+        assert_eq!(
+            p.referenced_arrays(),
+            vec!["A".to_string(), "B".to_string()]
+        );
     }
 
     #[test]

@@ -118,8 +118,7 @@ impl<'a> Checker<'a> {
 
     fn check_affine(&mut self, e: &AffineExpr, iters: &[String], what: &str) {
         for sym in e.symbols() {
-            let declared =
-                self.params.contains(sym) || iters.iter().any(|i| i == sym);
+            let declared = self.params.contains(sym) || iters.iter().any(|i| i == sym);
             if !declared {
                 self.diag(format!("use of undeclared identifier '{sym}' in {what}"));
             }
@@ -130,8 +129,7 @@ impl<'a> Checker<'a> {
         let mut syms = Vec::new();
         b.collect_symbols(&mut syms);
         for sym in syms {
-            let declared =
-                self.params.contains(sym.as_str()) || iters.iter().any(|i| i == &sym);
+            let declared = self.params.contains(sym.as_str()) || iters.iter().any(|i| i == &sym);
             if !declared {
                 self.diag(format!("use of undeclared identifier '{sym}' in {what}"));
             }
@@ -164,8 +162,7 @@ impl<'a> Checker<'a> {
             Expr::Num(_) => {}
             Expr::Access(a) => self.check_access(a, iters),
             Expr::Sym(s) => {
-                let declared = self.params.contains(s.as_str())
-                    || iters.iter().any(|i| i == s);
+                let declared = self.params.contains(s.as_str()) || iters.iter().any(|i| i == s);
                 if !declared {
                     self.diag(format!("use of undeclared identifier '{s}'"));
                 }

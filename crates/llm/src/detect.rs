@@ -18,9 +18,7 @@ fn max_stmts_in_one_loop(p: &Program) -> usize {
                     .iter()
                     .filter(|c| match c {
                         Node::Stmt(_) => true,
-                        Node::If { then, .. } => {
-                            then.iter().any(|t| matches!(t, Node::Stmt(_)))
-                        }
+                        Node::If { then, .. } => then.iter().any(|t| matches!(t, Node::Stmt(_))),
                         Node::Loop(_) => false,
                     })
                     .count();
@@ -78,12 +76,9 @@ fn has_multi_iter_subscript(p: &Program) -> bool {
         let mut accs = s.reads();
         accs.push(s.lhs.clone());
         accs.iter().any(|a| {
-            a.indexes.iter().any(|e| {
-                e.symbols()
-                    .filter(|sym| !param_names.contains(sym))
-                    .count()
-                    >= 2
-            })
+            a.indexes
+                .iter()
+                .any(|e| e.symbols().filter(|sym| !param_names.contains(sym)).count() >= 2)
         })
     })
 }

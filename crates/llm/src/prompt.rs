@@ -94,8 +94,7 @@ impl Prompt {
                     "The above examples are optimized by LLMs using meaning-preserving loop transformation methods. Available examples pass compilation, execution and equivalence checks; failed examples do not. Here is the original code:\n{}",
                     self.target
                 );
-                let ranked: Vec<String> =
-                    available.iter().map(|(i, _)| i.to_string()).collect();
+                let ranked: Vec<String> = available.iter().map(|(i, _)| i.to_string()).collect();
                 let _ = writeln!(
                     out,
                     "Performance rank result (\">\" means better than): {}",

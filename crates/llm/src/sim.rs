@@ -18,9 +18,7 @@ use looprag_ir::{
     loop_paths, node_at, parse_program, print_program, Bound, Node, NodePath, Program,
 };
 use looprag_retrieval::{extract_features, weighted_score, LaWeights};
-use looprag_transform::{
-    perfect_band, semantics_preserving, Family, OracleConfig, Step,
-};
+use looprag_transform::{perfect_band, semantics_preserving, Family, OracleConfig, Step};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -175,11 +173,7 @@ impl SimLlm {
     /// paper's pass@k sits well below 100% on PolyBench while staying
     /// high on TSVC's simple loops.
     fn complexity(target: &Program) -> f64 {
-        let scalars = target
-            .arrays
-            .iter()
-            .filter(|a| a.dims.is_empty())
-            .count() as f64;
+        let scalars = target.arrays.iter().filter(|a| a.dims.is_empty()).count() as f64;
         target.num_statements() as f64 + 2.5 * scalars + target.max_depth() as f64
     }
 
@@ -307,7 +301,7 @@ impl SimLlm {
             } else {
                 // Unprofitable guesses: too small (header overhead) or
                 // too large (no locality gain).
-                [4i64, 100][self.rng.gen_range(0..2)]
+                [4i64, 100][self.rng.gen_range(0..2usize)]
             };
             let deps = Self::deps(&cur);
             loop {
@@ -463,8 +457,11 @@ impl SimLlm {
             }
             1 => {
                 // Reference an undeclared identifier.
-                text.replacen("+ 1.0", "+ tmp_undeclared", 1)
-                    .replacen("= ", "= undeclared_var + ", 1)
+                text.replacen("+ 1.0", "+ tmp_undeclared", 1).replacen(
+                    "= ",
+                    "= undeclared_var + ",
+                    1,
+                )
             }
             _ => {
                 // Unbalance a brace.

@@ -385,7 +385,10 @@ impl Lowerer<'_> {
                         .map(|c| (self.lin(&c.lhs), c.op, self.lin(&c.rhs)))
                         .collect();
                     let then = self.lower(then, path, ovh);
-                    out.push(LNode::If { conds: lconds, then });
+                    out.push(LNode::If {
+                        conds: lconds,
+                        then,
+                    });
                 }
                 Node::Loop(l) => {
                     let lb = self.bound(&l.lb);
@@ -668,8 +671,7 @@ pub fn estimate_cost(p: &Program, cfg: &MachineConfig) -> Result<CostReport, Cos
     // Cost estimation runs at the program's own declared parameter values;
     // benchmark kernels are authored at simulation-friendly scales, and the
     // original/optimized pair must be compared at identical sizes.
-    let params: HashMap<String, i64> =
-        p.params.iter().map(|d| (d.name.clone(), d.value)).collect();
+    let params: HashMap<String, i64> = p.params.iter().map(|d| (d.name.clone(), d.value)).collect();
     // Array layout: sequential base addresses, line-aligned.
     let mut bases = HashMap::new();
     let mut extents = HashMap::new();

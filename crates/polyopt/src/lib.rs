@@ -33,9 +33,7 @@
 
 use looprag_dependence::{analyze_with, AnalysisConfig, DependenceSet, Direction};
 use looprag_ir::{loop_paths, node_at, Node, NodePath, Program};
-use looprag_transform::{
-    perfect_band, semantics_preserving, OracleConfig, Recipe, Step,
-};
+use looprag_transform::{perfect_band, semantics_preserving, OracleConfig, Recipe, Step};
 
 /// Options mirroring the PLuTo command line used in the paper
 /// (`-tile -parallel -nocloogbacktrack`).
@@ -346,8 +344,7 @@ impl Optimizer<'_> {
                 } else {
                     continue;
                 }
-                let Ok(band) = perfect_band(&self.current, &path, self.opts.max_tile_depth)
-                else {
+                let Ok(band) = perfect_band(&self.current, &path, self.opts.max_tile_depth) else {
                     continue;
                 };
                 let mut depth = band.len();

@@ -93,8 +93,8 @@ impl Bm25Index {
             let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
             for (doc, f) in posts {
                 let f = *f as f64;
-                let len_norm = 1.0 - self.b
-                    + self.b * self.doc_len[*doc] as f64 / self.avg_len.max(1.0);
+                let len_norm =
+                    1.0 - self.b + self.b * self.doc_len[*doc] as f64 / self.avg_len.max(1.0);
                 scores[*doc] += idf * f * (self.k1 + 1.0) / (f + self.k1 * len_norm);
             }
         }

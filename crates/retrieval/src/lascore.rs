@@ -201,7 +201,7 @@ mod tests {
     #[test]
     fn loop_aware_prefers_structurally_similar() {
         let corpus = corpus();
-        let r = Retriever::build(corpus.iter().enumerate().map(|(i, p)| (i, p)));
+        let r = Retriever::build(corpus.iter().enumerate());
         // Target: a syr2k-ish triple nest; structurally the gemm doc.
         let target = prog(
             "param N = 64;\narray D[N][N];\narray X[N][N];\narray Y[N][N];\nout D;\n#pragma scop\nfor (a = 0; a <= N - 1; a++) for (b = 0; b <= N - 1; b++) for (c = 0; c <= N - 1; c++) D[a][b] += X[a][c] * Y[c][b];\n#pragma endscop\n",
@@ -217,7 +217,7 @@ mod tests {
     #[test]
     fn bm25_only_prefers_textual_overlap() {
         let corpus = corpus();
-        let r = Retriever::build(corpus.iter().enumerate().map(|(i, p)| (i, p)));
+        let r = Retriever::build(corpus.iter().enumerate());
         // Same identifiers as the stream doc but a stencil structure.
         let target = prog(
             "param N = 64;\narray A[N];\narray B[N];\nout A;\n#pragma scop\nfor (i = 1; i <= N - 2; i++) A[i] = B[i - 1] + B[i + 1];\n#pragma endscop\n",

@@ -119,7 +119,11 @@ mod tests {
     #[test]
     fn suite_sizes_match_paper_scale() {
         assert_eq!(suite(Suite::PolyBench).len(), 30);
-        assert!(suite(Suite::Tsvc).len() >= 50, "{}", suite(Suite::Tsvc).len());
+        assert!(
+            suite(Suite::Tsvc).len() >= 50,
+            "{}",
+            suite(Suite::Tsvc).len()
+        );
         assert_eq!(suite(Suite::Lore).len(), 30);
     }
 

@@ -9,7 +9,8 @@
 //! 1-D arrays use `N = 8192`; 2-D arrays use `M = 256`.
 
 const HDR1: &str = "param N = 8192;\narray a[N];\narray b[N];\narray c[N];\narray d[N];\narray e[N];\nout a;\n#pragma scop\n";
-const HDR2: &str = "param M = 256;\narray aa[M][M];\narray bb[M][M];\narray cc[M][M];\nout aa;\n#pragma scop\n";
+const HDR2: &str =
+    "param M = 256;\narray aa[M][M];\narray bb[M][M];\narray cc[M][M];\nout aa;\n#pragma scop\n";
 const END: &str = "#pragma endscop\n";
 
 /// Builds a 1-D kernel source from its body.

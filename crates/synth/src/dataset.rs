@@ -107,10 +107,12 @@ pub struct SynthConfig {
 
 impl Default for SynthConfig {
     fn default() -> Self {
-        let mut polyopt = PolyOptions::default();
-        polyopt.tile_size = 8;
+        let polyopt = PolyOptions {
+            tile_size: 8,
+            ..PolyOptions::default()
+        };
         SynthConfig {
-            seed: 0x100B_4A6,
+            seed: 0x0100_B4A6,
             count: 200,
             generator: GeneratorKind::ParameterDriven,
             polyopt,

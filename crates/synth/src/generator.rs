@@ -17,8 +17,8 @@
 use crate::params::LoopParams;
 use looprag_exec::{run, ExecConfig};
 use looprag_ir::{
-    validate, Access, AffineExpr, ArrayDecl, AssignOp, Bound, Expr, Loop, Node, ParamDecl,
-    Program, Statement,
+    validate, Access, AffineExpr, ArrayDecl, AssignOp, Bound, Expr, Loop, Node, ParamDecl, Program,
+    Statement,
 };
 use looprag_transform::scaled_clone;
 use rand::Rng;
@@ -79,10 +79,7 @@ fn build_skeleton(params: &LoopParams, rng: &mut impl Rng) -> Vec<SkelLoop> {
 
 /// Number of loops in the skeleton forest (each is a statement slot).
 fn count_slots(roots: &[SkelLoop]) -> usize {
-    roots
-        .iter()
-        .map(|r| 1 + count_slots(&r.children))
-        .sum()
+    roots.iter().map(|r| 1 + count_slots(&r.children)).sum()
 }
 
 /// Places `stmt` into the pre-order `slot`-th loop of the forest.
@@ -135,7 +132,7 @@ struct StmtPlan {
 /// paper's contradiction-check path); callers resample.
 pub fn generate_example(params: &LoopParams, id: usize, rng: &mut impl Rng) -> Option<Program> {
     let size = SIZES[rng.gen_range(0..SIZES.len())];
-    let n_arrays = (params.array_list + rng.gen_range(0..=1)).min(ARRAY_NAMES.len());
+    let n_arrays = (params.array_list + rng.gen_range(0..=1usize)).min(ARRAY_NAMES.len());
     // Array dimensionality: 1 or 2, biased toward the loop depth.
     let array_dims: Vec<usize> = (0..n_arrays)
         .map(|_| if rng.gen_bool(0.6) { 2 } else { 1 })
@@ -200,7 +197,7 @@ pub fn generate_example(params: &LoopParams, id: usize, rng: &mut impl Rng) -> O
         };
 
     let wants_waw: Vec<bool> = (0..params.num_statements)
-        .map(|_| rng.gen_range(0..100) < params.write_dep)
+        .map(|_| rng.gen_range(0..100u32) < params.write_dep)
         .collect();
 
     for s in 0..params.num_statements {
@@ -259,11 +256,7 @@ pub fn generate_example(params: &LoopParams, id: usize, rng: &mut impl Rng) -> O
             AssignOp::Assign
         };
         let _ = iters;
-        plans[s] = Some(StmtPlan {
-            write,
-            reads,
-            op,
-        });
+        plans[s] = Some(StmtPlan { write, reads, op });
     }
     let plans: Vec<StmtPlan> = plans.into_iter().map(Option::unwrap).collect();
 
@@ -288,9 +281,9 @@ pub fn generate_example(params: &LoopParams, id: usize, rng: &mut impl Rng) -> O
     // Triangular bounds: with probability `iterator_bound` (halving per
     // level), a depth-d loop's upper bound becomes the parent iterator.
     let mut triangular = [false; 4];
-    for d in 1..4 {
+    for (d, tri) in triangular.iter_mut().enumerate().skip(1) {
         let prob = params.iterator_bound as f64 / 100.0 / (1 << (d - 1)) as f64;
-        triangular[d] = rng.gen_bool(prob);
+        *tri = rng.gen_bool(prob);
     }
 
     // 4. Materialize the tree.
@@ -323,7 +316,13 @@ pub fn generate_example(params: &LoopParams, id: usize, rng: &mut impl Rng) -> O
                 Bound::Affine(AffineExpr::var("N") - (1 + off))
             };
             let mut body: Vec<Node> = materialize(
-                &r.children, plans, names, min_off, max_off, triangular, iter_name,
+                &r.children,
+                plans,
+                names,
+                min_off,
+                max_off,
+                triangular,
+                iter_name,
             );
             for &s in &r.stmts {
                 let p = &plans[s];
@@ -348,7 +347,13 @@ pub fn generate_example(params: &LoopParams, id: usize, rng: &mut impl Rng) -> O
         out
     }
     let body = materialize(
-        &roots, &plans, &names, &min_off, &max_off, &triangular, &iter_name,
+        &roots,
+        &plans,
+        &names,
+        &min_off,
+        &max_off,
+        &triangular,
+        &iter_name,
     );
 
     let mut program = Program::new(format!("synth_{id}"));
@@ -360,10 +365,7 @@ pub fn generate_example(params: &LoopParams, id: usize, rng: &mut impl Rng) -> O
         let dims = vec![AffineExpr::var("N"); array_dims[a]];
         program.arrays.push(ArrayDecl::new(name.clone(), dims));
     }
-    let mut outputs: Vec<String> = plans
-        .iter()
-        .map(|p| names[p.write.array].clone())
-        .collect();
+    let mut outputs: Vec<String> = plans.iter().map(|p| names[p.write.array].clone()).collect();
     outputs.sort();
     outputs.dedup();
     program.outputs = outputs;
@@ -395,7 +397,7 @@ pub fn generate_example(params: &LoopParams, id: usize, rng: &mut impl Rng) -> O
 pub fn generate_cola_example(id: usize, rng: &mut impl Rng) -> Program {
     let depth = 2usize;
     let size = 256i64;
-    let (di, dj) = [(1i64, 0i64), (0, 1), (1, 1)][rng.gen_range(0..3)];
+    let (di, dj) = [(1i64, 0i64), (0, 1), (1, 1)][rng.gen_range(0..3usize)];
     let i = AffineExpr::var("i");
     let j = AffineExpr::var("j");
     let write = Access::new("A", vec![i.clone(), j.clone()]);

@@ -40,15 +40,15 @@ impl LoopParams {
         let pct = [20u32, 40, 60];
         let reads = [1usize, 3, 5];
         LoopParams {
-            iterator_bound: pct[rng.gen_range(0..3)],
+            iterator_bound: pct[rng.gen_range(0..3usize)],
             loop_depth: rng.gen_range(2..=4),
             statement_index: rng.gen_range(1..=3),
             num_statements: rng.gen_range(1..=6),
             dep_distance: rng.gen_range(1..=2),
             read_dep: rng.gen_range(1..=3),
-            write_dep: pct[rng.gen_range(0..3)],
+            write_dep: pct[rng.gen_range(0..3usize)],
             array_list: rng.gen_range(1..=3),
-            read_array: reads[rng.gen_range(0..3)],
+            read_array: reads[rng.gen_range(0..3usize)],
             array_indexes: rng.gen_range(1..=2),
         }
     }

@@ -46,12 +46,7 @@ pub fn property_stats(p: &Program) -> LoopPropertyStats {
 
     let mut bound_offset = 0i64;
     let mut triangular = false;
-    fn walk_bounds(
-        nodes: &[Node],
-        outer_iters: &mut Vec<String>,
-        off: &mut i64,
-        tri: &mut bool,
-    ) {
+    fn walk_bounds(nodes: &[Node], outer_iters: &mut Vec<String>, off: &mut i64, tri: &mut bool) {
         for n in nodes {
             if let Node::Loop(l) = n {
                 if let Bound::Affine(e) = &l.ub {
@@ -73,12 +68,7 @@ pub fn property_stats(p: &Program) -> LoopPropertyStats {
             }
         }
     }
-    walk_bounds(
-        &p.body,
-        &mut Vec::new(),
-        &mut bound_offset,
-        &mut triangular,
-    );
+    walk_bounds(&p.body, &mut Vec::new(), &mut bound_offset, &mut triangular);
 
     // Imperfect (§2.1): not all statements reside in the innermost loop.
     // Structurally: some loop's body contains a nested loop alongside
@@ -113,11 +103,7 @@ pub fn property_stats(p: &Program) -> LoopPropertyStats {
         triangular,
         depth: p.max_depth(),
         imperfect: has_imperfect(&p.body),
-        n_nests: p
-            .body
-            .iter()
-            .filter(|n| matches!(n, Node::Loop(_)))
-            .count(),
+        n_nests: p.body.iter().filter(|n| matches!(n, Node::Loop(_))).count(),
         n_deps: deps.deps.len(),
         n_dep_kinds,
         n_arrays: p.referenced_arrays().len(),

@@ -33,7 +33,11 @@ impl Default for OracleConfig {
             rel_eps: 1e-6,
             stmt_budget: 50_000_000,
             extra_inits: vec![
-                InitKind::IndexPattern { a: 13, b: 5, m: 101 },
+                InitKind::IndexPattern {
+                    a: 13,
+                    b: 5,
+                    m: 101,
+                },
                 InitKind::Constant(1.0),
             ],
         }

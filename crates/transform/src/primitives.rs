@@ -122,12 +122,7 @@ pub fn perfect_band(p: &Program, path: &[usize], max_depth: usize) -> TResult<Ve
 ///
 /// Fails when `path` is not a loop, the band is shallower than `depth`,
 /// a band loop has a non-unit step, or `tile_size < 2`.
-pub fn tile_band(
-    p: &Program,
-    path: &[usize],
-    depth: usize,
-    tile_size: i64,
-) -> TResult<Program> {
+pub fn tile_band(p: &Program, path: &[usize], depth: usize, tile_size: i64) -> TResult<Program> {
     if tile_size < 2 {
         return Err(TransformError::new("tile size must be at least 2"));
     }
@@ -160,9 +155,7 @@ pub fn tile_band(
 
     let mut out = p.clone();
     let mut taken = Vec::new();
-    let tile_iters: Vec<String> = (0..depth)
-        .map(|_| fresh_iter(p, "t", &mut taken))
-        .collect();
+    let tile_iters: Vec<String> = (0..depth).map(|_| fresh_iter(p, "t", &mut taken)).collect();
 
     // Point loops, innermost band loop first when building bottom-up.
     let mut body = innermost_body;
@@ -318,7 +311,9 @@ pub fn fuse(p: &Program, container: &[usize], index: usize) -> TResult<Program> 
     let body_mut: &mut Vec<Node> = if container.is_empty() {
         &mut out.body
     } else {
-        node_at_mut(&mut out.body, container).unwrap().children_mut()
+        node_at_mut(&mut out.body, container)
+            .unwrap()
+            .children_mut()
     };
     body_mut[index] = Node::Loop(fused);
     body_mut.remove(index + 1);
@@ -337,7 +332,11 @@ fn substitute_node(n: &Node, from: &str, to: &AffineExpr) -> Node {
             let mut l2 = l.clone();
             l2.lb = l2.lb.substitute(from, to);
             l2.ub = l2.ub.substitute(from, to);
-            l2.body = l.body.iter().map(|c| substitute_node(c, from, to)).collect();
+            l2.body = l
+                .body
+                .iter()
+                .map(|c| substitute_node(c, from, to))
+                .collect();
             Node::Loop(l2)
         }
         Node::If { conds, then } => Node::If {
@@ -470,11 +469,7 @@ pub fn shift(p: &Program, path: &[usize], stmt_index: usize, offset: i64) -> TRe
             // its original iteration i - offset.
             let shifted = substitute_node(child, &l.iter, &(i.clone() - offset));
             new_body.push(Node::If {
-                conds: vec![Condition::new(
-                    i.clone(),
-                    CmpOp::Ge,
-                    lb.clone() + offset,
-                )],
+                conds: vec![Condition::new(i.clone(), CmpOp::Ge, lb.clone() + offset)],
                 then: vec![shifted],
             });
         } else {
@@ -555,7 +550,9 @@ pub fn shift_fuse(p: &Program, container: &[usize], index: usize) -> TResult<Pro
     let body_mut: &mut Vec<Node> = if container.is_empty() {
         &mut out.body
     } else {
-        node_at_mut(&mut out.body, container).unwrap().children_mut()
+        node_at_mut(&mut out.body, container)
+            .unwrap()
+            .children_mut()
     };
     body_mut[index] = Node::Loop(fused);
     body_mut.remove(index + 1);
@@ -607,7 +604,10 @@ pub fn scalarize_reduction(p: &Program, path: &[usize]) -> TResult<Program> {
             "scalarization needs a single-statement loop body",
         ));
     };
-    if !matches!(s.op, AssignOp::AddAssign | AssignOp::MulAssign | AssignOp::SubAssign) {
+    if !matches!(
+        s.op,
+        AssignOp::AddAssign | AssignOp::MulAssign | AssignOp::SubAssign
+    ) {
         return Err(TransformError::new(
             "scalarization needs a compound (reduction) assignment",
         ));
@@ -720,7 +720,9 @@ mod tests {
         )
         .unwrap();
         let t = interchange(&p, &[0]).unwrap();
-        let Node::Loop(outer) = &t.body[0] else { panic!() };
+        let Node::Loop(outer) = &t.body[0] else {
+            panic!()
+        };
         assert_eq!(outer.iter, "j");
         assert!(semantics_preserving(&p, &t, &oracle()));
     }

@@ -5,8 +5,8 @@
 //! paper's transformation taxonomy (Table 4).
 
 use crate::primitives::{
-    distribute, fuse, interchange, parallelize, scalarize_reduction, serialize, shift,
-    shift_fuse, skew, tile_band, TransformError,
+    distribute, fuse, interchange, parallelize, scalarize_reduction, serialize, shift, shift_fuse,
+    skew, tile_band, TransformError,
 };
 use looprag_ir::{NodePath, Program};
 use std::fmt;

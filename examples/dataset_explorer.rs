@@ -21,7 +21,10 @@ fn main() {
 
         let stats: Vec<_> = dataset.examples.iter().map(|e| e.stats.clone()).collect();
         let hist = cluster_histogram(&stats);
-        println!("{:<12} {:>6} {:>6} {:>6} {:>6}   spread", "property", "A", "B", "C", "D");
+        println!(
+            "{:<12} {:>6} {:>6} {:>6} {:>6}   spread",
+            "property", "A", "B", "C", "D"
+        );
         for (i, name) in PROPERTY_NAMES.iter().enumerate() {
             println!(
                 "{name:<12} {:>6} {:>6} {:>6} {:>6}   {:.2}",

@@ -15,7 +15,10 @@ use looprag::looprag_synth::{build_dataset, SynthConfig};
 
 fn main() {
     let gemm = looprag::looprag_suites::find("gemm").unwrap().program();
-    println!("--- original gemm (paper Listing 6) ---\n{}", print_program(&gemm));
+    println!(
+        "--- original gemm (paper Listing 6) ---\n{}",
+        print_program(&gemm)
+    );
 
     let dataset = build_dataset(&SynthConfig {
         count: 80,
@@ -33,7 +36,10 @@ fn main() {
         base_outcome.passed, base_outcome.speedup
     );
     if let Some(p) = &base_outcome.best {
-        println!("--- base model's best (cf. paper Listing 7) ---\n{}", print_program(p));
+        println!(
+            "--- base model's best (cf. paper Listing 7) ---\n{}",
+            print_program(p)
+        );
     }
 
     // Full LOOPRAG.
@@ -44,7 +50,10 @@ fn main() {
         outcome.passed, outcome.speedup
     );
     if let Some(p) = &outcome.best {
-        println!("--- LOOPRAG's best (cf. paper Listing 8) ---\n{}", print_program(p));
+        println!(
+            "--- LOOPRAG's best (cf. paper Listing 8) ---\n{}",
+            print_program(p)
+        );
     }
     if base_outcome.speedup > 0.0 {
         println!(

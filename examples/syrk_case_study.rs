@@ -56,7 +56,10 @@ for (i = 0; i <= L; i++) {
 
 fn main() {
     let syrk = looprag::looprag_suites::find("syrk").unwrap().program();
-    println!("--- target: syrk (paper Figure 2) ---\n{}", print_program(&syrk));
+    println!(
+        "--- target: syrk (paper Figure 2) ---\n{}",
+        print_program(&syrk)
+    );
 
     // Optimize the example codes with the demonstration source, as the
     // dataset builder does.
@@ -120,6 +123,10 @@ fn main() {
     }
     println!(
         "demonstration-driven improvement: {:.2}x",
-        if best_base > 0.0 { best_demo / best_base } else { best_demo }
+        if best_base > 0.0 {
+            best_demo / best_base
+        } else {
+            best_demo
+        }
     );
 }

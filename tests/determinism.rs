@@ -1,0 +1,66 @@
+//! Determinism regression test: the whole pipeline is a pure function
+//! of `LoopRagConfig.seed` (plus the dataset seed), guarding the seeded
+//! `StdRng` plumbing in `looprag_core::pipeline`.
+//!
+//! Two **independently constructed** `LoopRag` instances — separate
+//! dataset builds, separate retriever indexes, separate RNGs — must
+//! produce byte-identical `OptimizationOutcome`s for the same kernel.
+//! (A weaker same-instance check lives in `looprag-core`'s unit tests;
+//! this one also catches hidden global state, iteration-order leaks,
+//! and wall-clock dependence.)
+
+use looprag::looprag_core::{LoopRag, LoopRagConfig, OptimizationOutcome};
+use looprag::looprag_llm::LlmProfile;
+use looprag::looprag_suites::find;
+use looprag::looprag_synth::{build_dataset, SynthConfig};
+
+fn fresh_rag(seed: u64) -> LoopRag {
+    let dataset = build_dataset(&SynthConfig {
+        count: 12,
+        ..Default::default()
+    });
+    let mut config = LoopRagConfig::new(LlmProfile::deepseek());
+    config.seed = seed;
+    // The per-kernel wall-clock budget may skip candidates on a loaded
+    // machine; give it headroom so timing can never affect the outcome.
+    config.kernel_time_budget = std::time::Duration::from_secs(3600);
+    LoopRag::new(config, dataset)
+}
+
+fn run(seed: u64, kernel: &str) -> OptimizationOutcome {
+    let target = find(kernel)
+        .unwrap_or_else(|| panic!("kernel {kernel} missing"))
+        .program();
+    fresh_rag(seed).optimize(kernel, &target)
+}
+
+#[test]
+fn same_seed_same_outcome_across_instances() {
+    let a = run(0xC0FFEE, "vpv");
+    let b = run(0xC0FFEE, "vpv");
+    // Field-by-field, then the full Debug form as a catch-all so a new
+    // field added to the outcome cannot silently escape the guarantee.
+    assert_eq!(a.passed, b.passed);
+    assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+    assert_eq!(a.demo_ids, b.demo_ids);
+    assert_eq!(a.candidates.len(), b.candidates.len());
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+#[test]
+fn seed_actually_reaches_the_generator() {
+    // Not a flakiness trap: with these two seeds the simulated LLM's
+    // candidate stream differs on this kernel (verified once, stable
+    // forever because the stack is deterministic). If this fails after
+    // an RNG-plumbing change, the config seed stopped reaching the
+    // generator and `same_seed_same_outcome_across_instances` alone
+    // would vacuously pass.
+    let a = run(1, "s000");
+    let b = run(2, "s000");
+    assert_ne!(
+        format!("{:?}", a.candidates),
+        format!("{:?}", b.candidates),
+        "different seeds produced identical candidate streams — is the \
+         seed still plumbed through?"
+    );
+}

@@ -151,7 +151,8 @@ fn dataset_demonstrations_round_trip_through_prompts() {
         let opt = compile(&e.optimized, "opt").expect("stored optimized compiles");
         assert!(
             semantics_preserving(&src, &opt, &OracleConfig::default()),
-            "dataset pair {} is not equivalent", e.id
+            "dataset pair {} is not equivalent",
+            e.id
         );
     }
 }

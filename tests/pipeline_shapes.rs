@@ -33,7 +33,10 @@ fn parameter_driven_corpus_is_more_diverse_than_cola() {
         ..Default::default()
     });
     let stats = |d: &looprag::looprag_synth::Dataset| {
-        d.examples.iter().map(|e| e.stats.clone()).collect::<Vec<_>>()
+        d.examples
+            .iter()
+            .map(|e| e.stats.clone())
+            .collect::<Vec<_>>()
     };
     let pd_hist = cluster_histogram(&stats(&pd));
     let cg_hist = cluster_histogram(&stats(&cg));

@@ -2,10 +2,10 @@
 
 use looprag::looprag_dependence::analyze;
 use looprag::looprag_exec::{run, ExecConfig, ParallelOrder};
-use looprag::looprag_ir::{
-    parse_program, print_program, AffineExpr, Bound, CmpOp, Condition,
+use looprag::looprag_ir::{parse_program, print_program, AffineExpr, Bound, CmpOp, Condition};
+use looprag::looprag_retrieval::{
+    weighted_score, Bm25Index, LaWeights, RetrievalMode, Retriever, StmtFeatures,
 };
-use looprag::looprag_retrieval::{Bm25Index, Retriever, RetrievalMode};
 use looprag::looprag_synth::{generate_example, LoopParams};
 use looprag::looprag_transform::{scaled_clone, semantics_preserving, tile_band, OracleConfig};
 use proptest::prelude::*;
@@ -142,10 +142,7 @@ proptest! {
         if let Some(p) = generate_example(&params, 0, &mut rng) {
             let small = scaled_clone(&p, 5);
             let cfg = ExecConfig { stmt_budget: budget, ..Default::default() };
-            match run(&small, &cfg) {
-                Ok((_, stats)) => prop_assert!(stats.stmts_executed <= budget),
-                Err(_) => {}
-            }
+            if let Ok((_, stats)) = run(&small, &cfg) { prop_assert!(stats.stmts_executed <= budget) }
         }
     }
 }
@@ -168,7 +165,7 @@ proptest! {
             }
         }
         if programs.len() >= 2 {
-            let retriever = Retriever::build(programs.iter().enumerate().map(|(i, p)| (i, p)));
+            let retriever = Retriever::build(programs.iter().enumerate());
             for (i, p) in programs.iter().enumerate() {
                 let hits = retriever.query(p, RetrievalMode::LoopAware, programs.len());
                 prop_assert!(!hits.is_empty());
@@ -187,6 +184,101 @@ proptest! {
         let idx = Bm25Index::build(&docs);
         for s in idx.scores(&query) {
             prop_assert!(s >= 0.0);
+        }
+    }
+}
+
+// ---- LAScore properties ---------------------------------------------------
+
+/// Arbitrary feature items: opaque to LAScore, which only intersects
+/// them as strings.
+fn feature_items() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[a-z0-9:*+]{1,8}", 0..5)
+}
+
+fn stmt_features() -> impl Strategy<Value = StmtFeatures> {
+    (feature_items(), feature_items())
+        .prop_map(|(schedule, indexes)| StmtFeatures { schedule, indexes })
+}
+
+fn features_vec() -> impl Strategy<Value = Vec<StmtFeatures>> {
+    prop::collection::vec(stmt_features(), 0..4)
+}
+
+/// Non-negative weights in a realistic range (the defaults live well
+/// inside it); flip the symmetric-penalty flag with [`with_symmetric`].
+fn weights() -> impl Strategy<Value = LaWeights> {
+    (
+        0.0f64..4.0,
+        0.0f64..4.0,
+        0.0f64..4.0,
+        0.0f64..4.0,
+        0.0f64..4.0,
+    )
+        .prop_map(|(r0, r1, p0, p1, bm25_scale)| LaWeights {
+            reward: [r0, r1],
+            penalty: [p0, p1],
+            bm25_scale,
+            symmetric_penalty: false,
+        })
+}
+
+/// Copies `w` with the symmetric-penalty flag replaced. A free function
+/// rather than inline struct-update syntax: the latter inside the
+/// proptest closure trips a rustc ICE (broken-MIR subtyping on the
+/// `[f64; NUM_FEATURE_TYPES]` fields) on the pinned toolchain.
+fn with_symmetric(w: &LaWeights, symmetric_penalty: bool) -> LaWeights {
+    let mut out = w.clone();
+    out.symmetric_penalty = symmetric_penalty;
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LAScore's weighted part is always a finite number — no NaN or
+    /// infinity for any feature sets or non-negative weights, including
+    /// empty targets (the `NS_T = 0` division guard).
+    #[test]
+    fn lascore_weighted_part_is_finite(t in features_vec(),
+                                       e in features_vec(),
+                                       sym in any::<bool>(),
+                                       w in weights()) {
+        let w = with_symmetric(&w, sym);
+        let s = weighted_score(&t, &e, &w);
+        prop_assert!(s.is_finite(), "weighted_score = {s}");
+    }
+
+    /// The symmetric-penalty ablation arm additionally penalizes
+    /// *missing* example features, so for identical inputs it can never
+    /// score above the paper's default (excess-only) arm.
+    #[test]
+    fn symmetric_arm_never_exceeds_default_arm(t in features_vec(),
+                                               e in features_vec(),
+                                               w in weights()) {
+        let w_sym = with_symmetric(&w, true);
+        let s_default = weighted_score(&t, &e, &w);
+        let s_sym = weighted_score(&t, &e, &w_sym);
+        prop_assert!(s_sym <= s_default + 1e-9,
+            "symmetric {s_sym} > default {s_default}");
+    }
+
+    /// The BM25 base term is max-normalized before entering LAScore
+    /// (`raw / max(raw)` with an epsilon floor, as in
+    /// `Retriever::query`); the normalized value stays in [0, 1] for
+    /// every document, including all-zero score vectors.
+    #[test]
+    fn bm25_normalization_stays_in_unit_interval(
+        docs in prop::collection::vec("[a-z ]{0,40}", 1..6),
+        query in "[a-z ]{0,30}",
+    ) {
+        let idx = Bm25Index::build(&docs);
+        let raw = idx.scores(&query);
+        let max = raw.iter().cloned().fold(0.0f64, f64::max).max(1e-9);
+        for r in &raw {
+            let normalized = r / max;
+            prop_assert!((0.0..=1.0).contains(&normalized),
+                "normalized BM25 {normalized} out of [0,1] (raw {r}, max {max})");
         }
     }
 }

@@ -1,0 +1,25 @@
+//! Run configuration for [`crate::proptest!`] blocks.
+
+/// How many cases each property runs, plus room for future knobs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than real proptest's 256 because the shim
+    /// does no shrinking and several suites run whole-program
+    /// interpreters per case.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}

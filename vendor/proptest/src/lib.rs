@@ -1,0 +1,108 @@
+//! Offline shim for the `proptest` surface this workspace uses: the
+//! [`proptest!`] macro, range / select / collection / string-pattern
+//! strategies, `prop_map`, tuple composition, and the `prop_assert*`
+//! macros.
+//!
+//! Semantics differ from real proptest in one deliberate way: failing
+//! cases are **not shrunk** — the failure message reports the case
+//! index and the deterministic per-case seed instead, which is enough
+//! to reproduce (case seeds do not depend on which cases passed).
+//! Every run is fully deterministic: there is no persistence file and
+//! no environment-dependent seeding.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod config;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runs each `fn name(arg in strategy, ...) { body }` item as a
+/// `#[test]` over `ProptestConfig::cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::config::ProptestConfig = $cfg;
+            let strategies = ( $( $strat, )+ );
+            for case in 0..cfg.cases {
+                let seed = $crate::test_runner::case_seed(
+                    ::std::concat!(::std::module_path!(), "::", ::std::stringify!($name)),
+                    case,
+                );
+                let mut rng = $crate::test_runner::rng_for(seed);
+                let ( $($arg,)+ ) =
+                    $crate::strategy::Strategy::sample(&strategies, &mut rng);
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    ::std::panic!(
+                        "proptest case {}/{} failed (seed {:#x}): {}",
+                        case + 1, cfg.cases, seed, e,
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::config::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Fails the current case with a message when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::std::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case when the two values are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Fails the current case when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)*);
+    }};
+}

@@ -1,0 +1,28 @@
+//! Sampling from explicit value lists (`prop::sample`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Picks uniformly from `items`.
+///
+/// # Panics
+///
+/// Panics when `items` is empty.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "prop::sample::select on empty list");
+    Select { items }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        self.items[rng.gen_range(0..self.items.len())].clone()
+    }
+}

@@ -1,0 +1,128 @@
+//! String generation from a small character-class pattern grammar.
+//!
+//! Real proptest accepts arbitrary regexes for `&str` strategies. The
+//! shim supports the concatenation of:
+//!
+//! * `[set]{m,n}` / `[set]{n}` / `[set]` — a char class repeated; the
+//!   set may contain `a-z` style ranges and literal characters
+//!   (including space),
+//! * literal characters.
+//!
+//! Anything using unsupported regex syntax (`|`, groups, `\d`, …)
+//! panics with a message naming the pattern, so a future test that
+//! outgrows the grammar fails loudly rather than silently mis-sampling.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Draws one string matching `pattern`.
+pub fn sample_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                let set = expand_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                let (lo, hi) = if chars.get(i) == Some(&'{') {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| p + i + 1)
+                        .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((a, b)) => (
+                            a.trim().parse().expect("bad repeat lower bound"),
+                            b.trim().parse().expect("bad repeat upper bound"),
+                        ),
+                        None => {
+                            let n: usize = body.trim().parse().expect("bad repeat count");
+                            (n, n)
+                        }
+                    }
+                } else {
+                    (1, 1)
+                };
+                let len = rng.gen_range(lo..=hi);
+                for _ in 0..len {
+                    out.push(set[rng.gen_range(0..set.len())]);
+                }
+            }
+            '|' | '(' | ')' | '*' | '+' | '?' | '.' | '\\' => {
+                panic!(
+                    "proptest shim: unsupported regex syntax {:?} in pattern {pattern:?} \
+                     (the shim only handles `[class]{{m,n}}` concatenations)",
+                    chars[i]
+                );
+            }
+            c => {
+                out.push(c);
+                i += 1;
+                continue;
+            }
+        }
+    }
+    out
+}
+
+/// Expands a char class body (`a-z0-9_ `) into its member characters.
+fn expand_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(!body.is_empty(), "empty char class in pattern {pattern:?}");
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+            assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+            for c in lo..=hi {
+                set.push(char::from_u32(c).unwrap());
+            }
+            i += 3;
+        } else {
+            set.push(body[i]);
+            i += 1;
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sample_pattern;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_repeat_respects_alphabet_and_length() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let s = sample_pattern("[a-z ]{0,40}", &mut rng);
+            assert!(s.chars().count() <= 40);
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(sample_pattern("abc", &mut rng), "abc");
+        let s = sample_pattern("x[01]{3}y", &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with('x') && s.ends_with('y'));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex syntax")]
+    fn alternation_is_rejected_loudly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        sample_pattern("a|b", &mut rng);
+    }
+}

@@ -1,0 +1,41 @@
+//! Case execution support used by the [`crate::proptest!`] expansion.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A failed property case (produced by the `prop_assert*` macros).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic seed for one case: FNV-1a over the test path mixed
+/// with the case index, so each test gets an independent stream and a
+/// failure message's seed pinpoints the exact inputs.
+#[must_use]
+pub fn case_seed(test_path: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^= u64::from(case);
+    h.wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+/// The RNG driving one case.
+#[must_use]
+pub fn rng_for(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

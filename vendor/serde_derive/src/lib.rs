@@ -1,0 +1,160 @@
+//! Offline shim for serde's derive macros, targeting the `serde` shim's
+//! `Value`-based traits.
+//!
+//! Written against `proc_macro` alone (no `syn`/`quote` — the build
+//! environment has no registry access), so it supports exactly what the
+//! workspace derives on: non-generic structs with named fields. Any
+//! other shape produces a `compile_error!` naming the limitation.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the serde shim's `Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+/// Derives the serde shim's `Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("::std::compile_error!({msg:?});").parse().unwrap()
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let (name, fields) = match parse_struct(input) {
+        Ok(ok) => ok,
+        Err(msg) => return error(&msg),
+    };
+    let body = match which {
+        Trait::Serialize => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Trait::Deserialize => {
+            let reads: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             v.get({f:?}).ok_or_else(|| \
+                                 ::serde::DeError::missing_field({f:?}))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if !::std::matches!(v, ::serde::Value::Object(_)) {{\n\
+                             return ::std::result::Result::Err(\
+                                 ::serde::DeError::custom(\"expected object\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name} {{ {reads} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse().unwrap()
+}
+
+/// Extracts `(struct_name, field_names)` from a derive input stream.
+fn parse_struct(input: TokenStream) -> Result<(String, Vec<String>), String> {
+    let mut tokens = input.into_iter().peekable();
+    // Item prefix: attributes and visibility, then `struct Name { ... }`.
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    _ => return Err("serde shim derive: expected struct name".into()),
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                return Err("serde shim derive supports only structs with named fields \
+                     (enums need a manual impl against the shim's Value traits)"
+                    .into());
+            }
+            _ => {} // visibility etc.
+        }
+    }
+    let name = name.ok_or("serde shim derive: no `struct` keyword found")?;
+    let group = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "serde shim derive: struct {name} is generic, which the shim \
+                 does not support"
+            ));
+        }
+        _ => {
+            return Err(format!(
+                "serde shim derive: struct {name} must have named fields"
+            ));
+        }
+    };
+
+    // Fields: comma-separated `attrs vis name: type` chunks.
+    let mut fields = Vec::new();
+    let mut expect_name = true;
+    let mut depth_guard = 0usize; // inside a type: angle brackets
+    let mut inner = group.stream().into_iter().peekable();
+    while let Some(tt) = inner.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' && expect_name => {
+                inner.next(); // attribute body
+            }
+            TokenTree::Ident(id) if expect_name => {
+                let s = id.to_string();
+                if s == "pub" {
+                    // Visibility, possibly `pub(crate)`.
+                    if let Some(TokenTree::Group(_)) = inner.peek() {
+                        inner.next();
+                    }
+                } else {
+                    fields.push(s);
+                    expect_name = false;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => depth_guard += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && depth_guard > 0 => {
+                depth_guard -= 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth_guard == 0 => {
+                expect_name = true;
+            }
+            _ => {}
+        }
+    }
+    Ok((name, fields))
+}
