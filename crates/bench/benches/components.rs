@@ -4,7 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use looprag_dependence::analyze;
-use looprag_exec::{run, ExecConfig};
+use looprag_eqcheck::{
+    build_test_suite, differential_test, differential_test_reference, EqCheckConfig,
+};
+use looprag_exec::{run, run_with_store_reference, ArrayStore, CompiledProgram, ExecConfig};
 use looprag_ir::{compile, parse_program, print_program};
 use looprag_machine::{estimate_cost, CacheGeometry, CacheLevel, MachineConfig};
 use looprag_polyopt::{optimize, PolyOptions};
@@ -52,6 +55,43 @@ fn bench_interpreter(c: &mut Criterion) {
     let p = scaled_clone(&find("gemm").unwrap().program(), 16);
     c.bench_function("interpret_gemm_n16", |b| {
         b.iter(|| run(&p, &ExecConfig::default()).unwrap())
+    });
+    // Compile-once-run-many (the eqcheck/pipeline pattern) vs the
+    // reference tree-walker: the engine-swap headline numbers.
+    let compiled = CompiledProgram::compile(&p);
+    c.bench_function("interp_compiled_gemm_n16", |b| {
+        b.iter(|| {
+            let mut store = ArrayStore::from_program(&p);
+            compiled
+                .run_with_store(&mut store, &ExecConfig::default(), None)
+                .unwrap()
+        })
+    });
+    c.bench_function("interp_reference_gemm_n16", |b| {
+        b.iter(|| {
+            let mut store = ArrayStore::from_program(&p);
+            run_with_store_reference(&p, &mut store, &ExecConfig::default(), None).unwrap()
+        })
+    });
+    c.bench_function("compile_gemm", |b| b.iter(|| CompiledProgram::compile(&p)));
+}
+
+fn bench_differential_test(c: &mut Criterion) {
+    // Perfectly nested gemm (the suite's gemm is imperfect and cannot
+    // be tiled 3-deep).
+    let p = compile(
+        "param N = 64;\narray C[N][N];\narray A[N][N];\narray B[N][N];\nout C;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= N - 1; j++) for (k = 0; k <= N - 1; k++) C[i][j] += A[i][k] * B[k][j];\n#pragma endscop\n",
+        "gemm64",
+    )
+    .unwrap();
+    let t = tile_band(&p, &[0], 3, 8).unwrap();
+    let cfg = EqCheckConfig::default();
+    let suite = build_test_suite(&p, &cfg);
+    c.bench_function("differential_test_gemm", |b| {
+        b.iter(|| differential_test(&p, &t, &suite, &cfg))
+    });
+    c.bench_function("differential_test_gemm_reference", |b| {
+        b.iter(|| differential_test_reference(&p, &t, &suite, &cfg))
     });
 }
 
@@ -111,6 +151,7 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_parser, bench_dependence, bench_transform, bench_interpreter,
-              bench_machine, bench_retrieval, bench_compile_error_path
+              bench_differential_test, bench_machine, bench_retrieval,
+              bench_compile_error_path
 }
 criterion_main!(benches);

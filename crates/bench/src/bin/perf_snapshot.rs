@@ -1,0 +1,189 @@
+//! `perf_snapshot` — the interpreter-perf trajectory tracker.
+//!
+//! Measures the execution-engine hot paths (gemm-shaped interpretation,
+//! `differential_test`, `Retriever::query`) on both the bytecode engine
+//! and the reference tree-walker, plus end-to-end strided-suite wall
+//! time, and writes the numbers to `BENCH_interp.json` so every PR can
+//! be compared against the last committed snapshot.
+//!
+//! Usage: `perf_snapshot [--quick] [--out PATH]`
+//!
+//! `--quick` shrinks sample counts and widens the kernel stride so CI
+//! can keep the bin from bit-rotting in seconds; the committed snapshot
+//! should come from a full (non-quick) run. In full mode the bin exits
+//! non-zero if the compiled engine fails to beat the reference path by
+//! at least 3x on `differential_test`.
+
+use looprag_eqcheck::{
+    build_test_suite, differential_test, differential_test_reference, EqCheckConfig, TestVerdict,
+};
+use looprag_exec::{run_with_store_reference, ArrayStore, CompiledProgram, ExecConfig};
+use looprag_machine::{measure_locality, CacheObserver, MachineConfig};
+use looprag_retrieval::{RetrievalMode, Retriever};
+use looprag_suites::all_benchmarks;
+use looprag_synth::{build_dataset, SynthConfig};
+use looprag_transform::{scaled_clone, tile_band};
+use std::time::Instant;
+
+struct BenchOpts {
+    samples: usize,
+    target_ms: u64,
+}
+
+/// Median ns/iter over `opts.samples` timed samples, iteration count
+/// auto-scaled to roughly `opts.target_ms` per sample.
+fn bench_ns<O>(opts: &BenchOpts, mut f: impl FnMut() -> O) -> f64 {
+    let t0 = Instant::now();
+    std::hint::black_box(f());
+    let once_ns = t0.elapsed().as_nanos().max(1);
+    let iters = ((opts.target_ms as u128 * 1_000_000) / once_ns).clamp(1, 100_000) as u32;
+    let mut samples: Vec<f64> = (0..opts.samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_interp.json".to_string());
+    let opts = BenchOpts {
+        samples: if quick { 3 } else { 9 },
+        target_ms: if quick { 5 } else { 40 },
+    };
+
+    // 1. Interpreter on a gemm-shaped nest (the dominant kernel shape;
+    // perfectly nested so it can also be tiled for the difftest below).
+    eprintln!("[perf_snapshot] interpreter: gemm nest...");
+    let gemm = looprag_ir::compile(
+        "param N = 64;\narray C[N][N];\narray A[N][N];\narray B[N][N];\nout C;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= N - 1; j++) for (k = 0; k <= N - 1; k++) C[i][j] += A[i][k] * B[k][j];\n#pragma endscop\n",
+        "gemm_nest",
+    )
+    .expect("gemm nest");
+    let small = scaled_clone(&gemm, 16);
+    let compiled = CompiledProgram::compile(&small);
+    let exec_cfg = ExecConfig::default();
+    let interp_compiled_ns = bench_ns(&opts, || {
+        let mut store = ArrayStore::from_program(&small);
+        compiled
+            .run_with_store(&mut store, &exec_cfg, None)
+            .unwrap()
+    });
+    let interp_reference_ns = bench_ns(&opts, || {
+        let mut store = ArrayStore::from_program(&small);
+        run_with_store_reference(&small, &mut store, &exec_cfg, None).unwrap()
+    });
+    let compile_ns = bench_ns(&opts, || CompiledProgram::compile(&small));
+    // Observer path: stream the engine's access trace through the cache
+    // simulator. The hit rate comes from machine::measure_locality; the
+    // timed loop reuses the precompiled form so interp_observed_ns
+    // isolates observer overhead from per-call compile cost. Both are
+    // tracked so the observer bridge and its base-address layout cannot
+    // silently drift.
+    let machine = MachineConfig::gcc();
+    let (locality, _) =
+        measure_locality(&small, &machine, &exec_cfg).expect("measure gemm locality");
+    let interp_observed_ns = bench_ns(&opts, || {
+        let mut store = ArrayStore::from_program(&small);
+        let mut obs = CacheObserver::new(&store, machine.l1.clone(), machine.l2.clone());
+        compiled
+            .run_with_store(&mut store, &exec_cfg, Some(&mut obs))
+            .unwrap()
+    });
+
+    // 2. differential_test: the pipeline's per-candidate verdict cost.
+    eprintln!("[perf_snapshot] differential_test: gemm vs tiled gemm...");
+    let tiled = tile_band(&gemm, &[0], 3, 8).expect("tile gemm");
+    let eq_cfg = EqCheckConfig::default();
+    let suite = build_test_suite(&gemm, &eq_cfg);
+    assert_eq!(
+        differential_test(&gemm, &tiled, &suite, &eq_cfg),
+        TestVerdict::Pass
+    );
+    let difftest_compiled_ns =
+        bench_ns(&opts, || differential_test(&gemm, &tiled, &suite, &eq_cfg));
+    let difftest_reference_ns = bench_ns(&opts, || {
+        differential_test_reference(&gemm, &tiled, &suite, &eq_cfg)
+    });
+    let difftest_speedup = difftest_reference_ns / difftest_compiled_ns;
+
+    // 3. Retriever::query over a synthesized corpus.
+    eprintln!("[perf_snapshot] retriever query...");
+    let corpus_size = if quick { 64 } else { 256 };
+    let dataset = build_dataset(&SynthConfig {
+        count: corpus_size,
+        ..Default::default()
+    });
+    let programs: Vec<_> = dataset
+        .examples
+        .iter()
+        .map(|e| (e.id, e.program()))
+        .collect();
+    let retriever = Retriever::build(programs.iter().map(|(i, p)| (*i, p)));
+    let query_ns = bench_ns(&opts, || {
+        retriever.query(&gemm, RetrievalMode::LoopAware, 10)
+    });
+
+    // 4. End-to-end strided-suite wall time: suite building plus a
+    // self-differential test per kernel, the eqcheck slice of a
+    // pipeline run.
+    let stride = if quick { 24 } else { 8 };
+    eprintln!("[perf_snapshot] strided suite (stride {stride})...");
+    let kernels: Vec<_> = all_benchmarks()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % stride == 0)
+        .map(|(_, b)| b)
+        .collect();
+    let t0 = Instant::now();
+    let mut suite_kernels = 0usize;
+    for b in &kernels {
+        let p = b.program();
+        let s = build_test_suite(&p, &eq_cfg);
+        assert_eq!(
+            differential_test(&p, &p, &s, &eq_cfg),
+            TestVerdict::Pass,
+            "{} failed self-test",
+            b.name
+        );
+        suite_kernels += 1;
+    }
+    let suite_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let interp_speedup = interp_reference_ns / interp_compiled_ns;
+    let l1_rate = locality.l1_hit_rate();
+    let json = format!(
+        "{{\n  \"quick\": {quick},\n  \"interp_compiled_ns\": {interp_compiled_ns:.1},\n  \"interp_reference_ns\": {interp_reference_ns:.1},\n  \"interp_speedup\": {interp_speedup:.2},\n  \"compile_ns\": {compile_ns:.1},\n  \"interp_observed_ns\": {interp_observed_ns:.1},\n  \"gemm_l1_hit_rate\": {l1_rate:.4},\n  \"difftest_compiled_ns\": {difftest_compiled_ns:.1},\n  \"difftest_reference_ns\": {difftest_reference_ns:.1},\n  \"difftest_speedup\": {difftest_speedup:.2},\n  \"retriever_query_ns\": {query_ns:.1},\n  \"suite_stride\": {stride},\n  \"suite_kernels\": {suite_kernels},\n  \"suite_wall_ms\": {suite_wall_ms:.1}\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!("{json}");
+    eprintln!("[perf_snapshot] wrote {out_path}");
+    eprintln!(
+        "[perf_snapshot] interp {interp_speedup:.2}x, differential_test {difftest_speedup:.2}x vs reference"
+    );
+
+    // The acceptance gate: the engine swap must pay for itself by at
+    // least 3x on the pipeline's dominant cost. Quick mode (CI smoke)
+    // only warns, since shared runners are too noisy to gate on.
+    if difftest_speedup < 3.0 {
+        if quick {
+            eprintln!(
+                "[perf_snapshot] WARNING: difftest speedup below 3x (quick mode, not gating)"
+            );
+        } else {
+            eprintln!("[perf_snapshot] FAIL: difftest speedup below 3x");
+            std::process::exit(1);
+        }
+    }
+}

@@ -131,6 +131,9 @@ pub struct LoopRag {
     config: LoopRagConfig,
     dataset: Dataset,
     retriever: Retriever,
+    /// Example id -> index into `dataset.examples`, so demonstration
+    /// lookup is O(1) instead of a linear scan per retrieved id.
+    example_index: std::collections::HashMap<usize, usize>,
 }
 
 impl LoopRag {
@@ -142,10 +145,17 @@ impl LoopRag {
             .map(|e| (e.id, e.program()))
             .collect();
         let retriever = Retriever::build(programs.iter().map(|(i, p)| (*i, p)));
+        let mut example_index = std::collections::HashMap::new();
+        for (pos, e) in dataset.examples.iter().enumerate() {
+            // First occurrence wins, matching the linear scan this
+            // index replaces.
+            example_index.entry(e.id).or_insert(pos);
+        }
         LoopRag {
             config,
             dataset,
             retriever,
+            example_index,
         }
     }
 
@@ -184,7 +194,11 @@ impl LoopRag {
         }
         let demos = chosen
             .iter()
-            .filter_map(|id| self.dataset.examples.iter().find(|e| e.id == *id))
+            .filter_map(|id| {
+                self.example_index
+                    .get(id)
+                    .map(|&pos| &self.dataset.examples[pos])
+            })
             .map(|e| Demonstration {
                 source: e.source.clone(),
                 optimized: e.optimized.clone(),

@@ -25,7 +25,10 @@
 
 #![warn(missing_docs)]
 
-use looprag_exec::{run_with_store, ArrayStore, Coverage, ExecConfig, ExecError, ParallelOrder};
+use looprag_exec::{
+    run_with_store_reference, ArrayStore, CompiledProgram, Coverage, ExecConfig, ExecError,
+    ExecStats, ParallelOrder,
+};
 use looprag_ir::{adaptive_sampling_cap, has_parallel_loop, InitKind, Program};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -183,6 +186,40 @@ fn scaled(p: &Program, cap: i64) -> Program {
     looprag_transform::scaled_clone(p, cap)
 }
 
+/// Which execution engine differential testing runs on: the bytecode
+/// engine ([`CompiledProgram`], lowered once per [`differential_test`]
+/// call and reused across every suite input and iteration order) or the
+/// reference tree-walker (re-walked per run; the validation oracle and
+/// perf-snapshot baseline). Callers pick via [`differential_test`] /
+/// [`differential_test_reference`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecEngine {
+    Compiled,
+    Reference,
+}
+
+/// A program held in whichever form the selected engine executes.
+enum Runner<'p> {
+    Compiled(CompiledProgram),
+    Reference(&'p Program),
+}
+
+impl<'p> Runner<'p> {
+    fn new(p: &'p Program, engine: ExecEngine) -> Self {
+        match engine {
+            ExecEngine::Compiled => Runner::Compiled(CompiledProgram::compile(p)),
+            ExecEngine::Reference => Runner::Reference(p),
+        }
+    }
+
+    fn run(&self, store: &mut ArrayStore, cfg: &ExecConfig) -> Result<ExecStats, ExecError> {
+        match self {
+            Runner::Compiled(c) => c.run_with_store(store, cfg, None),
+            Runner::Reference(p) => run_with_store_reference(p, store, cfg, None),
+        }
+    }
+}
+
 fn store_for(p: &Program, spec: &InputSpec) -> ArrayStore {
     let mut store = ArrayStore::from_program(p);
     for (name, init) in spec {
@@ -201,6 +238,8 @@ pub fn build_test_suite(p: &Program, cfg: &EqCheckConfig) -> TestSuite {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let cap = adaptive_sampling_cap(p, cfg.param_cap, 400_000.0);
     let small = scaled(p, cap);
+    // Compile once; every candidate input reuses the lowered form.
+    let compiled = CompiledProgram::compile(&small);
     let mut total = Coverage::default();
     let mut kept = Vec::new();
     let seeds = seed_inputs(p);
@@ -218,7 +257,7 @@ pub fn build_test_suite(p: &Program, cfg: &EqCheckConfig) -> TestSuite {
     let mut stale_rounds = 0;
     for (i, spec) in pool.iter().enumerate() {
         let mut store = store_for(&small, spec);
-        let Ok(stats) = run_with_store(&small, &mut store, &exec_cfg, None) else {
+        let Ok(stats) = compiled.run_with_store(&mut store, &exec_cfg, None) else {
             continue;
         };
         let grew = total.merge(&stats.coverage);
@@ -244,11 +283,38 @@ pub fn build_test_suite(p: &Program, cfg: &EqCheckConfig) -> TestSuite {
 /// Differentially tests `candidate` against `original` on the suite:
 /// checksum quick-filter, element-wise comparison, and permuted-order
 /// re-execution for parallel-marked loops.
+///
+/// Both programs are compiled to bytecode once and the compiled forms
+/// are reused across every suite input and every iteration order.
 pub fn differential_test(
     original: &Program,
     candidate: &Program,
     suite: &TestSuite,
     cfg: &EqCheckConfig,
+) -> TestVerdict {
+    differential_test_on(original, candidate, suite, cfg, ExecEngine::Compiled)
+}
+
+/// [`differential_test`] forced through the reference tree-walker.
+///
+/// Exists so perf snapshots and differential validation can measure the
+/// uncompiled path; verdicts are identical to [`differential_test`] by
+/// construction (the engines are bit-equivalent).
+pub fn differential_test_reference(
+    original: &Program,
+    candidate: &Program,
+    suite: &TestSuite,
+    cfg: &EqCheckConfig,
+) -> TestVerdict {
+    differential_test_on(original, candidate, suite, cfg, ExecEngine::Reference)
+}
+
+fn differential_test_on(
+    original: &Program,
+    candidate: &Program,
+    suite: &TestSuite,
+    cfg: &EqCheckConfig,
+    engine: ExecEngine,
 ) -> TestVerdict {
     let cap = adaptive_sampling_cap(candidate, cfg.param_cap, 400_000.0)
         .max(adaptive_sampling_cap(original, cfg.param_cap, 400_000.0));
@@ -260,6 +326,10 @@ pub fn differential_test(
         };
     }
     let outputs = orig.outputs.clone();
+    // Compile each side once; the compiled forms are reused across the
+    // whole suite and all three iteration orders.
+    let orig_runner = Runner::new(&orig, engine);
+    let cand_runner = Runner::new(&cand, engine);
     let fwd = ExecConfig {
         stmt_budget: cfg.stmt_budget,
         parallel_order: ParallelOrder::Forward,
@@ -275,7 +345,7 @@ pub fn differential_test(
     };
     for spec in &suite.inputs {
         let mut ostore = store_for(&orig, spec);
-        if run_with_store(&orig, &mut ostore, &fwd, None).is_err() {
+        if orig_runner.run(&mut ostore, &fwd).is_err() {
             // Ground truth failed on this input (should not happen for
             // benchmark kernels); skip the input.
             continue;
@@ -287,7 +357,7 @@ pub fn differential_test(
                 parallel_order: *order,
             };
             let mut cstore = store_for(&cand, spec);
-            match run_with_store(&cand, &mut cstore, &ecfg, None) {
+            match cand_runner.run(&mut cstore, &ecfg) {
                 Err(ExecError::BudgetExceeded { .. }) => return TestVerdict::Timeout,
                 Err(e) => {
                     return TestVerdict::RuntimeError {
@@ -444,6 +514,25 @@ mod tests {
             differential_test(&p, &slow, &suite, &cfg),
             TestVerdict::Timeout
         );
+    }
+
+    #[test]
+    fn reference_engine_reaches_identical_verdicts() {
+        let p = gemm();
+        let cfg = EqCheckConfig::default();
+        let suite = build_test_suite(&p, &cfg);
+        let legal = parallelize(&tile_band(&p, &[0], 3, 8).unwrap(), &[0]).unwrap();
+        let wrong = compile(
+            "param N = 64;\narray C[N][N];\narray A[N][N];\narray B[N][N];\nout C;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= N - 1; j++) C[i][j] = A[i][j] + B[i][j];\n#pragma endscop\n",
+            "wrong",
+        )
+        .unwrap();
+        for cand in [&p, &legal, &wrong] {
+            assert_eq!(
+                differential_test(&p, cand, &suite, &cfg),
+                differential_test_reference(&p, cand, &suite, &cfg)
+            );
+        }
     }
 
     #[test]

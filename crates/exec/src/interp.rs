@@ -1,4 +1,4 @@
-//! The SCoP interpreter.
+//! The reference SCoP tree-walking interpreter.
 //!
 //! Executes a [`Program`] against an [`ArrayStore`], with:
 //!
@@ -8,6 +8,10 @@
 //! * an [`Observer`] hook streaming memory accesses to the machine model,
 //! * configurable iteration order for `parallel`-marked loops, so that
 //!   illegally parallelized loops produce genuinely divergent results.
+//!
+//! This walker is the *semantic oracle*: the production execution path is
+//! the bytecode engine in [`crate::CompiledProgram`], which is validated
+//! differentially against [`run_with_store_reference`].
 
 use crate::coverage::Coverage;
 use crate::store::ArrayStore;
@@ -94,9 +98,16 @@ impl fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 /// Receives execution events; implemented by the machine model.
+///
+/// Array identity is the *dense store index* of the accessed array
+/// (see [`ArrayStore::index_of`]) — stable for the lifetime of a store
+/// and identical between the bytecode engine and the reference walker,
+/// so observers never hash strings on the hot path. Map an index back
+/// to its name with [`ArrayStore::name_at`].
 pub trait Observer {
-    /// An element of `array` at flattened index `flat` was read or written.
-    fn access(&mut self, array: &str, flat: usize, is_write: bool);
+    /// An element of the array at store index `array` was read or written
+    /// at flattened element index `flat`.
+    fn access(&mut self, array: u32, flat: usize, is_write: bool);
     /// A statement finished; `alu` is its abstract ALU cost.
     fn stmt(&mut self, id: usize, alu: u64) {
         let _ = (id, alu);
@@ -177,27 +188,29 @@ impl Interp<'_, '_, '_> {
     }
 
     fn read(&mut self, acc: &looprag_ir::Access, stmt: usize) -> Result<f64, ExecError> {
-        let flat = self.flatten(acc, stmt)?;
+        let (idx, flat) = self.flatten(acc, stmt)?;
         if let Some(obs) = self.obs.as_deref_mut() {
-            obs.access(&acc.array, flat, false);
+            obs.access(idx, flat, false);
         }
-        Ok(self.store.get(&acc.array).unwrap().data[flat])
+        Ok(self.store.at(idx as usize).data[flat])
     }
 
-    fn flatten(&self, acc: &looprag_ir::Access, stmt: usize) -> Result<usize, ExecError> {
+    fn flatten(&self, acc: &looprag_ir::Access, stmt: usize) -> Result<(u32, usize), ExecError> {
         let mut ixs = Vec::with_capacity(acc.indexes.len());
         for e in &acc.indexes {
             ixs.push(self.eval_i64(e)?);
         }
-        let arr = self
+        let idx = self
             .store
-            .get(&acc.array)
+            .index_of(&acc.array)
             .ok_or_else(|| ExecError::Unbound(acc.array.clone()))?;
-        arr.flatten(&ixs).ok_or_else(|| ExecError::OutOfBounds {
+        let arr = self.store.at(idx);
+        let flat = arr.flatten(&ixs).ok_or_else(|| ExecError::OutOfBounds {
             array: acc.array.clone(),
             indexes: ixs,
             stmt,
-        })
+        })?;
+        Ok((idx as u32, flat))
     }
 
     fn eval_expr(&mut self, e: &Expr, stmt: usize) -> Result<f64, ExecError> {
@@ -233,18 +246,29 @@ impl Interp<'_, '_, '_> {
         }
         self.executed += 1;
         let rhs = self.eval_expr(&s.rhs, s.id)?;
-        let flat = self.flatten(&s.lhs, s.id)?;
+        let (idx, flat) = self.flatten(&s.lhs, s.id)?;
         if s.op.reads_target() {
             if let Some(obs) = self.obs.as_deref_mut() {
-                obs.access(&s.lhs.array, flat, false);
+                obs.access(idx, flat, false);
             }
         }
         if let Some(obs) = self.obs.as_deref_mut() {
-            obs.access(&s.lhs.array, flat, true);
+            obs.access(idx, flat, true);
             obs.stmt(s.id, s.rhs.alu_cost());
         }
-        let slot = &mut self.store.get_mut(&s.lhs.array).unwrap().data[flat];
+        let slot = &mut self.store.at_mut(idx as usize).data[flat];
         *slot = s.op.apply(*slot, rhs);
+        Ok(())
+    }
+
+    fn run_iteration(&mut self, l: &Loop, v: i64) -> Result<(), ExecError> {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.loop_header(&l.iter);
+        }
+        self.env.iters.last_mut().unwrap().1 = v;
+        for child in &l.body {
+            self.exec_node(child)?;
+        }
         Ok(())
     }
 
@@ -261,34 +285,59 @@ impl Interp<'_, '_, '_> {
         }
         self.coverage.loops[site].0 = true;
 
-        let mut values: Vec<i64> = (lb..=ub).step_by(l.step as usize).collect();
-        if l.parallel {
-            match self.cfg.parallel_order {
-                ParallelOrder::Forward => {}
-                ParallelOrder::Reverse => values.reverse(),
-                ParallelOrder::EvenOdd => {
+        let order = if l.parallel {
+            self.cfg.parallel_order
+        } else {
+            ParallelOrder::Forward
+        };
+        self.env.iters.push((l.iter.clone(), 0));
+        // Degenerate (non-positive) steps cannot come from the parser;
+        // for hand-built trees both engines define them as a single
+        // iteration at the lower bound.
+        if l.step <= 0 {
+            let res = self.run_iteration(l, lb);
+            self.env.iters.pop();
+            return res;
+        }
+        let res = match order {
+            // The overwhelmingly common case: iterate the range directly,
+            // without materializing an iteration vector.
+            ParallelOrder::Forward => {
+                let mut v = lb;
+                loop {
+                    if let Err(e) = self.run_iteration(l, v) {
+                        break Err(e);
+                    }
+                    match v.checked_add(l.step) {
+                        Some(n) if n <= ub => v = n,
+                        _ => break Ok(()),
+                    }
+                }
+            }
+            // Permuted orders are rare (illegal-parallelism probes); they
+            // may allocate the iteration vector.
+            ParallelOrder::Reverse | ParallelOrder::EvenOdd => {
+                let mut values: Vec<i64> = (lb..=ub).step_by(l.step as usize).collect();
+                if order == ParallelOrder::Reverse {
+                    values.reverse();
+                } else {
                     let (evens, odds): (Vec<i64>, Vec<i64>) =
                         values.iter().partition(|v| (*v - lb) / l.step % 2 == 0);
                     values = evens;
                     values.extend(odds);
                 }
-            }
-        }
-        self.env.iters.push((l.iter.clone(), 0));
-        for v in values {
-            if let Some(obs) = self.obs.as_deref_mut() {
-                obs.loop_header(&l.iter);
-            }
-            self.env.iters.last_mut().unwrap().1 = v;
-            for child in &l.body {
-                if let Err(e) = self.exec_node(child) {
-                    self.env.iters.pop();
-                    return Err(e);
+                let mut res = Ok(());
+                for v in values {
+                    if let Err(e) = self.run_iteration(l, v) {
+                        res = Err(e);
+                        break;
+                    }
                 }
+                res
             }
-        }
+        };
         self.env.iters.pop();
-        Ok(())
+        res
     }
 
     fn exec_node(&mut self, n: &Node) -> Result<(), ExecError> {
@@ -320,13 +369,19 @@ impl Interp<'_, '_, '_> {
     }
 }
 
-/// Runs `p` against `store` under `cfg`, streaming events to `obs`.
+/// Runs `p` against `store` under `cfg` through the **reference
+/// tree-walker**, streaming events to `obs`.
+///
+/// This path re-resolves every symbol and array name per access; use it
+/// as the differential-testing oracle for the bytecode engine
+/// ([`crate::CompiledProgram`]), not as the production execution path
+/// ([`crate::run_with_store`]).
 ///
 /// # Errors
 ///
 /// Returns [`ExecError`] on out-of-bounds accesses, budget exhaustion, or
 /// unbound symbols.
-pub fn run_with_store(
+pub fn run_with_store_reference(
     p: &Program,
     store: &mut ArrayStore,
     cfg: &ExecConfig,
@@ -358,24 +413,21 @@ pub fn run_with_store(
     })
 }
 
-/// Allocates the program's arrays, runs it, and returns the final store.
-///
-/// # Errors
-///
-/// Returns [`ExecError`] as in [`run_with_store`].
-pub fn run(p: &Program, cfg: &ExecConfig) -> Result<(ArrayStore, ExecStats), ExecError> {
-    let mut store = ArrayStore::from_program(p);
-    let stats = run_with_store(p, &mut store, cfg, None)?;
-    Ok((store, stats))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compile::{run, run_with_store};
     use looprag_ir::compile;
 
     fn program(src: &str) -> Program {
         compile(src, "t").unwrap()
+    }
+
+    /// Runs through the reference walker on a fresh store.
+    fn run_reference(p: &Program, cfg: &ExecConfig) -> Result<(ArrayStore, ExecStats), ExecError> {
+        let mut store = ArrayStore::from_program(p);
+        let stats = run_with_store_reference(p, &mut store, cfg, None)?;
+        Ok((store, stats))
     }
 
     #[test]
@@ -383,9 +435,13 @@ mod tests {
         let p = program(
             "param N = 10;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i] = 2.0;\nfor (i = 0; i <= N - 1; i++) A[i] += 3.0;\n#pragma endscop\n",
         );
-        let (store, stats) = run(&p, &ExecConfig::default()).unwrap();
-        assert_eq!(stats.stmts_executed, 20);
-        assert!(store.get("A").unwrap().data.iter().all(|&v| v == 5.0));
+        for (store, stats) in [
+            run(&p, &ExecConfig::default()).unwrap(),
+            run_reference(&p, &ExecConfig::default()).unwrap(),
+        ] {
+            assert_eq!(stats.stmts_executed, 20);
+            assert!(store.get("A").unwrap().data.iter().all(|&v| v == 5.0));
+        }
     }
 
     #[test]
@@ -395,6 +451,8 @@ mod tests {
         );
         let (_, stats) = run(&p, &ExecConfig::default()).unwrap();
         assert_eq!(stats.stmts_executed, 2 * (1 + 2 + 3 + 4));
+        let (_, ref_stats) = run_reference(&p, &ExecConfig::default()).unwrap();
+        assert_eq!(ref_stats, stats);
     }
 
     #[test]
@@ -403,6 +461,7 @@ mod tests {
             "param N = 4;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i + 1] = 1.0;\n#pragma endscop\n",
         );
         let err = run(&p, &ExecConfig::default()).unwrap_err();
+        assert_eq!(err, run_reference(&p, &ExecConfig::default()).unwrap_err());
         match err {
             ExecError::OutOfBounds { array, indexes, .. } => {
                 assert_eq!(array, "A");
@@ -425,6 +484,10 @@ mod tests {
             run(&p, &cfg).unwrap_err(),
             ExecError::BudgetExceeded { budget: 10 }
         ));
+        assert!(matches!(
+            run_reference(&p, &cfg).unwrap_err(),
+            ExecError::BudgetExceeded { budget: 10 }
+        ));
     }
 
     #[test]
@@ -435,6 +498,8 @@ mod tests {
         let (_, stats) = run(&p, &ExecConfig::default()).unwrap();
         assert_eq!(stats.coverage.ifs, vec![(true, true)]);
         assert_eq!(stats.coverage.loops, vec![(true, false)]);
+        let (_, ref_stats) = run_reference(&p, &ExecConfig::default()).unwrap();
+        assert_eq!(ref_stats.coverage, stats.coverage);
     }
 
     #[test]
@@ -452,6 +517,8 @@ mod tests {
                 ..Default::default()
             };
             let (store, _) = run(&p, &cfg).unwrap();
+            let (ref_store, _) = run_reference(&p, &cfg).unwrap();
+            assert_eq!(store, ref_store);
             results.push(store.get("A").unwrap().data.clone());
         }
         assert_eq!(results[0], results[1]);
@@ -486,13 +553,13 @@ mod tests {
     }
 
     #[test]
-    fn observer_sees_reads_and_writes() {
+    fn observer_sees_reads_and_writes_in_both_engines() {
         struct Counter {
             reads: usize,
             writes: usize,
         }
         impl Observer for Counter {
-            fn access(&mut self, _array: &str, _flat: usize, is_write: bool) {
+            fn access(&mut self, _array: u32, _flat: usize, is_write: bool) {
                 if is_write {
                     self.writes += 1;
                 } else {
@@ -503,14 +570,21 @@ mod tests {
         let p = program(
             "param N = 4;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i] += 1.0;\n#pragma endscop\n",
         );
-        let mut store = ArrayStore::from_program(&p);
-        let mut c = Counter {
-            reads: 0,
-            writes: 0,
-        };
-        run_with_store(&p, &mut store, &ExecConfig::default(), Some(&mut c)).unwrap();
-        assert_eq!(c.writes, 4);
-        assert_eq!(c.reads, 4); // compound assignment reads the target
+        for reference in [false, true] {
+            let mut store = ArrayStore::from_program(&p);
+            let mut c = Counter {
+                reads: 0,
+                writes: 0,
+            };
+            if reference {
+                run_with_store_reference(&p, &mut store, &ExecConfig::default(), Some(&mut c))
+                    .unwrap();
+            } else {
+                run_with_store(&p, &mut store, &ExecConfig::default(), Some(&mut c)).unwrap();
+            }
+            assert_eq!(c.writes, 4);
+            assert_eq!(c.reads, 4); // compound assignment reads the target
+        }
     }
 
     #[test]
@@ -522,5 +596,8 @@ mod tests {
         assert_eq!(stats.stmts_executed, 4); // 0, 3, 6, 9
         assert_eq!(store.get("A").unwrap().data[9], 1.0);
         assert_ne!(store.get("A").unwrap().data[1], 1.0); // untouched by the stride-3 loop
+        let (ref_store, ref_stats) = run_reference(&p, &ExecConfig::default()).unwrap();
+        assert_eq!(ref_stats, stats);
+        assert_eq!(ref_store, store);
     }
 }

@@ -1,7 +1,12 @@
 //! Array storage for program execution.
+//!
+//! The store is a dense `Vec<ArrayData>` indexed by a per-store array
+//! index, with a name→index map kept only for construction, diffing and
+//! display. The hot execution path ([`crate::CompiledProgram`]) resolves
+//! names to indexes once per run and then touches only the dense vector.
 
 use looprag_ir::{InitKind, Program};
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::fmt;
 
 /// One allocated array: concrete extents plus row-major `f64` data.
@@ -47,9 +52,15 @@ impl ArrayData {
 }
 
 /// A named collection of arrays — the memory image a program runs against.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Equality is name-keyed and order-independent: two stores are equal when
+/// they hold the same arrays under the same names, regardless of insertion
+/// order.
+#[derive(Debug, Clone, Default)]
 pub struct ArrayStore {
-    arrays: BTreeMap<String, ArrayData>,
+    names: Vec<String>,
+    datas: Vec<ArrayData>,
+    index: HashMap<String, usize>,
 }
 
 impl ArrayStore {
@@ -76,29 +87,86 @@ impl ArrayStore {
             if !decl.local {
                 data.fill(&p.init_for(&decl.name));
             }
-            store.arrays.insert(decl.name.clone(), data);
+            store.insert(decl.name.clone(), data);
         }
         store
     }
 
     /// Inserts or replaces an array.
     pub fn insert(&mut self, name: impl Into<String>, data: ArrayData) {
-        self.arrays.insert(name.into(), data);
+        let name = name.into();
+        match self.index.get(&name) {
+            Some(&i) => self.datas[i] = data,
+            None => {
+                self.index.insert(name.clone(), self.datas.len());
+                self.names.push(name);
+                self.datas.push(data);
+            }
+        }
+    }
+
+    /// Number of arrays held.
+    pub fn len(&self) -> usize {
+        self.datas.len()
+    }
+
+    /// True when the store holds no arrays.
+    pub fn is_empty(&self) -> bool {
+        self.datas.is_empty()
+    }
+
+    /// Resolves a name to its dense store index.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// The name of the array at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range.
+    pub fn name_at(&self, idx: usize) -> &str {
+        &self.names[idx]
+    }
+
+    /// The array at `idx` (see [`ArrayStore::index_of`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range.
+    pub fn at(&self, idx: usize) -> &ArrayData {
+        &self.datas[idx]
+    }
+
+    /// The array at `idx`, mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range.
+    pub fn at_mut(&mut self, idx: usize) -> &mut ArrayData {
+        &mut self.datas[idx]
     }
 
     /// Looks an array up.
     pub fn get(&self, name: &str) -> Option<&ArrayData> {
-        self.arrays.get(name)
+        self.index.get(name).map(|&i| &self.datas[i])
     }
 
     /// Looks an array up mutably.
     pub fn get_mut(&mut self, name: &str) -> Option<&mut ArrayData> {
-        self.arrays.get_mut(name)
+        match self.index.get(name) {
+            Some(&i) => Some(&mut self.datas[i]),
+            None => None,
+        }
     }
 
     /// Iterates over `(name, data)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &ArrayData)> {
-        self.arrays.iter().map(|(k, v)| (k.as_str(), v))
+        let mut order: Vec<usize> = (0..self.names.len()).collect();
+        order.sort_by(|&a, &b| self.names[a].cmp(&self.names[b]));
+        order
+            .into_iter()
+            .map(|i| (self.names[i].as_str(), &self.datas[i]))
     }
 
     /// Order-independent checksum over the named arrays (the paper's quick
@@ -106,7 +174,7 @@ impl ArrayStore {
     pub fn checksum(&self, names: &[String]) -> f64 {
         let mut acc = 0.0f64;
         for n in names {
-            if let Some(a) = self.arrays.get(n) {
+            if let Some(a) = self.get(n) {
                 for v in &a.data {
                     if v.is_finite() {
                         acc += v;
@@ -131,7 +199,7 @@ impl ArrayStore {
         rel_eps: f64,
     ) -> Option<(String, usize, f64, f64)> {
         for n in names {
-            let (Some(a), Some(b)) = (self.arrays.get(n), other.arrays.get(n)) else {
+            let (Some(a), Some(b)) = (self.get(n), other.get(n)) else {
                 return Some((n.clone(), 0, f64::NAN, f64::NAN));
             };
             if a.data.len() != b.data.len() {
@@ -153,9 +221,20 @@ impl ArrayStore {
     }
 }
 
+impl PartialEq for ArrayStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && self
+                .names
+                .iter()
+                .zip(&self.datas)
+                .all(|(name, data)| other.get(name) == Some(data))
+    }
+}
+
 impl fmt::Display for ArrayStore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (name, a) in &self.arrays {
+        for (name, a) in self.iter() {
             writeln!(f, "{name}{:?}: {} elements", a.extents, a.data.len())?;
         }
         Ok(())
@@ -218,5 +297,36 @@ mod tests {
         a.data[0] = 1.0 + 1e-12;
         s2.insert("A", a);
         assert!(s1.element_diff(&s2, &["A".to_string()], 1e-9).is_none());
+    }
+
+    #[test]
+    fn dense_indexing_round_trips() {
+        let mut s = ArrayStore::new();
+        s.insert("B", ArrayData::zeroed(vec![2]));
+        s.insert("A", ArrayData::zeroed(vec![3]));
+        let ia = s.index_of("A").unwrap();
+        let ib = s.index_of("B").unwrap();
+        assert_eq!(s.name_at(ia), "A");
+        assert_eq!(s.at(ia).data.len(), 3);
+        assert_eq!(s.at(ib).data.len(), 2);
+        s.at_mut(ia).data[1] = 7.0;
+        assert_eq!(s.get("A").unwrap().data[1], 7.0);
+        // Replacement keeps the index stable.
+        s.insert("A", ArrayData::zeroed(vec![5]));
+        assert_eq!(s.index_of("A"), Some(ia));
+        assert_eq!(s.at(ia).data.len(), 5);
+    }
+
+    #[test]
+    fn equality_is_insertion_order_independent() {
+        let mut s1 = ArrayStore::new();
+        let mut s2 = ArrayStore::new();
+        s1.insert("A", ArrayData::zeroed(vec![2]));
+        s1.insert("B", ArrayData::zeroed(vec![3]));
+        s2.insert("B", ArrayData::zeroed(vec![3]));
+        s2.insert("A", ArrayData::zeroed(vec![2]));
+        assert_eq!(s1, s2);
+        s2.at_mut(0).data[0] = 1.0;
+        assert_ne!(s1, s2);
     }
 }

@@ -21,6 +21,8 @@
 
 mod cache;
 mod model;
+mod observer;
 
 pub use cache::{CacheGeometry, CacheLevel, Hierarchy, ServiceLevel};
 pub use model::{estimate_cost, CostError, CostReport, CostVec, MachineConfig};
+pub use observer::{measure_locality, CacheObserver, LocalityReport};

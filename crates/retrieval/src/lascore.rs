@@ -143,12 +143,20 @@ impl Retriever {
 
     /// Ranks all examples for `target` under `mode`; returns
     /// `(id, score)` pairs, best first, truncated to `top_n`.
+    ///
+    /// Selection is O(docs + top_n·log(top_n)): the top-N partition is
+    /// found with [`slice::select_nth_unstable_by`] and only that slice
+    /// is sorted, instead of sorting the whole corpus. Ties break by
+    /// document position, which reproduces exactly what the previous
+    /// full stable sort returned.
     pub fn query(&self, target: &Program, mode: RetrievalMode, top_n: usize) -> Vec<(usize, f64)> {
         let tf = extract_features(target);
         let text = print_program(target);
         let raw_bm25 = self.index.scores(&text);
         let max_bm25 = raw_bm25.iter().cloned().fold(0.0f64, f64::max).max(1e-9);
-        let mut scored: Vec<(usize, f64)> = self
+        // (score, position, id); position makes the comparator a total
+        // order so unstable selection is deterministic.
+        let scored: Vec<(f64, usize, usize)> = self
             .docs
             .iter()
             .enumerate()
@@ -160,13 +168,34 @@ impl Retriever {
                     RetrievalMode::Bm25Only => sb,
                     RetrievalMode::WeightedOnly => sw,
                 };
-                (doc.id, score)
+                (score, pos, doc.id)
             })
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        scored.truncate(top_n);
-        scored
+        select_top_n(scored, top_n)
+            .into_iter()
+            .map(|(score, _, id)| (id, score))
+            .collect()
     }
+}
+
+/// Keeps the best `top_n` of `scored` in descending score order, ties
+/// broken by ascending position — exactly what a full stable sort by
+/// descending score returns, but in O(n + top_n·log(top_n)).
+fn select_top_n(mut scored: Vec<(f64, usize, usize)>, top_n: usize) -> Vec<(f64, usize, usize)> {
+    let cmp = |a: &(f64, usize, usize), b: &(f64, usize, usize)| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    };
+    if top_n == 0 {
+        return Vec::new();
+    }
+    if top_n < scored.len() {
+        scored.select_nth_unstable_by(top_n - 1, cmp);
+        scored.truncate(top_n);
+    }
+    scored.sort_by(cmp);
+    scored
 }
 
 #[cfg(test)]
@@ -228,6 +257,23 @@ mod tests {
         let la = r.query(&target, RetrievalMode::LoopAware, 3);
         assert_eq!(la[0].0, 2, "loop-aware should pick the stencil: {la:?}");
         assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn query_selection_matches_full_sort_with_ties() {
+        // Scores with heavy ties; the select-then-sort fast path must
+        // return exactly what a full stable sort by descending score
+        // returns (position order on ties).
+        let scored: Vec<(f64, usize, usize)> = (0..40)
+            .map(|pos| (((pos * 7) % 5) as f64, pos, 1000 + pos))
+            .collect();
+        let mut full = scored.clone();
+        full.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        for top_n in [0, 1, 3, 11, 39, 40, 50] {
+            let fast = select_top_n(scored.clone(), top_n);
+            let want = &full[..top_n.min(full.len())];
+            assert_eq!(fast[..], *want, "top_n {top_n}");
+        }
     }
 
     #[test]

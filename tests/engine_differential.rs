@@ -1,0 +1,170 @@
+//! Differential self-test of the bytecode execution engine against the
+//! reference tree-walker.
+//!
+//! The bytecode engine ([`CompiledProgram`]) is the production execution
+//! path for every pipeline verdict; these tests pin it to the reference
+//! interpreter bit-for-bit: identical stores (to the last mantissa bit),
+//! identical `stmts_executed`, identical branch coverage, and identical
+//! errors — across all 134 suite kernels, all parallel iteration orders,
+//! the eqcheck seed inputs, and randomly synthesized programs.
+
+use looprag::looprag_eqcheck::seed_inputs;
+use looprag::looprag_exec::{
+    run_with_store_reference, ArrayStore, CompiledProgram, ExecConfig, ExecStats, ParallelOrder,
+};
+use looprag::looprag_ir::Program;
+use looprag::looprag_suites::all_benchmarks;
+use looprag::looprag_synth::{generate_example, LoopParams};
+use looprag::looprag_transform::{parallelize, scaled_clone};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Asserts that two stores are *bit*-identical — stricter than
+/// `ArrayStore`'s `PartialEq`, which would treat equal NaNs as unequal
+/// and -0.0 as equal to 0.0.
+fn assert_stores_bit_identical(a: &ArrayStore, b: &ArrayStore, ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: store sizes differ");
+    for (name, da) in a.iter() {
+        let db = b
+            .get(name)
+            .unwrap_or_else(|| panic!("{ctx}: missing {name}"));
+        assert_eq!(da.extents, db.extents, "{ctx}: {name} extents differ");
+        for (i, (x, y)) in da.data.iter().zip(&db.data).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{ctx}: {name}[{i}] differs: {x} vs {y}"
+            );
+        }
+    }
+}
+
+/// Runs `p` through both engines on identically initialized stores and
+/// asserts bit-identical outcomes. Returns the (shared) result.
+fn assert_engines_agree(
+    p: &Program,
+    init: impl Fn(&mut ArrayStore),
+    cfg: &ExecConfig,
+    ctx: &str,
+) -> Result<ExecStats, looprag::looprag_exec::ExecError> {
+    let mut s_ref = ArrayStore::from_program(p);
+    let mut s_new = ArrayStore::from_program(p);
+    init(&mut s_ref);
+    init(&mut s_new);
+    let r_ref = run_with_store_reference(p, &mut s_ref, cfg, None);
+    let r_new = CompiledProgram::compile(p).run_with_store(&mut s_new, cfg, None);
+    assert_eq!(r_ref, r_new, "{ctx}: engine outcomes diverge");
+    // Even on errors the partial stores must agree.
+    assert_stores_bit_identical(&s_ref, &s_new, ctx);
+    r_new
+}
+
+const ORDERS: [ParallelOrder; 3] = [
+    ParallelOrder::Forward,
+    ParallelOrder::Reverse,
+    ParallelOrder::EvenOdd,
+];
+
+/// Every suite kernel, every eqcheck seed input: stores, statement
+/// counts and coverage must match the reference walker bit-for-bit.
+#[test]
+fn all_suite_kernels_match_reference_on_seed_inputs() {
+    let benchmarks = all_benchmarks();
+    assert!(
+        benchmarks.len() >= 130,
+        "suite shrank to {}",
+        benchmarks.len()
+    );
+    let cfg = ExecConfig {
+        stmt_budget: 5_000_000,
+        ..Default::default()
+    };
+    for b in &benchmarks {
+        let p = scaled_clone(&b.program(), 10);
+        for (k, spec) in seed_inputs(&p).iter().enumerate() {
+            let ctx = format!("{} input {k}", b.name);
+            let stats = assert_engines_agree(
+                &p,
+                |store| {
+                    for (name, init) in spec {
+                        if let Some(arr) = store.get_mut(name) {
+                            arr.fill(init);
+                        }
+                    }
+                },
+                &cfg,
+                &ctx,
+            )
+            .unwrap_or_else(|e| panic!("{ctx}: kernel faulted: {e}"));
+            assert!(stats.stmts_executed > 0, "{ctx}: executed nothing");
+        }
+    }
+}
+
+/// Parallelized kernels under all three iteration orders: the permuted
+/// schedules (the illegal-parallelism probes) must also be bit-exact.
+#[test]
+fn parallelized_kernels_match_reference_under_all_orders() {
+    let mut covered = 0;
+    for b in all_benchmarks().iter().take(40) {
+        let p = scaled_clone(&b.program(), 8);
+        // Force-parallelize the outermost loop regardless of legality:
+        // exactly the situation permuted orders exist to expose.
+        let Ok(par) = parallelize(&p, &[0]) else {
+            continue;
+        };
+        covered += 1;
+        for order in ORDERS {
+            let cfg = ExecConfig {
+                stmt_budget: 5_000_000,
+                parallel_order: order,
+            };
+            let ctx = format!("{} order {order:?}", b.name);
+            let _ = assert_engines_agree(&par, |_| {}, &cfg, &ctx);
+        }
+    }
+    assert!(
+        covered >= 10,
+        "only {covered} kernels could be parallelized"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Synthesized programs (the dataset generator exercises guards,
+    /// strides, reductions, local scalars and multi-dimensional
+    /// subscripts) run bit-identically on both engines.
+    #[test]
+    fn synthesized_programs_match_reference(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = LoopParams::sample(&mut rng);
+        if let Some(p) = generate_example(&params, 0, &mut rng) {
+            let small = scaled_clone(&p, 12);
+            let cfg = ExecConfig {
+                stmt_budget: 2_000_000,
+                ..Default::default()
+            };
+            let ctx = format!("seed {seed}");
+            let _ = assert_engines_agree(&small, |_| {}, &cfg, &ctx);
+        }
+    }
+
+    /// Error classes (budget exhaustion mid-run) surface identically,
+    /// including the partially written store at the abort point.
+    #[test]
+    fn budget_aborts_match_reference(seed in 0u64..10_000, budget in 1u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = LoopParams::sample(&mut rng);
+        if let Some(p) = generate_example(&params, 0, &mut rng) {
+            let small = scaled_clone(&p, 6);
+            let cfg = ExecConfig {
+                stmt_budget: budget,
+                ..Default::default()
+            };
+            let ctx = format!("seed {seed} budget {budget}");
+            let _ = assert_engines_agree(&small, |_| {}, &cfg, &ctx);
+        }
+    }
+}
