@@ -8,6 +8,9 @@
 //!
 //! `--quick` evaluates every third kernel with a smaller dataset (for
 //! smoke-testing the harness); full runs use every kernel.
+//! `--threads N` sets the campaign worker-pool size (default: the
+//! `LOOPRAG_THREADS` environment variable, then available parallelism);
+//! results are identical at any pool size.
 
 use looprag_bench::experiments;
 use looprag_bench::{EvalOptions, Harness};
@@ -15,10 +18,20 @@ use looprag_bench::{EvalOptions, Harness};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let threads_pos = args.iter().position(|a| a == "--threads");
+    let threads = threads_pos
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    // Only the value that directly follows --threads is consumed;
+    // every other non-flag argument stays an experiment id so typos
+    // still hit the unknown-id diagnostic.
+    let threads_val_pos = threads_pos.map(|i| i + 1);
     let ids: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && Some(*i) != threads_val_pos)
+        .map(|(_, s)| s.as_str())
         .collect();
     let ids: Vec<&str> = if ids.is_empty() { vec!["all"] } else { ids };
 
@@ -26,14 +39,20 @@ fn main() {
         EvalOptions {
             dataset_size: 60,
             kernel_stride: 3,
+            threads,
             ..Default::default()
         }
     } else {
-        EvalOptions::default()
+        EvalOptions {
+            threads,
+            ..Default::default()
+        }
     };
     println!(
-        "LOOPRAG experiment harness (dataset={}, stride={})",
-        opts.dataset_size, opts.kernel_stride
+        "LOOPRAG experiment harness (dataset={}, stride={}, threads={})",
+        opts.dataset_size,
+        opts.kernel_stride,
+        looprag_runtime::resolve_threads(opts.threads)
     );
     let h = Harness::new(opts);
 

@@ -9,37 +9,11 @@ use looprag_llm::LlmProfile;
 use looprag_machine::{estimate_cost, MachineConfig};
 use looprag_polyopt::{optimize, PolyOptions};
 use looprag_retrieval::RetrievalMode;
+use looprag_runtime::{par_map, resolve_threads};
 use looprag_suites::{suite, Benchmark, Suite};
 use looprag_synth::{build_dataset, Dataset, GeneratorKind, SynthConfig};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-
-/// Maps `f` over `items` on all available cores (work-stealing by index).
-fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                *slots[i].lock().unwrap() = Some(r);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
-        .collect()
-}
 
 /// Per-kernel measurement shared by all experiments.
 #[derive(Debug, Clone)]
@@ -68,6 +42,27 @@ impl KernelResult {
     }
 }
 
+/// The campaign driver: runs the pipeline over a whole kernel set by
+/// scheduling **kernels** (not candidates) across the worker pool, one
+/// work item each, results merged back in kernel order.
+///
+/// Per-kernel seeds come from `rag`'s config seed hashed with the
+/// kernel name (see `LoopRag::optimize`), so the outcome of a kernel is
+/// independent of which worker runs it or in what order — a campaign at
+/// 8 threads is bit-for-bit identical to the same campaign at 1.
+///
+/// `threads = 0` resolves through `LOOPRAG_THREADS`, then available
+/// parallelism. Kernel-level fan-out already saturates the pool, so
+/// `rag` is typically configured with `threads = 1` to keep the
+/// per-candidate stages sequential inside each worker.
+pub fn run_campaign(rag: &LoopRag, kernels: &[Benchmark], threads: usize) -> Vec<KernelResult> {
+    let threads = resolve_threads(threads);
+    par_map(threads, kernels, |_, b| {
+        let outcome = rag.optimize(&b.name, &b.program());
+        KernelResult::from_outcome(b.suite, &outcome)
+    })
+}
+
 /// Harness options.
 #[derive(Debug, Clone)]
 pub struct EvalOptions {
@@ -79,6 +74,9 @@ pub struct EvalOptions {
     pub kernel_stride: usize,
     /// Base seed for everything.
     pub seed: u64,
+    /// Worker-pool size for kernel-level fan-out (0 = auto:
+    /// `LOOPRAG_THREADS`, then available parallelism).
+    pub threads: usize,
 }
 
 impl Default for EvalOptions {
@@ -87,6 +85,7 @@ impl Default for EvalOptions {
             dataset_size: 160,
             kernel_stride: 1,
             seed: 0x0A5F_00D5,
+            threads: 0,
         }
     }
 }
@@ -198,12 +197,12 @@ impl Harness {
             }
             _ => self.dataset.clone(),
         };
+        // Kernel-level fan-out saturates the pool; keep the
+        // per-candidate stages inside each worker sequential.
+        cfg.threads = 1;
         let rag = LoopRag::new(cfg, dataset);
         let kernels = self.kernels(which);
-        let results: Vec<KernelResult> = par_map(&kernels, |b| {
-            let outcome = rag.optimize(&b.name, &b.program());
-            KernelResult::from_outcome(which, &outcome)
-        });
+        let results = run_campaign(&rag, &kernels, self.opts.threads);
         self.cache.lock().unwrap().insert(key, results.clone());
         results
     }
@@ -239,7 +238,8 @@ impl Harness {
         eprintln!("[harness] running PLuTo on {which}...");
         let mcfg = Self::machine_by_name(machine);
         let kernels = self.kernels(which);
-        let results: Vec<KernelResult> = par_map(&kernels, |b| {
+        let threads = resolve_threads(self.opts.threads);
+        let results: Vec<KernelResult> = par_map(threads, &kernels, |_, b| {
             let p = b.program();
             let r = optimize(&p, &PolyOptions::default());
             let (passed, speedup) = score_program(&p, &r.program, &mcfg, 600.0);
@@ -269,7 +269,8 @@ impl Harness {
         eprintln!("[harness] running {baseline} on {which}...");
         let mcfg = Self::machine_by_name(machine);
         let kernels = self.kernels(which);
-        let results: Vec<KernelResult> = par_map(&kernels, |b| {
+        let threads = resolve_threads(self.opts.threads);
+        let results: Vec<KernelResult> = par_map(threads, &kernels, |_, b| {
             let p = b.program();
             let r = apply_baseline(baseline, &p);
             let (passed, speedup) = match &r.program {

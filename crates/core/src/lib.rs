@@ -23,6 +23,9 @@ mod pipeline;
 
 pub use metrics::{average_speedup, candidate_speedup, pass_at_k, percent_faster, OUTLIER_SPEEDUP};
 pub use pipeline::{CandidateReport, LoopRag, LoopRagConfig, OptimizationOutcome, StepTrace};
+// Re-exported so configuring the per-kernel budget or pool size does
+// not force a direct looprag-runtime dependency on callers.
+pub use looprag_runtime::{Budget, BudgetPolicy};
 
 #[cfg(test)]
 mod tests {

@@ -1,5 +1,7 @@
 //! The LOOPRAG pipeline (§3): dataset-backed retrieval plus the
-//! four-step feedback-based iterative generation of §4.3.
+//! four-step feedback-based iterative generation of §4.3, structured as
+//! explicit stages over the deterministic worker pool of
+//! [`looprag_runtime`].
 //!
 //! * **Step 1** — prompt with retrieved demonstrations, generate K
 //!   candidates, compile each.
@@ -11,16 +13,37 @@
 //!   generate a fresh batch.
 //! * **Step 4** — repeat compile-repair and testing for the new batch,
 //!   and output the fastest passing candidate overall.
+//!
+//! # Stage structure and parallelism
+//!
+//! Each round flows through three explicit stage values:
+//! [`GeneratedBatch`] (the model's vetted emissions) →
+//! [`CompiledBatch`] (per-candidate reports + programs) →
+//! [`TestedBatch`] (verdicts and speedups), followed by a pure ranking.
+//! Generation and repair stay **sequential** — the simulated LLM is a
+//! stateful RNG stream, so call order is part of the seed contract, and
+//! it must parse every emission anyway to decide whether to send repair
+//! feedback (the parse is carried forward, not redone) — while
+//! differential testing and cost estimation (the dominant cost) fan out
+//! across the worker pool. Results merge back in submission order and
+//! every budget decision is taken sequentially before the fan-out, so
+//! outcomes are bit-for-bit identical at any thread count.
 
 use crate::metrics::candidate_speedup;
-use looprag_eqcheck::{build_test_suite, differential_test, EqCheckConfig, TestSuite, TestVerdict};
+use looprag_eqcheck::{PreparedTarget, TestVerdict};
 use looprag_ir::{compile, print_program, Program};
-use looprag_llm::{Demonstration, Feedback, LanguageModel, LlmProfile, Prompt, SimLlm};
+use looprag_llm::{Demonstration, LanguageModel, LlmProfile, Prompt, SimLlm};
 use looprag_machine::{estimate_cost, CostReport, MachineConfig};
 use looprag_retrieval::{RetrievalMode, Retriever};
+use looprag_runtime::{par_map, resolve_threads, Budget, BudgetPolicy};
 use looprag_synth::Dataset;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Virtual-cost units charged per model call (generation or repair).
+const GEN_COST: u64 = 1;
+/// Virtual-cost units charged per candidate differential test.
+const TEST_COST: u64 = 1;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -40,17 +63,24 @@ pub struct LoopRagConfig {
     /// Machine model for performance ranking and reported speedups.
     pub machine: MachineConfig,
     /// Equivalence-checking configuration.
-    pub eqcheck: EqCheckConfig,
+    pub eqcheck: looprag_eqcheck::EqCheckConfig,
     /// Candidates whose estimated cost exceeds `orig_cost * slow_factor`
     /// count as inefficient failures (the paper's 120 s wall limit).
     pub slow_factor: f64,
     /// When true, run only step 1 with no feedback of any kind — the
     /// base-LLM prompting arm of Table 2.
     pub single_shot: bool,
-    /// Wall-clock budget per kernel; once exceeded, remaining candidates
-    /// are skipped (scored as failures). Mirrors the paper's per-kernel
-    /// generation time limits.
-    pub kernel_time_budget: std::time::Duration,
+    /// Per-kernel execution budget. The default is a virtual-cost limit
+    /// (every model call and candidate test charges one unit), which
+    /// mirrors the paper's per-kernel generation time limits while
+    /// keeping outcomes reproducible regardless of machine load or
+    /// thread count; a wall-clock policy is available for deployments
+    /// that want the literal limit.
+    pub budget: BudgetPolicy,
+    /// Worker-pool size for the parallel stages. 0 = auto: the
+    /// `LOOPRAG_THREADS` environment variable, falling back to the
+    /// machine's available parallelism.
+    pub threads: usize,
 }
 
 impl LoopRagConfig {
@@ -64,10 +94,11 @@ impl LoopRagConfig {
             demos: 3,
             profile,
             machine: MachineConfig::gcc(),
-            eqcheck: EqCheckConfig::default(),
+            eqcheck: looprag_eqcheck::EqCheckConfig::default(),
             slow_factor: 50.0,
             single_shot: false,
-            kernel_time_budget: std::time::Duration::from_secs(90),
+            budget: BudgetPolicy::default_virtual(),
+            threads: 0,
         }
     }
 }
@@ -85,6 +116,114 @@ pub struct CandidateReport {
     pub verdict: Option<TestVerdict>,
     /// Estimated speedup over the original (0 when failed).
     pub speedup: f64,
+}
+
+impl CandidateReport {
+    /// A candidate that never compiled (parse failure after any repair,
+    /// or skipped because the budget ran out before generation).
+    pub fn failed(round: u8) -> Self {
+        CandidateReport {
+            round,
+            compiled: false,
+            repaired: false,
+            verdict: None,
+            speedup: 0.0,
+        }
+    }
+
+    /// A candidate that compiled, possibly only after repair feedback;
+    /// not yet tested.
+    pub fn compiled(round: u8, repaired: bool) -> Self {
+        CandidateReport {
+            round,
+            compiled: true,
+            repaired,
+            verdict: None,
+            speedup: 0.0,
+        }
+    }
+}
+
+/// Stage-1 output: one candidate slot's vetted emission. Generation
+/// must parse every text anyway (to decide whether to send repair
+/// feedback), so the parse is carried forward instead of being redone:
+/// `None` means the slot was skipped over budget or failed to compile
+/// even after repair.
+#[derive(Debug, Clone)]
+struct GeneratedCandidate {
+    /// The compile check succeeded only after the repair exchange.
+    repaired: bool,
+    /// The parse of the model's final text.
+    program: Option<Program>,
+}
+
+/// Stage-1 value: one round's worth of model emissions.
+#[derive(Debug, Clone)]
+struct GeneratedBatch {
+    round: u8,
+    items: Vec<GeneratedCandidate>,
+}
+
+/// Stage-2 value: per-candidate reports plus parsed programs, produced
+/// by the parallel compile stage.
+#[derive(Debug)]
+struct CompiledBatch {
+    items: Vec<(CandidateReport, Option<Program>)>,
+}
+
+/// Stage-3 value: the compiled batch with verdicts and speedups filled
+/// in by the parallel test stage.
+#[derive(Debug)]
+struct TestedBatch {
+    items: Vec<(CandidateReport, Option<Program>)>,
+}
+
+/// The pure ranking over a tested batch: the §4.3 testing-results and
+/// performance-rankings feedback for step 3.
+#[derive(Debug, Clone)]
+struct Ranking {
+    /// `(candidate index, code)` of passing candidates, fastest first.
+    available: Vec<(usize, String)>,
+    /// Indices of candidates that did not pass testing.
+    failed: Vec<usize>,
+}
+
+fn rank_batch(batch: &TestedBatch) -> Ranking {
+    let mut ranked: Vec<(usize, f64, String)> = batch
+        .items
+        .iter()
+        .enumerate()
+        .filter(|(_, (r, _))| r.verdict == Some(TestVerdict::Pass))
+        .map(|(i, (r, p))| (i, r.speedup, print_program(p.as_ref().unwrap())))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let failed = batch
+        .items
+        .iter()
+        .enumerate()
+        .filter(|(_, (r, _))| r.verdict != Some(TestVerdict::Pass))
+        .map(|(i, _)| i)
+        .collect();
+    Ranking {
+        available: ranked.into_iter().map(|(i, _, t)| (i, t)).collect(),
+        failed,
+    }
+}
+
+/// The fastest passing candidate of a slice, if any.
+fn best_of(items: &[(CandidateReport, Option<Program>)]) -> (bool, f64, Option<Program>) {
+    let best = items
+        .iter()
+        .filter(|(r, _)| r.verdict == Some(TestVerdict::Pass))
+        .max_by(|a, b| {
+            a.0.speedup
+                .partial_cmp(&b.0.speedup)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    match best {
+        Some((r, p)) => (true, r.speedup, p.clone()),
+        None => (false, 0.0, None),
+    }
 }
 
 /// Pass/fail state of the pipeline after each step, for Table 7.
@@ -124,6 +263,18 @@ pub struct OptimizationOutcome {
     pub steps: StepTrace,
     /// Names of the demonstrations used.
     pub demo_ids: Vec<usize>,
+}
+
+/// What the sequential budget pre-pass decided for one candidate before
+/// the test stage fans out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TestPlan {
+    /// Nothing to test (never compiled).
+    NoProgram,
+    /// The budget ran out; score as an execution timeout untested.
+    OverBudget,
+    /// Run differential testing and cost estimation on the pool.
+    Test,
 }
 
 /// The LOOPRAG optimizer: dataset, retriever and configuration.
@@ -207,142 +358,152 @@ impl LoopRag {
         (demos, chosen)
     }
 
-    /// Generates a batch of K candidates, with one compile-repair round.
+    /// Stage 1: generates a batch of K candidates with one compile-repair
+    /// round. Strictly sequential — the model's RNG stream makes call
+    /// order part of the seed contract — and the only stage that charges
+    /// generation budget.
     fn generate_batch(
         &self,
         model: &mut SimLlm,
         base_prompt: &Prompt,
         round: u8,
         target_text: &str,
-        deadline: std::time::Instant,
-    ) -> Vec<(CandidateReport, Option<Program>)> {
-        let mut out = Vec::new();
+        budget: &Budget,
+    ) -> GeneratedBatch {
+        let mut items = Vec::with_capacity(self.config.k);
         for _ in 0..self.config.k {
-            if std::time::Instant::now() > deadline {
-                out.push((
-                    CandidateReport {
-                        round,
-                        compiled: false,
-                        repaired: false,
-                        verdict: None,
-                        speedup: 0.0,
-                    },
-                    None,
-                ));
+            if budget.exhausted() {
+                items.push(GeneratedCandidate {
+                    repaired: false,
+                    program: None,
+                });
                 continue;
             }
+            budget.charge(GEN_COST);
             let text = model.generate(base_prompt);
             match compile(&text, "candidate") {
-                Ok(p) => out.push((
-                    CandidateReport {
-                        round,
-                        compiled: true,
-                        repaired: false,
-                        verdict: None,
-                        speedup: 0.0,
-                    },
-                    Some(p),
-                )),
-                Err(err) if self.config.single_shot => {
-                    let _ = err;
-                    out.push((
-                        CandidateReport {
-                            round,
-                            compiled: false,
-                            repaired: false,
-                            verdict: None,
-                            speedup: 0.0,
-                        },
-                        None,
-                    ));
-                }
+                Ok(p) => items.push(GeneratedCandidate {
+                    repaired: false,
+                    program: Some(p),
+                }),
+                Err(_) if self.config.single_shot => items.push(GeneratedCandidate {
+                    repaired: false,
+                    program: None,
+                }),
                 Err(err) => {
                     // Compilation-results feedback (steps 2 and 4).
-                    let repair_prompt = Prompt {
-                        target: target_text.to_string(),
-                        demonstrations: Vec::new(),
-                        feedback: Some(Feedback::Compile {
-                            last_code: text,
-                            error: err.to_string(),
-                        }),
-                    };
-                    let retry = model.generate(&repair_prompt);
-                    match compile(&retry, "candidate") {
-                        Ok(p) => out.push((
-                            CandidateReport {
-                                round,
-                                compiled: true,
-                                repaired: true,
-                                verdict: None,
-                                speedup: 0.0,
-                            },
-                            Some(p),
-                        )),
-                        Err(_) => out.push((
-                            CandidateReport {
-                                round,
-                                compiled: false,
-                                repaired: false,
-                                verdict: None,
-                                speedup: 0.0,
-                            },
-                            None,
-                        )),
-                    }
+                    budget.charge(GEN_COST);
+                    let repair = Prompt::compile_repair(target_text, text, err.to_string());
+                    let retry = model.generate(&repair);
+                    let program = compile(&retry, "candidate").ok();
+                    items.push(GeneratedCandidate {
+                        repaired: program.is_some(),
+                        program,
+                    });
                 }
             }
         }
-        out
+        GeneratedBatch { round, items }
     }
 
-    /// Tests and scores a batch in place.
+    /// Stage 2: turns the vetted emissions into per-candidate reports
+    /// plus programs. Pure per item, so thread count cannot affect the
+    /// result.
+    fn compile_batch(&self, generated: GeneratedBatch, threads: usize) -> CompiledBatch {
+        let round = generated.round;
+        let items = par_map(threads, &generated.items, |_, g| match &g.program {
+            Some(p) => (
+                CandidateReport::compiled(round, g.repaired),
+                Some(p.clone()),
+            ),
+            None => (CandidateReport::failed(round), None),
+        });
+        CompiledBatch { items }
+    }
+
+    /// Stage 3: differential testing and cost estimation — the dominant
+    /// cost — on the worker pool. Budget decisions happen sequentially
+    /// in submission order *before* the fan-out, so which candidates get
+    /// tested is identical at any thread count.
     fn test_batch(
         &self,
-        original: &Program,
+        prepared: &PreparedTarget,
         orig_cost: &CostReport,
-        suite: &TestSuite,
-        batch: &mut [(CandidateReport, Option<Program>)],
-        deadline: std::time::Instant,
-    ) {
-        for (report, prog) in batch.iter_mut() {
-            let Some(p) = prog else { continue };
-            if std::time::Instant::now() > deadline {
-                report.verdict = Some(TestVerdict::Timeout);
-                continue;
-            }
-            let verdict = differential_test(original, p, suite, &self.config.eqcheck);
-            if verdict == TestVerdict::Pass {
-                let speedup =
-                    candidate_speedup(orig_cost, p, &self.config.machine, self.config.slow_factor);
-                report.speedup = speedup;
-                if speedup == 0.0 {
-                    // Slower than the inefficiency threshold: keep it as a
-                    // passing-but-inefficient candidate with speedup 0.
-                    report.verdict = Some(TestVerdict::Pass);
-                    continue;
+        batch: CompiledBatch,
+        budget: &Budget,
+        threads: usize,
+    ) -> TestedBatch {
+        let plans: Vec<TestPlan> = batch
+            .items
+            .iter()
+            .map(|(_, prog)| {
+                if prog.is_none() {
+                    TestPlan::NoProgram
+                } else if budget.exhausted() {
+                    TestPlan::OverBudget
+                } else {
+                    budget.charge(TEST_COST);
+                    TestPlan::Test
                 }
-            }
-            report.verdict = Some(verdict);
-        }
+            })
+            .collect();
+        let work: Vec<(&Option<Program>, TestPlan)> =
+            batch.items.iter().map(|(_, p)| p).zip(plans).collect();
+        let cfg = &self.config;
+        // Under the (nondeterministic, opt-in) wall-clock policy the
+        // deadline is also re-checked per candidate mid-flight, so the
+        // overshoot stays bounded by the in-progress tests rather than
+        // a whole batch. The deterministic policies return `None` and
+        // are unaffected.
+        let deadline = budget.deadline();
+        let verdicts: Vec<Option<(TestVerdict, f64)>> =
+            par_map(threads, &work, |_, (prog, plan)| match (plan, prog) {
+                (TestPlan::Test, Some(p)) => {
+                    if deadline.is_some_and(|d| std::time::Instant::now() > d) {
+                        return Some((TestVerdict::Timeout, 0.0));
+                    }
+                    let verdict = prepared.differential_test(p, &cfg.eqcheck);
+                    let speedup = if verdict == TestVerdict::Pass {
+                        // Slower-than-threshold candidates come back as
+                        // 0: passing but inefficient.
+                        candidate_speedup(orig_cost, p, &cfg.machine, cfg.slow_factor)
+                    } else {
+                        0.0
+                    };
+                    Some((verdict, speedup))
+                }
+                (TestPlan::OverBudget, Some(_)) => Some((TestVerdict::Timeout, 0.0)),
+                _ => None,
+            });
+        let items = batch
+            .items
+            .into_iter()
+            .zip(verdicts)
+            .map(|((mut report, prog), v)| {
+                if let Some((verdict, speedup)) = v {
+                    report.speedup = speedup;
+                    report.verdict = Some(verdict);
+                }
+                (report, prog)
+            })
+            .collect();
+        TestedBatch { items }
     }
 
     /// Runs the full four-step pipeline on one kernel.
     pub fn optimize(&self, name: &str, target: &Program) -> OptimizationOutcome {
-        let deadline = std::time::Instant::now() + self.config.kernel_time_budget;
+        let budget = Budget::new(self.config.budget.clone());
+        let threads = resolve_threads(self.config.threads);
         let mut rng = StdRng::seed_from_u64(self.target_seed(name));
         let mut model = SimLlm::new(self.config.profile.clone(), rng.gen());
         let target_text = print_program(target);
-        let suite = build_test_suite(target, &self.config.eqcheck);
-        let orig_cost = estimate_cost(target, &self.config.machine).unwrap_or(CostReport {
-            cycles: f64::INFINITY,
-            breakdown: Default::default(),
-            instances: 0,
-            l1_hits: 0,
-            l2_hits: 0,
-            mem_accesses: 0,
-            vectorized: Vec::new(),
-            parallel_entries: 0,
-        });
+        // Per-kernel preparation, built once and shared by every
+        // candidate: the coverage suite plus the original scaled and
+        // compiled (candidates stop recompiling it), and the baseline
+        // cost for speedup ranking.
+        let prepared = PreparedTarget::prepare(target, &self.config.eqcheck);
+        let orig_cost = estimate_cost(target, &self.config.machine)
+            .unwrap_or_else(|_| CostReport::unreachable());
 
         // Step 1: demonstrations + first batch.
         let (demos, demo_ids) = self.demonstrations(target, &mut rng);
@@ -351,18 +512,22 @@ impl LoopRag {
         } else {
             Prompt::with_demonstrations(target_text.clone(), demos)
         };
-        let mut batch1 = self.generate_batch(&mut model, &prompt1, 1, &target_text, deadline);
+        let gen1 = self.generate_batch(&mut model, &prompt1, 1, &target_text, &budget);
+        let compiled1 = self.compile_batch(gen1, threads);
 
         // Step 2: test the (possibly repaired) batch and rank.
-        self.test_batch(target, &orig_cost, &suite, &mut batch1, deadline);
+        let batch1 = self.test_batch(&prepared, &orig_cost, compiled1, &budget, threads);
         let mut steps = StepTrace {
             pass_step1: batch1
+                .items
                 .iter()
                 .any(|(r, _)| r.compiled && !r.repaired && r.verdict == Some(TestVerdict::Pass)),
             pass_step2: batch1
+                .items
                 .iter()
                 .any(|(r, _)| r.verdict == Some(TestVerdict::Pass)),
             best_speedup_step2: batch1
+                .items
                 .iter()
                 .filter(|(r, _)| r.verdict == Some(TestVerdict::Pass))
                 .map(|(r, _)| r.speedup)
@@ -371,18 +536,7 @@ impl LoopRag {
         };
 
         if self.config.single_shot {
-            let best = batch1
-                .iter()
-                .filter(|(r, _)| r.verdict == Some(TestVerdict::Pass))
-                .max_by(|a, b| {
-                    a.0.speedup
-                        .partial_cmp(&b.0.speedup)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
-            let (passed, speedup, best_prog) = match best {
-                Some((r, p)) => (true, r.speedup, p.clone()),
-                None => (false, 0.0, None),
-            };
+            let (passed, speedup, best_prog) = best_of(&batch1.items);
             steps.pass_step3 = steps.pass_step1;
             steps.pass_step3_repaired = steps.pass_step1;
             steps.pass_step4 = steps.pass_step2;
@@ -392,63 +546,37 @@ impl LoopRag {
                 passed,
                 best: best_prog,
                 speedup,
-                candidates: batch1.into_iter().map(|(r, _)| r).collect(),
+                candidates: batch1.items.into_iter().map(|(r, _)| r).collect(),
                 steps,
                 demo_ids,
             };
         }
 
         // Step 3: testing results + performance rankings feedback.
-        let mut ranked: Vec<(usize, f64, String)> = batch1
-            .iter()
-            .enumerate()
-            .filter(|(_, (r, _))| r.verdict == Some(TestVerdict::Pass))
-            .map(|(i, (r, p))| (i, r.speedup, print_program(p.as_ref().unwrap())))
-            .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        let failed: Vec<usize> = batch1
-            .iter()
-            .enumerate()
-            .filter(|(_, (r, _))| r.verdict != Some(TestVerdict::Pass))
-            .map(|(i, _)| i)
-            .collect();
-        let prompt3 = Prompt {
-            target: target_text.clone(),
-            demonstrations: Vec::new(),
-            feedback: Some(Feedback::TestAndRank {
-                available: ranked.iter().map(|(i, _, t)| (*i, t.clone())).collect(),
-                failed,
-            }),
-        };
-        let mut batch3 = self.generate_batch(&mut model, &prompt3, 3, &target_text, deadline);
+        let ranking = rank_batch(&batch1);
+        let prompt3 = Prompt::test_and_rank(target_text.clone(), ranking.available, ranking.failed);
+        let gen3 = self.generate_batch(&mut model, &prompt3, 3, &target_text, &budget);
+        let compiled3 = self.compile_batch(gen3, threads);
 
         // Step 4: test the second batch; select the fastest overall.
-        self.test_batch(target, &orig_cost, &suite, &mut batch3, deadline);
+        let batch3 = self.test_batch(&prepared, &orig_cost, compiled3, &budget, threads);
         steps.pass_step3 = batch3
+            .items
             .iter()
             .any(|(r, _)| r.compiled && !r.repaired && r.verdict == Some(TestVerdict::Pass));
         steps.pass_step3_repaired = batch3
+            .items
             .iter()
             .any(|(r, _)| r.verdict == Some(TestVerdict::Pass));
         steps.pass_step4 = steps.pass_step2
             || batch3
+                .items
                 .iter()
                 .any(|(r, _)| r.verdict == Some(TestVerdict::Pass));
 
-        let mut all: Vec<(CandidateReport, Option<Program>)> = batch1;
-        all.extend(batch3);
-        let best = all
-            .iter()
-            .filter(|(r, _)| r.verdict == Some(TestVerdict::Pass))
-            .max_by(|a, b| {
-                a.0.speedup
-                    .partial_cmp(&b.0.speedup)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
-        let (passed, speedup, best_prog) = match best {
-            Some((r, p)) => (true, r.speedup, p.clone()),
-            None => (false, 0.0, None),
-        };
+        let mut all: Vec<(CandidateReport, Option<Program>)> = batch1.items;
+        all.extend(batch3.items);
+        let (passed, speedup, best_prog) = best_of(&all);
         steps.best_speedup_step4 = speedup;
 
         OptimizationOutcome {

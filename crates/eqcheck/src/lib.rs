@@ -201,6 +201,8 @@ enum ExecEngine {
 /// A program held in whichever form the selected engine executes.
 enum Runner<'p> {
     Compiled(CompiledProgram),
+    /// A compiled form owned elsewhere (a [`PreparedTarget`] cache).
+    CompiledRef(&'p CompiledProgram),
     Reference(&'p Program),
 }
 
@@ -215,6 +217,7 @@ impl<'p> Runner<'p> {
     fn run(&self, store: &mut ArrayStore, cfg: &ExecConfig) -> Result<ExecStats, ExecError> {
         match self {
             Runner::Compiled(c) => c.run_with_store(store, cfg, None),
+            Runner::CompiledRef(c) => c.run_with_store(store, cfg, None),
             Runner::Reference(p) => run_with_store_reference(p, store, cfg, None),
         }
     }
@@ -319,6 +322,26 @@ fn differential_test_on(
     let cap = adaptive_sampling_cap(candidate, cfg.param_cap, 400_000.0)
         .max(adaptive_sampling_cap(original, cfg.param_cap, 400_000.0));
     let orig = scaled(original, cap);
+    // Compile each side once; the compiled forms are reused across the
+    // whole suite and all three iteration orders.
+    let orig_runner = Runner::new(&orig, engine);
+    differential_test_scaled(&orig, &orig_runner, candidate, cap, suite, cfg, engine)
+}
+
+/// The per-candidate core: `orig` is already scaled to `cap` and held by
+/// `orig_runner`; only the candidate is scaled and compiled here. Both
+/// the one-shot entry points and [`PreparedTarget`] funnel through this
+/// function, so their verdicts agree by construction.
+#[allow(clippy::too_many_arguments)]
+fn differential_test_scaled(
+    orig: &Program,
+    orig_runner: &Runner<'_>,
+    candidate: &Program,
+    cap: i64,
+    suite: &TestSuite,
+    cfg: &EqCheckConfig,
+    engine: ExecEngine,
+) -> TestVerdict {
     let cand = scaled(candidate, cap);
     if orig.outputs != cand.outputs {
         return TestVerdict::IncorrectAnswer {
@@ -326,9 +349,6 @@ fn differential_test_on(
         };
     }
     let outputs = orig.outputs.clone();
-    // Compile each side once; the compiled forms are reused across the
-    // whole suite and all three iteration orders.
-    let orig_runner = Runner::new(&orig, engine);
     let cand_runner = Runner::new(&cand, engine);
     let fwd = ExecConfig {
         stmt_budget: cfg.stmt_budget,
@@ -344,7 +364,7 @@ fn differential_test_on(
         vec![ParallelOrder::Forward]
     };
     for spec in &suite.inputs {
-        let mut ostore = store_for(&orig, spec);
+        let mut ostore = store_for(orig, spec);
         if orig_runner.run(&mut ostore, &fwd).is_err() {
             // Ground truth failed on this input (should not happen for
             // benchmark kernels); skip the input.
@@ -388,6 +408,84 @@ fn differential_test_on(
         }
     }
     TestVerdict::Pass
+}
+
+/// A kernel prepared for repeated differential testing: the coverage
+/// suite plus the original program scaled and compiled **once**, reused
+/// across every candidate of a pipeline run instead of being recompiled
+/// per [`differential_test`] call.
+///
+/// The cached form covers the common case where the candidate's
+/// adaptive sampling cap does not exceed the original's; a candidate
+/// that widens the cap (e.g. aggressive tiling) falls back to rescaling
+/// the original for that one test, preserving verdict equality with the
+/// one-shot entry points.
+#[derive(Debug, Clone)]
+pub struct PreparedTarget {
+    original: Program,
+    suite: TestSuite,
+    cap: i64,
+    scaled: Program,
+    compiled: CompiledProgram,
+}
+
+impl PreparedTarget {
+    /// Builds the suite and compiles the scaled original for `original`.
+    pub fn prepare(original: &Program, cfg: &EqCheckConfig) -> Self {
+        let suite = build_test_suite(original, cfg);
+        let cap = adaptive_sampling_cap(original, cfg.param_cap, 400_000.0);
+        let scaled_orig = scaled(original, cap);
+        let compiled = CompiledProgram::compile(&scaled_orig);
+        PreparedTarget {
+            original: original.clone(),
+            suite,
+            cap,
+            scaled: scaled_orig,
+            compiled,
+        }
+    }
+
+    /// The original (unscaled) program.
+    pub fn original(&self) -> &Program {
+        &self.original
+    }
+
+    /// The coverage-selected test suite.
+    pub fn suite(&self) -> &TestSuite {
+        &self.suite
+    }
+
+    /// [`differential_test`] against the prepared original. Verdicts are
+    /// identical to the one-shot function; the compiled original is
+    /// reused whenever the candidate's sampling cap allows it.
+    pub fn differential_test(&self, candidate: &Program, cfg: &EqCheckConfig) -> TestVerdict {
+        let cap = adaptive_sampling_cap(candidate, cfg.param_cap, 400_000.0).max(self.cap);
+        if cap == self.cap {
+            let runner = Runner::CompiledRef(&self.compiled);
+            return differential_test_scaled(
+                &self.scaled,
+                &runner,
+                candidate,
+                cap,
+                &self.suite,
+                cfg,
+                ExecEngine::Compiled,
+            );
+        }
+        // Cold path: the candidate widened the cap, so the original must
+        // be rescaled to match.
+        let orig = scaled(&self.original, cap);
+        let runner = Runner::new(&orig, ExecEngine::Compiled);
+        differential_test_scaled(
+            &orig,
+            &runner,
+            candidate,
+            cap,
+            &self.suite,
+            cfg,
+            ExecEngine::Compiled,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -531,6 +629,28 @@ mod tests {
             assert_eq!(
                 differential_test(&p, cand, &suite, &cfg),
                 differential_test_reference(&p, cand, &suite, &cfg)
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_target_matches_one_shot_verdicts() {
+        let p = gemm();
+        let cfg = EqCheckConfig::default();
+        let prepared = PreparedTarget::prepare(&p, &cfg);
+        let legal = parallelize(&tile_band(&p, &[0], 3, 8).unwrap(), &[0]).unwrap();
+        // A tile size far above the original's scaled cap forces the
+        // cold rescale path.
+        let widened = tile_band(&p, &[0], 3, 40).unwrap();
+        let wrong = compile(
+            "param N = 64;\narray C[N][N];\narray A[N][N];\narray B[N][N];\nout C;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= N - 1; j++) C[i][j] = A[i][j] + B[i][j];\n#pragma endscop\n",
+            "wrong",
+        )
+        .unwrap();
+        for cand in [&p, &legal, &widened, &wrong] {
+            assert_eq!(
+                prepared.differential_test(cand, &cfg),
+                differential_test(&p, cand, prepared.suite(), &cfg)
             );
         }
     }

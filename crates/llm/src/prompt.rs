@@ -69,6 +69,39 @@ impl Prompt {
         }
     }
 
+    /// A compilation-results feedback prompt (steps 2 and 4 of §4.3):
+    /// the failing code plus the compiler diagnostic.
+    pub fn compile_repair(
+        target: impl Into<String>,
+        last_code: impl Into<String>,
+        error: impl Into<String>,
+    ) -> Self {
+        Prompt {
+            target: target.into(),
+            demonstrations: Vec::new(),
+            feedback: Some(Feedback::Compile {
+                last_code: last_code.into(),
+                error: error.into(),
+            }),
+        }
+    }
+
+    /// A testing-results and performance-rankings feedback prompt
+    /// (step 3 of §4.3): `available` is `(candidate index, code)`
+    /// ordered best-performing first, `failed` the indices that did not
+    /// pass testing.
+    pub fn test_and_rank(
+        target: impl Into<String>,
+        available: Vec<(usize, String)>,
+        failed: Vec<usize>,
+    ) -> Self {
+        Prompt {
+            target: target.into(),
+            demonstrations: Vec::new(),
+            feedback: Some(Feedback::TestAndRank { available, failed }),
+        }
+    }
+
     /// Renders the prompt as the Appendix E template text.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -172,14 +205,18 @@ mod tests {
 
     #[test]
     fn compile_feedback_prompt_carries_error() {
-        let p = Prompt {
-            target: "T".into(),
-            demonstrations: vec![],
-            feedback: Some(Feedback::Compile {
-                last_code: "BAD".into(),
-                error: "error at 3:1: expected ';'".into(),
-            }),
-        };
+        let p = Prompt::compile_repair("T", "BAD", "error at 3:1: expected ';'");
+        assert_eq!(
+            p,
+            Prompt {
+                target: "T".into(),
+                demonstrations: vec![],
+                feedback: Some(Feedback::Compile {
+                    last_code: "BAD".into(),
+                    error: "error at 3:1: expected ';'".into(),
+                }),
+            }
+        );
         let text = p.render();
         assert!(text.contains("compilation error"));
         assert!(text.contains("expected ';'"));
@@ -188,14 +225,7 @@ mod tests {
 
     #[test]
     fn rank_feedback_prompt_orders_candidates() {
-        let p = Prompt {
-            target: "T".into(),
-            demonstrations: vec![],
-            feedback: Some(Feedback::TestAndRank {
-                available: vec![(2, "C2".into()), (0, "C0".into())],
-                failed: vec![1],
-            }),
-        };
+        let p = Prompt::test_and_rank("T", vec![(2, "C2".into()), (0, "C0".into())], vec![1]);
         let text = p.render();
         assert!(text.contains("2 > 0"));
         assert!(text.contains("Failed: 1"));

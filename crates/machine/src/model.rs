@@ -175,6 +175,22 @@ pub struct CostReport {
 }
 
 impl CostReport {
+    /// The report for a program whose cost could not be estimated:
+    /// infinite cycles and empty counters, so it can never rank above
+    /// (or within any `slow_factor` of) a real measurement.
+    pub fn unreachable() -> CostReport {
+        CostReport {
+            cycles: f64::INFINITY,
+            breakdown: CostVec::default(),
+            instances: 0,
+            l1_hits: 0,
+            l2_hits: 0,
+            mem_accesses: 0,
+            vectorized: Vec::new(),
+            parallel_entries: 0,
+        }
+    }
+
     /// Speedup of `opt` relative to this baseline report.
     pub fn speedup_of(&self, opt: &CostReport) -> f64 {
         if opt.cycles <= 0.0 {

@@ -11,6 +11,7 @@
 //! * [`looprag_polyopt`] — PLuTo-style auto-optimizer
 //! * [`looprag_synth`] — parameter-driven dataset synthesis
 //! * [`looprag_retrieval`] — BM25 + loop-aware LAScore retrieval
+//! * [`looprag_runtime`] — deterministic worker pool and budgets
 //! * [`looprag_llm`] — prompts and the simulated LLM
 //! * [`looprag_eqcheck`] — mutation/coverage/differential testing
 //! * [`looprag_baselines`] — baseline compiler models
@@ -41,6 +42,7 @@ pub use looprag_llm;
 pub use looprag_machine;
 pub use looprag_polyopt;
 pub use looprag_retrieval;
+pub use looprag_runtime;
 pub use looprag_suites;
 pub use looprag_synth;
 pub use looprag_transform;

@@ -9,7 +9,7 @@
 //! this one also catches hidden global state, iteration-order leaks,
 //! and wall-clock dependence.)
 
-use looprag::looprag_core::{LoopRag, LoopRagConfig, OptimizationOutcome};
+use looprag::looprag_core::{BudgetPolicy, LoopRag, LoopRagConfig, OptimizationOutcome};
 use looprag::looprag_llm::LlmProfile;
 use looprag::looprag_suites::find;
 use looprag::looprag_synth::{build_dataset, SynthConfig};
@@ -21,9 +21,10 @@ fn fresh_rag(seed: u64) -> LoopRag {
     });
     let mut config = LoopRagConfig::new(LlmProfile::deepseek());
     config.seed = seed;
-    // The per-kernel wall-clock budget may skip candidates on a loaded
-    // machine; give it headroom so timing can never affect the outcome.
-    config.kernel_time_budget = std::time::Duration::from_secs(3600);
+    // The default budget is already virtual-cost (timing cannot affect
+    // the outcome); Unlimited additionally guards against a future
+    // default becoming small enough to skip candidates here.
+    config.budget = BudgetPolicy::Unlimited;
     LoopRag::new(config, dataset)
 }
 
