@@ -11,7 +11,7 @@ use looprag_exec::{run, run_with_store_reference, ArrayStore, CompiledProgram, E
 use looprag_ir::{compile, parse_program, print_program};
 use looprag_machine::{estimate_cost, CacheGeometry, CacheLevel, MachineConfig};
 use looprag_polyopt::{optimize, PolyOptions};
-use looprag_retrieval::{RetrievalMode, Retriever};
+use looprag_retrieval::{KnowledgeBase, RetrievalMode, Retriever};
 use looprag_suites::find;
 use looprag_synth::{build_dataset, SynthConfig};
 use looprag_transform::{scaled_clone, tile_band};
@@ -135,6 +135,10 @@ fn bench_retrieval(c: &mut Criterion) {
     let target = find("syrk").unwrap().program();
     c.bench_function("retrieve_top10_of_64", |b| {
         b.iter(|| retriever.query(&target, RetrievalMode::LoopAware, 10))
+    });
+    let kb = KnowledgeBase::build(programs.iter().map(|(i, p)| (*i, p)));
+    c.bench_function("kb_query_top10_of_64", |b| {
+        b.iter(|| kb.query_with_threads(&target, RetrievalMode::LoopAware, 10, 1))
     });
 }
 

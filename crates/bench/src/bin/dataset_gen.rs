@@ -4,14 +4,30 @@
 //!
 //! ```text
 //! cargo run --release -p looprag-bench --bin dataset_gen -- out.json 500 [cola]
+//! cargo run --release -p looprag-bench --bin dataset_gen -- corpus.json --docs 10000
 //! ```
+//!
+//! `--docs N` sets the example count (overriding the positional count),
+//! so large retrieval corpora can be synthesized for benchmarking.
 
 use looprag_synth::{build_dataset, Dataset, GeneratorKind, SynthConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let path = args.first().map(String::as_str).unwrap_or("dataset.json");
-    let count: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let docs_val_pos = args.iter().position(|a| a == "--docs").map(|i| i + 1);
+    let docs: Option<usize> = docs_val_pos
+        .and_then(|i| args.get(i))
+        .and_then(|v| v.parse().ok());
+    let plain: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && Some(*i) != docs_val_pos)
+        .map(|(_, a)| a)
+        .collect();
+    let path = plain.first().map_or("dataset.json", |p| p.as_str());
+    let count: usize = docs
+        .or_else(|| plain.get(1).and_then(|s| s.parse().ok()))
+        .unwrap_or(200);
     let generator = if args.iter().any(|a| a == "cola") {
         GeneratorKind::ColaGen
     } else {

@@ -11,6 +11,8 @@
 //! `--threads N` sets the campaign worker-pool size (default: the
 //! `LOOPRAG_THREADS` environment variable, then available parallelism);
 //! results are identical at any pool size.
+//! `--docs N` overrides the demonstration-dataset size (e.g. to
+//! benchmark retrieval over a large synthesized corpus).
 
 use looprag_bench::experiments;
 use looprag_bench::{EvalOptions, Harness};
@@ -23,19 +25,27 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(0);
-    // Only the value that directly follows --threads is consumed;
-    // every other non-flag argument stays an experiment id so typos
-    // still hit the unknown-id diagnostic.
-    let threads_val_pos = threads_pos.map(|i| i + 1);
+    let docs_pos = args.iter().position(|a| a == "--docs");
+    let docs: Option<usize> = docs_pos
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    // Only the values that directly follow --threads / --docs are
+    // consumed; every other non-flag argument stays an experiment id so
+    // typos still hit the unknown-id diagnostic.
+    let flag_val_pos: Vec<usize> = [threads_pos, docs_pos]
+        .iter()
+        .flatten()
+        .map(|i| i + 1)
+        .collect();
     let ids: Vec<&str> = args
         .iter()
         .enumerate()
-        .filter(|(i, a)| !a.starts_with("--") && Some(*i) != threads_val_pos)
+        .filter(|(i, a)| !a.starts_with("--") && !flag_val_pos.contains(i))
         .map(|(_, s)| s.as_str())
         .collect();
     let ids: Vec<&str> = if ids.is_empty() { vec!["all"] } else { ids };
 
-    let opts = if quick {
+    let mut opts = if quick {
         EvalOptions {
             dataset_size: 60,
             kernel_stride: 3,
@@ -48,6 +58,9 @@ fn main() {
             ..Default::default()
         }
     };
+    if let Some(docs) = docs {
+        opts.dataset_size = docs;
+    }
     println!(
         "LOOPRAG experiment harness (dataset={}, stride={}, threads={})",
         opts.dataset_size,

@@ -1,21 +1,28 @@
-//! `perf_snapshot` — the interpreter-perf trajectory tracker.
+//! `perf_snapshot` — the interpreter- and retrieval-perf trajectory
+//! tracker.
 //!
 //! Measures the execution-engine hot paths (gemm-shaped interpretation,
 //! `differential_test`, `Retriever::query`) on both the bytecode engine
 //! and the reference tree-walker, plus end-to-end strided-suite wall
 //! time and the campaign driver's wall time at 1 vs N threads, and
-//! writes the numbers to `BENCH_interp.json` so every PR can be
-//! compared against the last committed snapshot.
+//! writes the numbers to `BENCH_interp.json`; a separate retrieval
+//! section benchmarks `KnowledgeBase::query` against the seed
+//! `Retriever` over a large synthesized corpus (asserting bit-identical
+//! rankings first) and writes `BENCH_retrieval.json`. Every PR can thus
+//! be compared against the last committed snapshots.
 //!
-//! Usage: `perf_snapshot [--quick] [--out PATH]`
+//! Usage: `perf_snapshot [--quick] [--retrieval] [--out PATH]
+//! [--retrieval-out PATH]`
 //!
-//! `--quick` shrinks sample counts and widens the kernel stride so CI
-//! can keep the bin from bit-rotting in seconds; the committed snapshot
-//! should come from a full (non-quick) run. In full mode the bin exits
-//! non-zero if the compiled engine fails to beat the reference path by
-//! at least 3x on `differential_test`, or — on hosts with at least four
-//! cores — if the parallel campaign fails to beat the sequential one by
-//! at least 2x.
+//! `--retrieval` runs only the retrieval section. `--quick` shrinks
+//! sample counts, corpus size and kernel strides so CI can keep the bin
+//! from bit-rotting in seconds; the committed snapshots should come
+//! from full (non-quick) runs. In full mode the bin exits non-zero if
+//! the compiled engine fails to beat the reference path by at least 3x
+//! on `differential_test`, if the knowledge base fails to beat the seed
+//! retriever by at least 3x on single-threaded query over the >= 10k-doc
+//! corpus, or — on hosts with at least four cores — if the parallel
+//! campaign fails to beat the sequential one by at least 2x.
 
 use looprag_bench::run_campaign;
 use looprag_core::{LoopRag, LoopRagConfig};
@@ -23,12 +30,15 @@ use looprag_eqcheck::{
     build_test_suite, differential_test, differential_test_reference, EqCheckConfig, TestVerdict,
 };
 use looprag_exec::{run_with_store_reference, ArrayStore, CompiledProgram, ExecConfig};
+use looprag_ir::Program;
 use looprag_llm::LlmProfile;
 use looprag_machine::{measure_locality, CacheObserver, MachineConfig};
-use looprag_retrieval::{RetrievalMode, Retriever};
+use looprag_retrieval::{KnowledgeBase, RetrievalMode, Retriever};
 use looprag_suites::all_benchmarks;
-use looprag_synth::{build_dataset, SynthConfig};
+use looprag_synth::{build_dataset, generate_example, LoopParams, SynthConfig};
 use looprag_transform::{scaled_clone, tile_band};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::time::Instant;
 
 struct BenchOpts {
@@ -56,18 +66,146 @@ fn bench_ns<O>(opts: &BenchOpts, mut f: impl FnMut() -> O) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Synthesizes a retrieval corpus of `count` generated programs.
+///
+/// Goes through the parameter-driven generator directly (no polyhedral
+/// optimization pass), because only the example *code* is indexed — this
+/// keeps a 10k-document corpus synthesizable in seconds.
+fn synth_corpus(count: usize) -> Vec<Program> {
+    let mut rng = StdRng::seed_from_u64(0x0C0_2905);
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let params = LoopParams::sample(&mut rng);
+        if let Some(p) = generate_example(&params, out.len(), &mut rng) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// The retrieval section: equivalence pin + throughput snapshot,
+/// written to `out_path`. Returns the single-thread speedup over the
+/// seed retriever (the gated number).
+fn retrieval_snapshot(quick: bool, opts: &BenchOpts, out_path: &str) -> f64 {
+    let corpus_docs = if quick { 1_500 } else { 10_000 };
+    eprintln!("[perf_snapshot] retrieval: synthesizing {corpus_docs}-doc corpus...");
+    let corpus = synth_corpus(corpus_docs);
+    let t0 = Instant::now();
+    let retriever = Retriever::build(corpus.iter().enumerate());
+    let seed_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let kb = KnowledgeBase::build(corpus.iter().enumerate());
+    let kb_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Equivalence pin: the knowledge base must reproduce the seed
+    // retriever's `(id, score)` rankings bit for bit before any of its
+    // throughput numbers mean anything.
+    let stride = if quick { 16 } else { 4 };
+    eprintln!("[perf_snapshot] retrieval: equivalence pin (kernel stride {stride})...");
+    let modes = [
+        RetrievalMode::LoopAware,
+        RetrievalMode::Bm25Only,
+        RetrievalMode::WeightedOnly,
+    ];
+    let mut pinned = 0usize;
+    for (i, b) in all_benchmarks().iter().enumerate() {
+        if i % stride != 0 {
+            continue;
+        }
+        let target = b.program();
+        for mode in modes {
+            let want: Vec<(usize, u64)> = retriever
+                .query(&target, mode, 10)
+                .into_iter()
+                .map(|(id, s)| (id, s.to_bits()))
+                .collect();
+            let got: Vec<(usize, u64)> = kb
+                .query_with_threads(&target, mode, 10, 1)
+                .into_iter()
+                .map(|(id, s)| (id, s.to_bits()))
+                .collect();
+            assert_eq!(
+                want, got,
+                "knowledge base diverged from the seed retriever on {} ({mode:?})",
+                b.name
+            );
+            pinned += 1;
+        }
+    }
+
+    // Throughput: the pipeline's query shape (LoopAware, top 10) on a
+    // gemm-shaped target. Single-threaded is the gated number — the CI
+    // container has one core — with the sharded path reported alongside.
+    eprintln!("[perf_snapshot] retrieval: query throughput...");
+    let gemm = looprag_suites::find("gemm").expect("gemm kernel").program();
+    let seed_query_ns = bench_ns(opts, || {
+        retriever.query(&gemm, RetrievalMode::LoopAware, 10)
+    });
+    let kb_query_ns = bench_ns(opts, || {
+        kb.query_with_threads(&gemm, RetrievalMode::LoopAware, 10, 1)
+    });
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let shard_threads = host_cores.clamp(2, 4);
+    let kb_sharded_ns = bench_ns(opts, || {
+        kb.query_with_threads(&gemm, RetrievalMode::LoopAware, 10, shard_threads)
+    });
+    let kb_speedup = seed_query_ns / kb_query_ns;
+    let kb_sharded_speedup = seed_query_ns / kb_sharded_ns;
+
+    let json = format!(
+        "{{\n  \"quick\": {quick},\n  \"corpus_docs\": {corpus_docs},\n  \"seed_build_ms\": {seed_build_ms:.1},\n  \"kb_build_ms\": {kb_build_ms:.1},\n  \"equivalence_queries\": {pinned},\n  \"seed_query_ns\": {seed_query_ns:.1},\n  \"kb_query_ns\": {kb_query_ns:.1},\n  \"kb_speedup\": {kb_speedup:.2},\n  \"shard_threads\": {shard_threads},\n  \"kb_sharded_ns\": {kb_sharded_ns:.1},\n  \"kb_sharded_speedup\": {kb_sharded_speedup:.2}\n}}\n"
+    );
+    std::fs::write(out_path, &json).expect("write retrieval snapshot");
+    println!("{json}");
+    eprintln!(
+        "[perf_snapshot] retrieval: {pinned} rankings pinned; knowledge base {kb_speedup:.2}x \
+         (sharded {kb_sharded_speedup:.2}x at {shard_threads} threads) vs seed retriever; \
+         wrote {out_path}"
+    );
+    kb_speedup
+}
+
+/// Applies the retrieval gate: the knowledge base must beat the seed
+/// retriever by at least 3x single-threaded. Quick mode only warns.
+fn gate_retrieval(quick: bool, kb_speedup: f64) {
+    if kb_speedup < 3.0 {
+        if quick {
+            eprintln!(
+                "[perf_snapshot] WARNING: knowledge-base speedup {kb_speedup:.2}x below 3x \
+                 (quick mode, not gating)"
+            );
+        } else {
+            eprintln!("[perf_snapshot] FAIL: knowledge-base speedup {kb_speedup:.2}x below 3x");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let retrieval_only = args.iter().any(|a| a == "--retrieval");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_interp.json".to_string());
+    let retrieval_out = args
+        .iter()
+        .position(|a| a == "--retrieval-out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_retrieval.json".to_string());
     let opts = BenchOpts {
         samples: if quick { 3 } else { 9 },
         target_ms: if quick { 5 } else { 40 },
     };
+    if retrieval_only {
+        let kb_speedup = retrieval_snapshot(quick, &opts, &retrieval_out);
+        gate_retrieval(quick, kb_speedup);
+        return;
+    }
 
     // 1. Interpreter on a gemm-shaped nest (the dominant kernel shape;
     // perfectly nested so it can also be tiled for the difftest below).
@@ -251,4 +389,11 @@ fn main() {
             std::process::exit(1);
         }
     }
+
+    // 6. Retrieval: knowledge base vs seed retriever (equivalence pin +
+    // throughput), written to its own snapshot file.
+    // Gate 3: the interned/pruned path must beat the seed retriever by
+    // at least 3x single-threaded on the large corpus.
+    let kb_speedup = retrieval_snapshot(quick, &opts, &retrieval_out);
+    gate_retrieval(quick, kb_speedup);
 }

@@ -63,6 +63,38 @@ pub fn run_campaign(rag: &LoopRag, kernels: &[Benchmark], threads: usize) -> Vec
     })
 }
 
+/// The feedback-indexing campaign driver: kernels run **in order**, and
+/// after each one the verified winning candidate is appended to the
+/// shared knowledge base at a sequential commit point, so later kernels
+/// retrieve from everything mined before them.
+///
+/// Parallelism moves *inside* each kernel (the candidate test stages
+/// and the sharded retrieval queries fan out over `threads` workers)
+/// instead of across kernels — the price of a deterministic feedback
+/// order. Because every stage is bit-identical at any pool size, the
+/// whole enriching campaign is too: results, mined records and the
+/// final knowledge-base size are identical at 1, 2 or 8 threads.
+///
+/// With [`looprag_core::LoopRagConfig::feedback`] off this degrades to
+/// a sequential [`run_campaign`] that ingests nothing.
+pub fn run_feedback_campaign(
+    rag: &mut LoopRag,
+    kernels: &[Benchmark],
+    threads: usize,
+) -> Vec<KernelResult> {
+    let threads = resolve_threads(threads);
+    kernels
+        .iter()
+        .map(|b| {
+            let target = b.program();
+            let outcome = rag.optimize_with_threads(&b.name, &target, threads);
+            // Sequential commit point between kernels.
+            rag.ingest_outcome(&target, &outcome);
+            KernelResult::from_outcome(b.suite, &outcome)
+        })
+        .collect()
+}
+
 /// Harness options.
 #[derive(Debug, Clone)]
 pub struct EvalOptions {

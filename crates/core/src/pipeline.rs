@@ -34,9 +34,9 @@ use looprag_eqcheck::{PreparedTarget, TestVerdict};
 use looprag_ir::{compile, print_program, Program};
 use looprag_llm::{Demonstration, LanguageModel, LlmProfile, Prompt, SimLlm};
 use looprag_machine::{estimate_cost, CostReport, MachineConfig};
-use looprag_retrieval::{RetrievalMode, Retriever};
+use looprag_retrieval::{KnowledgeBase, RetrievalMode};
 use looprag_runtime::{par_map, resolve_threads, Budget, BudgetPolicy};
-use looprag_synth::Dataset;
+use looprag_synth::{property_stats, Dataset, ExampleRecord, Provenance};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -81,6 +81,13 @@ pub struct LoopRagConfig {
     /// `LOOPRAG_THREADS` environment variable, falling back to the
     /// machine's available parallelism.
     pub threads: usize,
+    /// Feedback indexing: when true, [`LoopRag::ingest_outcome`] mines
+    /// each kernel's verified winning candidate back into the knowledge
+    /// base as an original → optimized demonstration, so campaigns
+    /// self-improve (see `looprag_bench`'s feedback campaign driver).
+    /// Off by default, which keeps fixed-seed outcomes bit-identical to
+    /// a fixed-corpus run.
+    pub feedback: bool,
 }
 
 impl LoopRagConfig {
@@ -99,6 +106,7 @@ impl LoopRagConfig {
             single_shot: false,
             budget: BudgetPolicy::default_virtual(),
             threads: 0,
+            feedback: false,
         }
     }
 }
@@ -277,14 +285,25 @@ enum TestPlan {
     Test,
 }
 
-/// The LOOPRAG optimizer: dataset, retriever and configuration.
+/// Stage-0 value: the retrieval stage's outcome — the sampled
+/// demonstrations feeding prompt construction, plus their dataset ids
+/// for the outcome report.
+#[derive(Debug, Clone)]
+struct RetrievedDemos {
+    demos: Vec<Demonstration>,
+    ids: Vec<usize>,
+}
+
+/// The LOOPRAG optimizer: dataset, knowledge base and configuration.
 pub struct LoopRag {
     config: LoopRagConfig,
     dataset: Dataset,
-    retriever: Retriever,
+    kb: KnowledgeBase,
     /// Example id -> index into `dataset.examples`, so demonstration
     /// lookup is O(1) instead of a linear scan per retrieved id.
     example_index: std::collections::HashMap<usize, usize>,
+    /// Next free record id for mined feedback pairs.
+    next_id: usize,
 }
 
 impl LoopRag {
@@ -295,24 +314,37 @@ impl LoopRag {
             .iter()
             .map(|e| (e.id, e.program()))
             .collect();
-        let retriever = Retriever::build(programs.iter().map(|(i, p)| (*i, p)));
+        let kb = KnowledgeBase::build(programs.iter().map(|(i, p)| (*i, p)));
         let mut example_index = std::collections::HashMap::new();
         for (pos, e) in dataset.examples.iter().enumerate() {
             // First occurrence wins, matching the linear scan this
             // index replaces.
             example_index.entry(e.id).or_insert(pos);
         }
+        let next_id = dataset.next_id();
         LoopRag {
             config,
             dataset,
-            retriever,
+            kb,
             example_index,
+            next_id,
         }
     }
 
     /// Access to the configuration.
     pub fn config(&self) -> &LoopRagConfig {
         &self.config
+    }
+
+    /// Access to the (possibly feedback-enriched) dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Number of examples in the knowledge base (grows under feedback
+    /// indexing).
+    pub fn knowledge_len(&self) -> usize {
+        self.kb.len()
     }
 
     fn target_seed(&self, name: &str) -> u64 {
@@ -324,18 +356,20 @@ impl LoopRag {
         h ^ self.config.seed
     }
 
-    /// Retrieves top-N and samples the prompt demonstrations.
-    fn demonstrations(
-        &self,
-        target: &Program,
-        rng: &mut StdRng,
-    ) -> (Vec<Demonstration>, Vec<usize>) {
+    /// Stage 0: retrieves the top-N examples from the knowledge base
+    /// (sharded over the worker pool) and samples the prompt
+    /// demonstrations. The sample draw is part of the sequential seed
+    /// contract; the ranking itself is bit-identical at any pool size.
+    fn retrieve_stage(&self, target: &Program, rng: &mut StdRng, threads: usize) -> RetrievedDemos {
         if self.dataset.examples.is_empty() || self.config.demos == 0 {
-            return (Vec::new(), Vec::new());
+            return RetrievedDemos {
+                demos: Vec::new(),
+                ids: Vec::new(),
+            };
         }
-        let hits = self
-            .retriever
-            .query(target, self.config.retrieval, self.config.top_n);
+        let hits =
+            self.kb
+                .query_with_threads(target, self.config.retrieval, self.config.top_n, threads);
         let mut ids: Vec<usize> = hits.iter().map(|(id, _)| *id).collect();
         // Random sample of `demos` from the top-N, as in §5.
         let mut chosen = Vec::new();
@@ -355,7 +389,41 @@ impl LoopRag {
                 optimized: e.optimized.clone(),
             })
             .collect();
-        (demos, chosen)
+        RetrievedDemos { demos, ids: chosen }
+    }
+
+    /// The feedback-indexing commit point: appends `outcome`'s verified
+    /// winning candidate to the dataset and knowledge base as a mined
+    /// original → optimized demonstration. A no-op unless
+    /// [`LoopRagConfig::feedback`] is on and the outcome carries a
+    /// passing candidate that actually improved on the original.
+    ///
+    /// Call this **between** kernels, sequentially (the campaign driver
+    /// in `looprag_bench` does): insertion order is part of the
+    /// knowledge base's determinism contract.
+    ///
+    /// Returns whether a record was ingested.
+    pub fn ingest_outcome(&mut self, target: &Program, outcome: &OptimizationOutcome) -> bool {
+        if !self.config.feedback || !outcome.passed || outcome.speedup <= 1.0 {
+            return false;
+        }
+        let Some(best) = &outcome.best else {
+            return false;
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        self.kb.insert(id, target);
+        self.example_index.insert(id, self.dataset.examples.len());
+        self.dataset.examples.push(ExampleRecord {
+            id,
+            source: print_program(target),
+            optimized: print_program(best),
+            recipe: vec![format!("mined:{}", outcome.name)],
+            families: Vec::new(),
+            stats: property_stats(target),
+            provenance: Provenance::Mined,
+        });
+        true
     }
 
     /// Stage 1: generates a batch of K candidates with one compile-repair
@@ -492,8 +560,20 @@ impl LoopRag {
 
     /// Runs the full four-step pipeline on one kernel.
     pub fn optimize(&self, name: &str, target: &Program) -> OptimizationOutcome {
+        self.optimize_with_threads(name, target, self.config.threads)
+    }
+
+    /// Runs the pipeline with an explicit worker-pool size for the
+    /// parallel stages (0 = auto), overriding [`LoopRagConfig::threads`].
+    /// Outcomes are bit-identical at any pool size.
+    pub fn optimize_with_threads(
+        &self,
+        name: &str,
+        target: &Program,
+        threads: usize,
+    ) -> OptimizationOutcome {
         let budget = Budget::new(self.config.budget.clone());
-        let threads = resolve_threads(self.config.threads);
+        let threads = resolve_threads(threads);
         let mut rng = StdRng::seed_from_u64(self.target_seed(name));
         let mut model = SimLlm::new(self.config.profile.clone(), rng.gen());
         let target_text = print_program(target);
@@ -505,8 +585,12 @@ impl LoopRag {
         let orig_cost = estimate_cost(target, &self.config.machine)
             .unwrap_or_else(|_| CostReport::unreachable());
 
-        // Step 1: demonstrations + first batch.
-        let (demos, demo_ids) = self.demonstrations(target, &mut rng);
+        // Step 1: retrieval stage + first batch.
+        let retrieved = self.retrieve_stage(target, &mut rng, threads);
+        let RetrievedDemos {
+            demos,
+            ids: demo_ids,
+        } = retrieved;
         let prompt1 = if demos.is_empty() {
             Prompt::base(target_text.clone())
         } else {

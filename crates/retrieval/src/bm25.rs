@@ -2,9 +2,25 @@
 //!
 //! This replaces the Elasticsearch deployment of the paper's
 //! implementation with an in-memory inverted index; the scoring function
-//! is the standard Okapi formulation (k1 = 1.2, b = 0.75).
+//! is the standard Okapi formulation (k1 = 1.2, b = 0.75 by default,
+//! configurable through [`Bm25Params`]).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+/// The Okapi BM25 free parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bm25Params {
+    /// Term-frequency saturation (`k1`).
+    pub k1: f64,
+    /// Length-normalization strength (`b`).
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params { k1: 1.2, b: 0.75 }
+    }
+}
 
 /// Splits code text into lowercase alphanumeric tokens.
 ///
@@ -38,8 +54,14 @@ pub struct Bm25Index {
 }
 
 impl Bm25Index {
-    /// Builds an index over `docs` (document id = position).
+    /// Builds an index over `docs` (document id = position) with the
+    /// default parameters.
     pub fn build(docs: &[String]) -> Self {
+        Self::build_with_params(docs, Bm25Params::default())
+    }
+
+    /// Builds an index over `docs` with explicit BM25 parameters.
+    pub fn build_with_params(docs: &[String], params: Bm25Params) -> Self {
         let mut postings: HashMap<String, Vec<(usize, u32)>> = HashMap::new();
         let mut doc_len = Vec::with_capacity(docs.len());
         for (id, text) in docs.iter().enumerate() {
@@ -62,8 +84,8 @@ impl Bm25Index {
             postings,
             doc_len,
             avg_len,
-            k1: 1.2,
-            b: 0.75,
+            k1: params.k1,
+            b: params.b,
         }
     }
 
@@ -78,14 +100,19 @@ impl Bm25Index {
     }
 
     /// BM25 scores of every document for `query` text; index = doc id.
+    ///
+    /// Query terms are processed in first-occurrence order (not hash
+    /// order), so the floating-point accumulation — and therefore the
+    /// returned scores — are bit-for-bit reproducible across runs. The
+    /// `KnowledgeBase` equivalence pins depend on this.
     pub fn scores(&self, query: &str) -> Vec<f64> {
         let n = self.len() as f64;
         let mut scores = vec![0.0; self.len()];
-        let mut qtf: HashMap<String, u32> = HashMap::new();
-        for t in tokenize(query) {
-            *qtf.entry(t).or_insert(0) += 1;
-        }
-        for (term, _qf) in qtf {
+        let mut seen: HashSet<String> = HashSet::new();
+        for term in tokenize(query) {
+            if !seen.insert(term.clone()) {
+                continue;
+            }
             let Some(posts) = self.postings.get(&term) else {
                 continue;
             };
@@ -157,5 +184,38 @@ mod tests {
         let idx = Bm25Index::build(&[]);
         assert!(idx.is_empty());
         assert!(idx.search("anything", 5).is_empty());
+    }
+
+    #[test]
+    fn custom_params_change_scoring() {
+        let docs = vec![
+            "alpha alpha alpha beta".to_string(),
+            "alpha beta".to_string(),
+        ];
+        let default = Bm25Index::build(&docs);
+        // k1 = 0 removes term-frequency saturation entirely, so both
+        // documents earn the same per-term contribution despite their
+        // different term frequencies.
+        let flat = Bm25Index::build_with_params(&docs, Bm25Params { k1: 0.0, b: 0.0 });
+        let sd = default.scores("alpha");
+        let sf = flat.scores("alpha");
+        assert_ne!(sd[0], sf[0]);
+        assert_eq!(sf[0], sf[1]);
+    }
+
+    #[test]
+    fn scores_are_bitwise_reproducible_across_instances() {
+        // Two independently built indexes must return bit-identical
+        // scores: query terms accumulate in first-occurrence order, not
+        // in (randomized) hash order.
+        let docs: Vec<String> = (0..16)
+            .map(|i| format!("for i j k alpha beta gamma delta x{i} A B C"))
+            .collect();
+        let query = "for i j k alpha beta gamma delta A B C x3";
+        let a = Bm25Index::build(&docs);
+        let b = Bm25Index::build(&docs);
+        let sa: Vec<u64> = a.scores(query).iter().map(|s| s.to_bits()).collect();
+        let sb: Vec<u64> = b.scores(query).iter().map(|s| s.to_bits()).collect();
+        assert_eq!(sa, sb);
     }
 }

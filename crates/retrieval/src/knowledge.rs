@@ -1,0 +1,824 @@
+//! The knowledge base: a sharded, interned, incrementally growable
+//! retrieval index that replaces the string-keyed [`Retriever`] on the
+//! pipeline's hot path while reproducing its rankings bit for bit.
+//!
+//! [`Retriever`]: crate::Retriever
+//!
+//! # Architecture
+//!
+//! * **Interning** — BM25 terms and loop-feature items are mapped to
+//!   dense `u32` ids once at insert time; queries never hash strings per
+//!   document.
+//! * **CSR postings + tail segment** — sealed postings live in one
+//!   flat CSR triple (`offsets`/`docs`/`tfs`); [`KnowledgeBase::insert`]
+//!   appends to small per-term tail lists without rebuilding, and
+//!   [`KnowledgeBase::commit`] folds the tail into the CSR segment.
+//!   Scores never depend on the segment layout, so a batch build and any
+//!   interleaving of inserts and commits are bit-identical.
+//! * **Feature arena** — per-document statement features are stored as
+//!   sorted `u32` id runs in one flat arena; the multiset intersection
+//!   of Eq. 2 becomes a branchy-but-allocation-free merge walk.
+//! * **Max-score pruning** — every document carries a cheap upper bound
+//!   on its total score (its exact normalized BM25 base plus a
+//!   feature-count bound on the weighted part, both monotone in f64).
+//!   Documents are visited in descending bound order and scoring stops
+//!   as soon as the bound falls below the current `top_n` threshold, so
+//!   the expensive feature intersection runs for a fraction of the
+//!   corpus — *exactly*, never approximately.
+//! * **Sharding** — scoring fans out over contiguous document ranges on
+//!   the [`looprag_runtime`] worker pool; each shard returns its exact
+//!   local top-`n` and the order-preserving merge reproduces the
+//!   single-shard ranking bit for bit at any shard count
+//!   (`threads <= 1` collapses to a strictly sequential scan).
+//!
+//! # Determinism
+//!
+//! For the same corpus (in the same insertion order) and the same
+//! query, [`KnowledgeBase::query`] returns bit-identical `(id, score)`
+//! pairs regardless of shard count, commit schedule, or whether the
+//! corpus was batch-built or grown by [`KnowledgeBase::insert`] — and
+//! those pairs equal what [`Retriever::query`] returns over the same
+//! examples (pinned by the golden equivalence tests and the
+//! `perf_snapshot` assert).
+//!
+//! [`Retriever::query`]: crate::Retriever::query
+
+use crate::bm25::tokenize;
+use crate::features::{extract_features, StmtFeatures, NUM_FEATURE_TYPES};
+use crate::lascore::{LaWeights, RetrievalMode};
+use looprag_ir::{print_program, Program};
+use looprag_runtime::{par_map, resolve_threads};
+use std::collections::HashMap;
+
+/// Sentinel id for target feature items absent from the corpus
+/// dictionary: never equal to any interned document item, so it can
+/// only contribute to the target's feature *count*, never to a match.
+const UNKNOWN_ITEM: u32 = u32::MAX;
+
+/// One statement's feature spans inside the arena: schedule items are
+/// `items[sched_start..sched_end]`, index items are
+/// `items[sched_end..idx_end]`; both runs are sorted.
+#[derive(Debug, Clone, Copy)]
+struct StmtSpan {
+    sched_start: u32,
+    sched_end: u32,
+    idx_end: u32,
+}
+
+/// One indexed document.
+#[derive(Debug, Clone, Copy)]
+struct DocEntry {
+    /// Caller-provided identifier (e.g. dataset record id).
+    id: usize,
+    /// Span of this document's statements in the statement arena.
+    stmt_start: u32,
+    stmt_end: u32,
+}
+
+/// The target's features, interned against the corpus dictionary.
+struct TargetFeats {
+    items: Vec<u32>,
+    stmts: Vec<StmtSpan>,
+}
+
+impl TargetFeats {
+    fn type_slice(&self, stmt: usize, ty: usize) -> &[u32] {
+        let s = self.stmts[stmt];
+        if ty == 0 {
+            &self.items[s.sched_start as usize..s.sched_end as usize]
+        } else {
+            &self.items[s.sched_end as usize..s.idx_end as usize]
+        }
+    }
+}
+
+/// Multiset intersection size of two sorted id runs (merge walk).
+fn sorted_intersection(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut shared) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                shared += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    shared
+}
+
+/// A ranked entry during selection: `(score, corpus position, id)`.
+/// Position breaks ties, making the order total and shard-independent.
+type Ranked = (f64, u32, usize);
+
+/// Descending score, ascending position — the exact order a full stable
+/// sort by descending score produces, shared with `Retriever`.
+fn rank_cmp(a: &Ranked, b: &Ranked) -> std::cmp::Ordering {
+    b.0.partial_cmp(&a.0)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.1.cmp(&b.1))
+}
+
+/// A bounded best-`n` accumulator over [`Ranked`] entries.
+struct TopK {
+    cap: usize,
+    entries: Vec<Ranked>,
+}
+
+impl TopK {
+    fn new(cap: usize) -> Self {
+        TopK {
+            cap,
+            entries: Vec::with_capacity(cap.min(64) + 1),
+        }
+    }
+
+    /// The entry a newcomer has to beat, once the accumulator is full.
+    fn threshold(&self) -> Option<&Ranked> {
+        (self.entries.len() >= self.cap).then(|| &self.entries[self.entries.len() - 1])
+    }
+
+    fn push(&mut self, e: Ranked) {
+        let at = self
+            .entries
+            .partition_point(|have| rank_cmp(have, &e) != std::cmp::Ordering::Greater);
+        self.entries.insert(at, e);
+        self.entries.truncate(self.cap);
+    }
+}
+
+/// The sharded, interned knowledge base (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct KnowledgeBase {
+    weights: LaWeights,
+    /// Default worker-pool size for queries (0 = auto:
+    /// `LOOPRAG_THREADS`, then available parallelism).
+    threads: usize,
+    // --- BM25 layer ---
+    terms: HashMap<String, u32>,
+    /// CSR segment: `csr_offsets[t]..csr_offsets[t + 1]` slices the
+    /// postings of term `t` out of `csr_docs`/`csr_tfs`. Terms interned
+    /// after the last commit lie beyond `csr_offsets.len() - 1` and have
+    /// only tail postings.
+    csr_offsets: Vec<u32>,
+    csr_docs: Vec<u32>,
+    csr_tfs: Vec<u32>,
+    /// Tail segment: per-term postings appended since the last commit.
+    tail: Vec<Vec<(u32, u32)>>,
+    tail_postings: usize,
+    doc_len: Vec<u32>,
+    /// Running token-count sum, accumulated in document order so the
+    /// average length is bit-identical to a batch computation.
+    len_sum: f64,
+    // --- feature layer ---
+    feat_terms: HashMap<String, u32>,
+    /// Flat arena of interned feature-item ids, sorted per span.
+    items: Vec<u32>,
+    stmts: Vec<StmtSpan>,
+    docs: Vec<DocEntry>,
+}
+
+impl KnowledgeBase {
+    /// An empty knowledge base with the given scoring weights.
+    pub fn new(weights: LaWeights) -> Self {
+        KnowledgeBase {
+            weights,
+            ..Default::default()
+        }
+    }
+
+    /// Builds over `(id, program)` example pairs with default weights.
+    pub fn build<'a>(examples: impl IntoIterator<Item = (usize, &'a Program)>) -> Self {
+        Self::with_weights(examples, LaWeights::default())
+    }
+
+    /// Builds over `(id, program)` example pairs with custom weights.
+    ///
+    /// Equivalent to inserting every example into an empty base and
+    /// committing — batch and incremental construction are bit-identical
+    /// by design.
+    pub fn with_weights<'a>(
+        examples: impl IntoIterator<Item = (usize, &'a Program)>,
+        weights: LaWeights,
+    ) -> Self {
+        let mut kb = Self::new(weights);
+        for (id, p) in examples {
+            kb.insert(id, p);
+        }
+        kb.commit();
+        kb
+    }
+
+    /// Sets the default worker-pool size used by [`KnowledgeBase::query`]
+    /// (0 = auto). Rankings are identical at any value.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// The scoring weights.
+    pub fn weights(&self) -> &LaWeights {
+        &self.weights
+    }
+
+    /// Number of indexed examples.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// CSR postings of term `t` (empty for post-commit terms).
+    fn csr_postings(&self, t: u32) -> (&[u32], &[u32]) {
+        let t = t as usize;
+        if t + 1 < self.csr_offsets.len() {
+            let (a, b) = (
+                self.csr_offsets[t] as usize,
+                self.csr_offsets[t + 1] as usize,
+            );
+            (&self.csr_docs[a..b], &self.csr_tfs[a..b])
+        } else {
+            (&[], &[])
+        }
+    }
+
+    /// Tail postings of term `t`.
+    fn tail_postings_of(&self, t: u32) -> &[(u32, u32)] {
+        self.tail.get(t as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// Document frequency of term `t` across both segments.
+    fn df(&self, t: u32) -> usize {
+        let (docs, _) = self.csr_postings(t);
+        docs.len() + self.tail_postings_of(t).len()
+    }
+
+    /// Appends one example. No index rebuild happens: postings go to
+    /// per-term tail lists and features to the arena, both append-only.
+    /// A deterministic size policy folds the tail into the CSR segment
+    /// once it outgrows a quarter of the sealed postings, keeping the
+    /// amortized cost geometric; rankings are unaffected either way.
+    pub fn insert(&mut self, id: usize, program: &Program) {
+        let doc = u32::try_from(self.docs.len()).expect("corpus exceeds u32 documents");
+        // BM25 layer: tokenize the printed text, intern, count.
+        let text = print_program(program);
+        let toks = tokenize(&text);
+        let toks_len = u32::try_from(toks.len()).expect("document exceeds u32 tokens");
+        self.doc_len.push(toks_len);
+        self.len_sum += f64::from(toks_len);
+        let mut tf: Vec<(u32, u32)> = Vec::new();
+        for t in toks {
+            let next = u32::try_from(self.terms.len()).expect("term dictionary exceeds u32");
+            let tid = *self.terms.entry(t).or_insert(next);
+            match tf.iter_mut().find(|(i, _)| *i == tid) {
+                Some((_, f)) => *f += 1,
+                None => tf.push((tid, 1)),
+            }
+        }
+        for (tid, f) in tf {
+            let t = tid as usize;
+            if t >= self.tail.len() {
+                self.tail.resize(t + 1, Vec::new());
+            }
+            self.tail[t].push((doc, f));
+            self.tail_postings += 1;
+        }
+        // Feature layer: intern each item, sort each span. Interned ids
+        // must stay strictly below the UNKNOWN_ITEM sentinel reserved
+        // for out-of-corpus target items.
+        let next_feat = |dict: &HashMap<String, u32>| {
+            u32::try_from(dict.len())
+                .ok()
+                .filter(|&n| n < UNKNOWN_ITEM)
+                .expect("feature dictionary exceeds u32 - 1 items")
+        };
+        let stmt_start = u32::try_from(self.stmts.len()).expect("arena exceeds u32 statements");
+        for feat in extract_features(program) {
+            let sched_start = self.items.len();
+            for item in feat.schedule {
+                let next = next_feat(&self.feat_terms);
+                self.items
+                    .push(*self.feat_terms.entry(item).or_insert(next));
+            }
+            self.items[sched_start..].sort_unstable();
+            let sched_end = self.items.len();
+            for item in feat.indexes {
+                let next = next_feat(&self.feat_terms);
+                self.items
+                    .push(*self.feat_terms.entry(item).or_insert(next));
+            }
+            self.items[sched_end..].sort_unstable();
+            self.stmts.push(StmtSpan {
+                sched_start: sched_start as u32,
+                sched_end: sched_end as u32,
+                idx_end: self.items.len() as u32,
+            });
+        }
+        self.docs.push(DocEntry {
+            id,
+            stmt_start,
+            stmt_end: self.stmts.len() as u32,
+        });
+        if self.tail_postings > 1024 + self.csr_docs.len() / 4 {
+            self.commit();
+        }
+    }
+
+    /// Folds the tail segment into the CSR segment. Purely a layout
+    /// operation: queries return bit-identical results before and after.
+    pub fn commit(&mut self) {
+        let nterms = self.terms.len();
+        if self.tail_postings == 0 && self.csr_offsets.len() == nterms + 1 {
+            return;
+        }
+        let total = self.csr_docs.len() + self.tail_postings;
+        let mut offsets = Vec::with_capacity(nterms + 1);
+        let mut docs = Vec::with_capacity(total);
+        let mut tfs = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for t in 0..nterms {
+            let (cd, ct) = self.csr_postings(t as u32);
+            docs.extend_from_slice(cd);
+            tfs.extend_from_slice(ct);
+            for &(d, f) in self.tail_postings_of(t as u32) {
+                docs.push(d);
+                tfs.push(f);
+            }
+            offsets.push(u32::try_from(docs.len()).expect("postings exceed u32"));
+        }
+        self.csr_offsets = offsets;
+        self.csr_docs = docs;
+        self.csr_tfs = tfs;
+        self.tail.clear();
+        self.tail_postings = 0;
+    }
+
+    /// Interns the target's features; items outside the corpus
+    /// dictionary become [`UNKNOWN_ITEM`] (they count toward the
+    /// target's feature totals but can never match a document item).
+    fn intern_target(&self, feats: &[StmtFeatures]) -> TargetFeats {
+        let mut items = Vec::new();
+        let mut stmts = Vec::with_capacity(feats.len());
+        let intern = |items: &mut Vec<u32>, list: &[String]| {
+            let start = items.len();
+            for s in list {
+                items.push(self.feat_terms.get(s).copied().unwrap_or(UNKNOWN_ITEM));
+            }
+            items[start..].sort_unstable();
+            items.len()
+        };
+        for f in feats {
+            let sched_start = items.len() as u32;
+            let sched_end = intern(&mut items, &f.schedule) as u32;
+            let idx_end = intern(&mut items, &f.indexes) as u32;
+            stmts.push(StmtSpan {
+                sched_start,
+                sched_end,
+                idx_end,
+            });
+        }
+        TargetFeats { items, stmts }
+    }
+
+    /// The query's term ids in first-occurrence order — the same
+    /// deduplicated order `Bm25Index::scores` processes, which fixes
+    /// the floating-point accumulation order per document.
+    fn query_terms(&self, text: &str) -> Vec<u32> {
+        let mut seen = vec![false; self.terms.len()];
+        let mut out = Vec::new();
+        for t in tokenize(text) {
+            if let Some(&tid) = self.terms.get(&t) {
+                if !seen[tid as usize] {
+                    seen[tid as usize] = true;
+                    out.push(tid);
+                }
+            }
+        }
+        out
+    }
+
+    /// Raw BM25 scores for documents in `lo..hi`, indexed from `lo`,
+    /// plus the range's maximum. Contributions accumulate term-major in
+    /// query order, matching `Bm25Index::scores` bit for bit.
+    fn raw_bm25_range(&self, qterms: &[u32], lo: u32, hi: u32) -> (Vec<f64>, f64) {
+        let n = self.docs.len() as f64;
+        let avg_len = if self.docs.is_empty() {
+            0.0
+        } else {
+            self.len_sum / self.docs.len() as f64
+        };
+        let (k1, b) = (self.weights.bm25.k1, self.weights.bm25.b);
+        let mut scores = vec![0.0f64; (hi - lo) as usize];
+        for &t in qterms {
+            let df = self.df(t) as f64;
+            let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+            let mut add = |doc: u32, f: u32| {
+                let f = f64::from(f);
+                let len_norm =
+                    1.0 - b + b * f64::from(self.doc_len[doc as usize]) / avg_len.max(1.0);
+                scores[(doc - lo) as usize] += idf * f * (k1 + 1.0) / (f + k1 * len_norm);
+            };
+            let (docs, tfs) = self.csr_postings(t);
+            let from = docs.partition_point(|&d| d < lo);
+            let to = docs.partition_point(|&d| d < hi);
+            for i in from..to {
+                add(docs[i], tfs[i]);
+            }
+            let tail = self.tail_postings_of(t);
+            let from = tail.partition_point(|&(d, _)| d < lo);
+            let to = tail.partition_point(|&(d, _)| d < hi);
+            for &(d, f) in &tail[from..to] {
+                add(d, f);
+            }
+        }
+        let max = scores.iter().cloned().fold(0.0f64, f64::max);
+        (scores, max)
+    }
+
+    /// Exact weighted (non-BM25) LAScore part for one document —
+    /// operation-for-operation the same computation as
+    /// [`crate::weighted_score`] over string features, so results are
+    /// bit-identical.
+    fn weighted_exact(&self, target: &TargetFeats, doc: &DocEntry) -> f64 {
+        let w = &self.weights;
+        let nst = target.stmts.len();
+        let nse = (doc.stmt_end - doc.stmt_start) as usize;
+        let wp_sum: f64 = w.penalty.iter().sum();
+        let sm = (nst as isize - nse as isize).unsigned_abs() as f64 * wp_sum;
+        let n = nst.min(nse);
+        let mut sf = 0.0;
+        for i in 0..n {
+            let span = self.stmts[doc.stmt_start as usize + i];
+            for j in 0..NUM_FEATURE_TYPES {
+                let ft = target.type_slice(i, j);
+                let fe = if j == 0 {
+                    &self.items[span.sched_start as usize..span.sched_end as usize]
+                } else {
+                    &self.items[span.sched_end as usize..span.idx_end as usize]
+                };
+                let shared = sorted_intersection(ft, fe) as f64;
+                let reward = shared * w.reward[j];
+                let mut unmatched = (fe.len() as f64 - shared).max(0.0);
+                if w.symmetric_penalty {
+                    unmatched += (ft.len() as f64 - shared).max(0.0);
+                }
+                let penalty = unmatched * w.penalty[j];
+                let nft = ft.len().max(1) as f64;
+                sf += (reward - penalty) / nft;
+            }
+        }
+        (sf - sm) / nst.max(1) as f64
+    }
+
+    /// Upper bound on [`Self::weighted_exact`] from feature *counts*
+    /// alone (no arena item reads): caps every intersection at
+    /// `min(|ft|, |fe|)` and drops the non-negative penalty terms. The
+    /// bound mirrors the exact computation's operation order, so f64
+    /// rounding monotonicity guarantees `bound >= exact` — pruning on it
+    /// is exact. Only valid for non-negative weights; see
+    /// [`Self::bounds_valid`].
+    fn weighted_bound(&self, target: &TargetFeats, doc: &DocEntry) -> f64 {
+        let w = &self.weights;
+        let nst = target.stmts.len();
+        let nse = (doc.stmt_end - doc.stmt_start) as usize;
+        let wp_sum: f64 = w.penalty.iter().sum();
+        let sm = (nst as isize - nse as isize).unsigned_abs() as f64 * wp_sum;
+        let n = nst.min(nse);
+        let mut sf = 0.0;
+        for i in 0..n {
+            let span = self.stmts[doc.stmt_start as usize + i];
+            for j in 0..NUM_FEATURE_TYPES {
+                let nft = target.type_slice(i, j).len();
+                let nfe = if j == 0 {
+                    (span.sched_end - span.sched_start) as usize
+                } else {
+                    (span.idx_end - span.sched_end) as usize
+                };
+                let shared_max = nft.min(nfe) as f64;
+                let reward = shared_max * w.reward[j];
+                sf += reward / nft.max(1) as f64;
+            }
+        }
+        (sf - sm) / nst.max(1) as f64
+    }
+
+    /// Whether the weight vector admits exact pruning (all reward and
+    /// penalty weights finite and non-negative). With exotic weights the
+    /// base falls back to exhaustive scoring — still exact, just slower.
+    fn bounds_valid(&self) -> bool {
+        self.weights
+            .reward
+            .iter()
+            .chain(self.weights.penalty.iter())
+            .all(|w| w.is_finite() && *w >= 0.0)
+    }
+
+    /// Ranks all examples for `target` under `mode` using the default
+    /// pool size; returns `(id, score)` pairs, best first, truncated to
+    /// `top_n`. See [`Self::query_with_threads`].
+    pub fn query(&self, target: &Program, mode: RetrievalMode, top_n: usize) -> Vec<(usize, f64)> {
+        self.query_with_threads(target, mode, top_n, self.threads)
+    }
+
+    /// Ranks with an explicit worker-pool size (0 = auto). The ranking
+    /// is a pure function of the corpus and query — bit-identical at any
+    /// `threads` value.
+    pub fn query_with_threads(
+        &self,
+        target: &Program,
+        mode: RetrievalMode,
+        top_n: usize,
+        threads: usize,
+    ) -> Vec<(usize, f64)> {
+        if self.docs.is_empty() || top_n == 0 {
+            return Vec::new();
+        }
+        let threads = resolve_threads(threads);
+        let shards = shard_ranges(self.docs.len() as u32, threads);
+        let tf = self.intern_target(&extract_features(target));
+
+        // Phase 1 — raw BM25 per shard (skipped when the mode ignores
+        // it), then the global maximum for normalization. `f64::max` is
+        // exact, so folding shard maxima in order equals a full scan.
+        let need_bm25 = mode != RetrievalMode::WeightedOnly;
+        let (raw, max_bm25) = if need_bm25 {
+            let qterms = self.query_terms(&print_program(target));
+            let parts = par_map(threads, &shards, |_, &(lo, hi)| {
+                self.raw_bm25_range(&qterms, lo, hi)
+            });
+            let max = parts
+                .iter()
+                .map(|(_, m)| *m)
+                .fold(0.0f64, f64::max)
+                .max(1e-9);
+            (parts.into_iter().flat_map(|(s, _)| s).collect(), max)
+        } else {
+            (Vec::new(), 1.0)
+        };
+
+        // Phase 2 — per shard: exact base score, bound, prune, exact
+        // weighted score for survivors, local top-n.
+        let prune = self.bounds_valid();
+        let tops = par_map(threads, &shards, |_, &(lo, hi)| {
+            self.rank_range(&tf, &raw, max_bm25, mode, top_n, prune, lo, hi)
+        });
+
+        // Order-preserving merge: every shard's list is exact for its
+        // range, so sorting the concatenation by (score desc, position
+        // asc) reproduces the single-shard ranking exactly.
+        let mut merged: Vec<Ranked> = tops.into_iter().flatten().collect();
+        merged.sort_by(rank_cmp);
+        merged.truncate(top_n);
+        merged
+            .into_iter()
+            .map(|(score, _, id)| (id, score))
+            .collect()
+    }
+
+    /// Exact top-`top_n` of documents `lo..hi` (max-score traversal).
+    #[allow(clippy::too_many_arguments)]
+    fn rank_range(
+        &self,
+        tf: &TargetFeats,
+        raw: &[f64],
+        max_bm25: f64,
+        mode: RetrievalMode,
+        top_n: usize,
+        prune: bool,
+        lo: u32,
+        hi: u32,
+    ) -> Vec<Ranked> {
+        let scale = self.weights.bm25_scale;
+        let sb_of = |pos: u32| {
+            if mode == RetrievalMode::WeightedOnly {
+                0.0
+            } else {
+                scale * raw[pos as usize] / max_bm25
+            }
+        };
+        let exact = |pos: u32| {
+            let doc = &self.docs[pos as usize];
+            let score = match mode {
+                RetrievalMode::LoopAware => sb_of(pos) + self.weighted_exact(tf, doc),
+                RetrievalMode::Bm25Only => sb_of(pos),
+                RetrievalMode::WeightedOnly => self.weighted_exact(tf, doc),
+            };
+            (score, pos, doc.id)
+        };
+        let mut top = TopK::new(top_n);
+        if !prune {
+            for pos in lo..hi {
+                top.push(exact(pos));
+            }
+            return top.entries;
+        }
+        // Upper bounds per document; Bm25Only's bound is its exact
+        // score already, so its "evaluation" below costs nothing extra.
+        let mut bounded: Vec<(f64, u32)> = (lo..hi)
+            .map(|pos| {
+                let ub = match mode {
+                    RetrievalMode::Bm25Only => sb_of(pos),
+                    RetrievalMode::LoopAware => {
+                        sb_of(pos) + self.weighted_bound(tf, &self.docs[pos as usize])
+                    }
+                    RetrievalMode::WeightedOnly => {
+                        self.weighted_bound(tf, &self.docs[pos as usize])
+                    }
+                };
+                (ub, pos)
+            })
+            .collect();
+        // Descending bound, ascending position: the threshold rises as
+        // fast as possible and the walk can stop at the first bound
+        // strictly below it.
+        bounded.sort_unstable_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        for &(ub, pos) in &bounded {
+            if let Some(&(t_score, t_pos, _)) = top.threshold() {
+                if ub < t_score {
+                    // Bounds only fall from here on: nothing left can
+                    // displace the current top-n.
+                    break;
+                }
+                if ub == t_score && pos > t_pos {
+                    // Equal bound but a later position: even matching
+                    // the bound exactly loses the tie-break.
+                    continue;
+                }
+            }
+            top.push(exact(pos));
+        }
+        top.entries
+    }
+}
+
+/// Splits `0..n` into up to `threads` contiguous, near-equal ranges.
+fn shard_ranges(n: u32, threads: usize) -> Vec<(u32, u32)> {
+    let shards = threads.clamp(1, n as usize) as u32;
+    let (base, extra) = (n / shards, n % shards);
+    let mut out = Vec::with_capacity(shards as usize);
+    let mut lo = 0;
+    for s in 0..shards {
+        let hi = lo + base + u32::from(s < extra);
+        out.push((lo, hi));
+        lo = hi;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Retriever;
+    use looprag_ir::compile;
+
+    fn prog(src: &str, name: &str) -> Program {
+        compile(src, name).unwrap()
+    }
+
+    fn corpus() -> Vec<Program> {
+        vec![
+            prog(
+                "param N = 64;\narray A[N];\narray B[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i] = B[i] + 1.0;\n#pragma endscop\n",
+                "stream",
+            ),
+            prog(
+                "param N = 64;\narray C[N][N];\narray A[N][N];\narray B[N][N];\nout C;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= N - 1; j++) for (k = 0; k <= N - 1; k++) C[i][j] += A[i][k] * B[k][j];\n#pragma endscop\n",
+                "gemm",
+            ),
+            prog(
+                "param N = 64;\narray A[N];\narray B[N];\nout B;\n#pragma scop\nfor (i = 1; i <= N - 2; i++) B[i] = A[i - 1] + A[i + 1];\n#pragma endscop\n",
+                "stencil",
+            ),
+        ]
+    }
+
+    fn all_modes() -> [RetrievalMode; 3] {
+        [
+            RetrievalMode::LoopAware,
+            RetrievalMode::Bm25Only,
+            RetrievalMode::WeightedOnly,
+        ]
+    }
+
+    fn bits(hits: &[(usize, f64)]) -> Vec<(usize, u64)> {
+        hits.iter().map(|(id, s)| (*id, s.to_bits())).collect()
+    }
+
+    #[test]
+    fn matches_seed_retriever_bit_for_bit() {
+        let corpus = corpus();
+        let retriever = Retriever::build(corpus.iter().enumerate());
+        let kb = KnowledgeBase::build(corpus.iter().enumerate());
+        for target in &corpus {
+            for mode in all_modes() {
+                for top_n in [1, 2, 3, 10] {
+                    assert_eq!(
+                        bits(&kb.query(target, mode, top_n)),
+                        bits(&retriever.query(target, mode, top_n)),
+                        "{mode:?} top_n={top_n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_insert_equals_batch_build() {
+        let corpus = corpus();
+        let batch = KnowledgeBase::build(corpus.iter().enumerate());
+        // Grow one doc at a time with no explicit commit at the end:
+        // tail-segment scoring must equal CSR scoring bit for bit.
+        let mut grown = KnowledgeBase::new(LaWeights::default());
+        for (i, p) in corpus.iter().enumerate() {
+            grown.insert(i, p);
+        }
+        // And a mid-build commit must not matter either.
+        let mut mixed = KnowledgeBase::new(LaWeights::default());
+        for (i, p) in corpus.iter().enumerate() {
+            mixed.insert(i, p);
+            if i == 1 {
+                mixed.commit();
+            }
+        }
+        assert_eq!(batch.len(), grown.len());
+        for target in &corpus {
+            for mode in all_modes() {
+                let want = bits(&batch.query(target, mode, 3));
+                assert_eq!(want, bits(&grown.query(target, mode, 3)), "{mode:?}");
+                assert_eq!(want, bits(&mixed.query(target, mode, 3)), "{mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_query_equals_sequential() {
+        let corpus = corpus();
+        let kb = KnowledgeBase::build(corpus.iter().enumerate());
+        for target in &corpus {
+            for mode in all_modes() {
+                let seq = bits(&kb.query_with_threads(target, mode, 3, 1));
+                for threads in [2, 3, 8] {
+                    assert_eq!(
+                        seq,
+                        bits(&kb.query_with_threads(target, mode, 3, threads)),
+                        "{mode:?} at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inserted_example_becomes_retrievable() {
+        let corpus = corpus();
+        let mut kb = KnowledgeBase::build(corpus[..2].iter().enumerate());
+        let before = kb.query(&corpus[2], RetrievalMode::LoopAware, 3);
+        assert!(before.iter().all(|(id, _)| *id != 7));
+        kb.insert(7, &corpus[2]);
+        assert_eq!(kb.len(), 3);
+        let after = kb.query(&corpus[2], RetrievalMode::LoopAware, 3);
+        assert_eq!(after[0].0, 7, "the inserted stencil must rank first");
+    }
+
+    #[test]
+    fn empty_base_is_safe() {
+        let kb = KnowledgeBase::new(LaWeights::default());
+        assert!(kb.is_empty());
+        let target = corpus().remove(0);
+        assert!(kb.query(&target, RetrievalMode::LoopAware, 5).is_empty());
+    }
+
+    #[test]
+    fn shard_ranges_cover_exactly() {
+        for n in [1u32, 2, 3, 7, 100] {
+            for threads in [1usize, 2, 3, 8, 200] {
+                let ranges = shard_ranges(n, threads);
+                assert_eq!(ranges[0].0, 0);
+                assert_eq!(ranges.last().unwrap().1, n);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].1, w[1].0);
+                    assert!(w[0].0 < w[0].1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topk_keeps_best_in_rank_order() {
+        let mut top = TopK::new(3);
+        for (i, s) in [1.0, 4.0, 2.0, 4.0, 0.5, 3.0].iter().enumerate() {
+            top.push((*s, i as u32, 100 + i));
+        }
+        let got: Vec<(f64, u32)> = top.entries.iter().map(|(s, p, _)| (*s, *p)).collect();
+        // Ties (4.0 at positions 1 and 3) break by position.
+        assert_eq!(got, vec![(4.0, 1), (4.0, 3), (3.0, 5)]);
+    }
+}

@@ -1,7 +1,7 @@
 //! The loop-aware retrieval score (LAScore, §4.2 Eqs. 1–5) and the
 //! retriever that ranks dataset examples for a target SCoP.
 
-use crate::bm25::Bm25Index;
+use crate::bm25::{Bm25Index, Bm25Params};
 use crate::features::{extract_features, intersection_count, StmtFeatures, NUM_FEATURE_TYPES};
 use looprag_ir::{print_program, Program};
 
@@ -14,6 +14,8 @@ pub struct LaWeights {
     pub penalty: [f64; NUM_FEATURE_TYPES],
     /// Scale applied to the normalized BM25 base score (`S_B`).
     pub bm25_scale: f64,
+    /// Okapi BM25 free parameters for the base index.
+    pub bm25: Bm25Params,
     /// When true, *missing* example features are penalized like excess
     /// ones (the ablation arm of the Eq. 3 design choice); the paper —
     /// and the default — penalize only excess features.
@@ -29,6 +31,7 @@ impl Default for LaWeights {
             reward: [1.0, 2.0],
             penalty: [0.5, 1.0],
             bm25_scale: 2.0,
+            bm25: Bm25Params::default(),
             symmetric_penalty: false,
         }
     }
@@ -125,7 +128,7 @@ impl Retriever {
             });
         }
         Retriever {
-            index: Bm25Index::build(&texts),
+            index: Bm25Index::build_with_params(&texts, weights.bm25),
             docs,
             weights,
         }

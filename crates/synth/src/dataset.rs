@@ -10,11 +10,48 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-/// One dataset entry: a synthesized example, its optimized version and
-/// the extracted dataflow information.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Where a dataset record came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Provenance {
+    /// Produced by the §4.1 example generators.
+    #[default]
+    Synthesized,
+    /// Mined from a verified pipeline win (the feedback-indexing loop:
+    /// an original → optimized pair that passed differential testing).
+    Mined,
+}
+
+// The vendored serde shim's derives cover named-field structs only, so
+// the enum round-trips through its string name by hand.
+impl serde::Serialize for Provenance {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(
+            match self {
+                Provenance::Synthesized => "synthesized",
+                Provenance::Mined => "mined",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl serde::Deserialize for Provenance {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Str(s) if s == "synthesized" => Ok(Provenance::Synthesized),
+            serde::Value::Str(s) if s == "mined" => Ok(Provenance::Mined),
+            _ => Err(serde::DeError::custom("unknown provenance")),
+        }
+    }
+}
+
+/// One dataset entry: an example, its optimized version and the
+/// extracted dataflow information.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ExampleRecord {
-    /// Sequential id.
+    /// Stable id, unique within its dataset: synthesis numbers records
+    /// sequentially and mined records continue after the maximum, so
+    /// appended records keep their ids through JSON round-trips.
     pub id: usize,
     /// Example source text.
     pub source: String,
@@ -26,6 +63,31 @@ pub struct ExampleRecord {
     pub families: Vec<String>,
     /// Loop-property statistics (the retrieval "dataflow information").
     pub stats: LoopPropertyStats,
+    /// Where the record came from.
+    pub provenance: Provenance,
+}
+
+// Manual impl instead of the shim derive: datasets persisted before the
+// provenance tag existed must still load (missing field defaults to
+// `Synthesized` — every pre-tag record was synthesized by construction).
+impl serde::Deserialize for ExampleRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        fn req<'a>(v: &'a serde::Value, key: &str) -> Result<&'a serde::Value, serde::DeError> {
+            v.get(key).ok_or_else(|| serde::DeError::missing_field(key))
+        }
+        Ok(ExampleRecord {
+            id: serde::Deserialize::from_value(req(v, "id")?)?,
+            source: serde::Deserialize::from_value(req(v, "source")?)?,
+            optimized: serde::Deserialize::from_value(req(v, "optimized")?)?,
+            recipe: serde::Deserialize::from_value(req(v, "recipe")?)?,
+            families: serde::Deserialize::from_value(req(v, "families")?)?,
+            stats: serde::Deserialize::from_value(req(v, "stats")?)?,
+            provenance: match v.get("provenance") {
+                Some(p) => serde::Deserialize::from_value(p)?,
+                None => Provenance::Synthesized,
+            },
+        })
+    }
 }
 
 impl ExampleRecord {
@@ -74,6 +136,13 @@ impl Dataset {
     /// Propagates deserialization failures.
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(s)
+    }
+
+    /// The next free record id (one past the maximum in use), so
+    /// appended records — e.g. mined feedback pairs — get stable ids
+    /// that survive JSON round-trips.
+    pub fn next_id(&self) -> usize {
+        self.examples.iter().map(|e| e.id + 1).max().unwrap_or(0)
     }
 }
 
@@ -158,6 +227,7 @@ pub fn build_dataset(cfg: &SynthConfig) -> Dataset {
                 .map(|f| f.to_string())
                 .collect(),
             stats,
+            provenance: Provenance::Synthesized,
         });
     }
     Dataset { examples }
@@ -193,6 +263,34 @@ mod tests {
         let json = d.to_json().unwrap();
         let back = Dataset::from_json(&json).unwrap();
         assert_eq!(d, back);
+    }
+
+    #[test]
+    fn mined_records_round_trip_with_provenance_and_id() {
+        let mut d = tiny(GeneratorKind::ColaGen, 3);
+        let mut mined = d.examples[0].clone();
+        mined.id = d.next_id();
+        mined.provenance = Provenance::Mined;
+        mined.recipe = vec!["mined:gemm".to_string()];
+        d.examples.push(mined);
+        let back = Dataset::from_json(&d.to_json().unwrap()).unwrap();
+        assert_eq!(d, back);
+        assert_eq!(back.examples[3].provenance, Provenance::Mined);
+        assert_eq!(back.examples[3].id, 3);
+        assert_eq!(back.next_id(), 4);
+    }
+
+    #[test]
+    fn datasets_without_provenance_field_still_load() {
+        // A record persisted before the provenance tag existed: the
+        // field is absent from the JSON and must default to Synthesized.
+        let d = tiny(GeneratorKind::ColaGen, 1);
+        let json = d.to_json().unwrap();
+        let legacy = json.replace(",\"provenance\":\"synthesized\"", "");
+        assert_ne!(legacy, json, "provenance field not found in JSON");
+        let back = Dataset::from_json(&legacy).unwrap();
+        assert_eq!(back.examples[0].provenance, Provenance::Synthesized);
+        assert_eq!(back, d);
     }
 
     #[test]

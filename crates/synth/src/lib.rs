@@ -20,7 +20,7 @@ mod generator;
 mod params;
 mod stats;
 
-pub use dataset::{build_dataset, Dataset, ExampleRecord, GeneratorKind, SynthConfig};
+pub use dataset::{build_dataset, Dataset, ExampleRecord, GeneratorKind, Provenance, SynthConfig};
 pub use generator::{generate_cola_example, generate_example};
 pub use params::LoopParams;
 pub use stats::{

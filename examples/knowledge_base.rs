@@ -1,0 +1,52 @@
+//! Knowledge-base tour: build an index over a synthesized dataset,
+//! query it, insert a freshly mined example without rebuilding, and
+//! query again — the insert-then-query loop that powers feedback
+//! indexing.
+//!
+//! ```text
+//! cargo run --release --example knowledge_base
+//! ```
+
+use looprag::looprag_ir::Program;
+use looprag::looprag_retrieval::{KnowledgeBase, RetrievalMode};
+use looprag::looprag_synth::{build_dataset, SynthConfig};
+
+fn main() {
+    // 1. Index a synthesized demonstration dataset.
+    let dataset = build_dataset(&SynthConfig {
+        count: 40,
+        ..Default::default()
+    });
+    let programs: Vec<(usize, Program)> = dataset
+        .examples
+        .iter()
+        .map(|e| (e.id, e.program()))
+        .collect();
+    let mut kb = KnowledgeBase::build(programs.iter().map(|(i, p)| (*i, p)));
+    println!("knowledge base: {} examples indexed", kb.len());
+
+    // 2. Query for a gemm-shaped target.
+    let gemm = looprag::looprag_suites::find("gemm")
+        .expect("gemm is in the PolyBench suite")
+        .program();
+    let before = kb.query(&gemm, RetrievalMode::LoopAware, 3);
+    println!("top-3 before insert:");
+    for (id, score) in &before {
+        println!("  example {id:>3}  LAScore {score:+.3}");
+    }
+
+    // 3. Insert the target itself, as the feedback loop would after a
+    //    verified win — an append, not a rebuild.
+    let mined_id = dataset.next_id();
+    kb.insert(mined_id, &gemm);
+    println!("inserted mined example {mined_id} ({} total)", kb.len());
+
+    // 4. The freshly inserted example is immediately retrievable — and
+    //    being identical to the target, it ranks first.
+    let after = kb.query(&gemm, RetrievalMode::LoopAware, 3);
+    println!("top-3 after insert:");
+    for (id, score) in &after {
+        println!("  example {id:>3}  LAScore {score:+.3}");
+    }
+    assert_eq!(after[0].0, mined_id, "the mined twin must rank first");
+}

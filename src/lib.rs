@@ -56,7 +56,7 @@ pub mod prelude {
     pub use looprag_llm::{LanguageModel, LlmProfile, Prompt, SimLlm};
     pub use looprag_machine::{estimate_cost, MachineConfig};
     pub use looprag_polyopt::{optimize, PolyOptions};
-    pub use looprag_retrieval::{RetrievalMode, Retriever};
+    pub use looprag_retrieval::{KnowledgeBase, RetrievalMode, Retriever};
     pub use looprag_synth::{build_dataset, SynthConfig};
     pub use looprag_transform::{semantics_preserving, tile_band, OracleConfig, Recipe, Step};
 }

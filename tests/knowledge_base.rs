@@ -1,0 +1,199 @@
+//! Knowledge-base equivalence suite: the sharded, interned
+//! `KnowledgeBase` must be an *exact* drop-in for the seed `Retriever`.
+//!
+//! * a golden test pins `(id, score)` rankings bit-for-bit equal to the
+//!   seed `Retriever` over all suite kernels, at default weights, in
+//!   all three `RetrievalMode`s;
+//! * proptests pin batch-build ≡ incremental-insert (at arbitrary
+//!   commit points) and sharded ≡ single-shard queries, over random
+//!   corpora drawn from the suite kernels and random non-negative
+//!   weights — the latter also exercises the max-score pruning bound
+//!   across weight settings far from the defaults.
+
+use looprag::looprag_ir::Program;
+use looprag::looprag_retrieval::{Bm25Params, KnowledgeBase, LaWeights, RetrievalMode, Retriever};
+use looprag::looprag_suites::all_benchmarks;
+use looprag::looprag_synth::{build_dataset, SynthConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const MODES: [RetrievalMode; 3] = [
+    RetrievalMode::LoopAware,
+    RetrievalMode::Bm25Only,
+    RetrievalMode::WeightedOnly,
+];
+
+/// `(id, score)` with the score made bit-comparable.
+fn bits(hits: &[(usize, f64)]) -> Vec<(usize, u64)> {
+    hits.iter().map(|(id, s)| (*id, s.to_bits())).collect()
+}
+
+/// All suite kernels, parsed once.
+fn suite_programs() -> &'static Vec<(String, Program)> {
+    static POOL: OnceLock<Vec<(String, Program)>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        all_benchmarks()
+            .iter()
+            .map(|b| (b.name.clone(), b.program()))
+            .collect()
+    })
+}
+
+#[test]
+fn golden_rankings_match_seed_retriever_on_every_suite_kernel() {
+    // Corpus: a synthesized demonstration dataset, as the pipeline uses.
+    let dataset = build_dataset(&SynthConfig {
+        count: 64,
+        ..Default::default()
+    });
+    let programs: Vec<(usize, Program)> = dataset
+        .examples
+        .iter()
+        .map(|e| (e.id, e.program()))
+        .collect();
+    let retriever = Retriever::build(programs.iter().map(|(i, p)| (*i, p)));
+    let kb = KnowledgeBase::build(programs.iter().map(|(i, p)| (*i, p)));
+    let kernels = suite_programs();
+    assert!(kernels.len() >= 130, "suite shrank to {}", kernels.len());
+    for (name, target) in kernels {
+        for mode in MODES {
+            // Both the pipeline's top-10 and the full ranking.
+            for top_n in [10, programs.len()] {
+                assert_eq!(
+                    bits(&retriever.query(target, mode, top_n)),
+                    bits(&kb.query(target, mode, top_n)),
+                    "ranking diverged on {name} ({mode:?}, top_n {top_n})"
+                );
+            }
+        }
+    }
+}
+
+/// Random non-negative weights around and beyond the defaults.
+fn weights() -> impl Strategy<Value = LaWeights> {
+    (
+        0.0f64..4.0,
+        0.0f64..4.0,
+        0.0f64..4.0,
+        0.0f64..4.0,
+        0.0f64..4.0,
+        0.4f64..2.0,
+        0.0f64..1.0,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(r0, r1, p0, p1, bm25_scale, k1, b, symmetric_penalty)| LaWeights {
+                reward: [r0, r1],
+                penalty: [p0, p1],
+                bm25_scale,
+                bm25: Bm25Params { k1, b },
+                symmetric_penalty,
+            },
+        )
+}
+
+/// A random corpus: indices into the suite-kernel pool (duplicates
+/// allowed — the ranking tie-break must still be exact).
+fn corpus_indices() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..suite_programs().len(), 1..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batch_build_equals_incremental_insert(
+        indices in corpus_indices(),
+        w in weights(),
+        split in 0usize..24,
+        commit_mid in any::<bool>(),
+        target_i in 0usize..134,
+        top_n in 1usize..12,
+    ) {
+        let pool = suite_programs();
+        let corpus: Vec<&Program> = indices.iter().map(|&i| &pool[i].1).collect();
+        let batch = KnowledgeBase::with_weights(
+            corpus.iter().enumerate().map(|(i, p)| (i, *p)),
+            w.clone(),
+        );
+        // Incremental: start from a prefix, insert the rest one by one,
+        // optionally committing at the split point, never at the end —
+        // so queries hit the tail segment.
+        let split = split % (corpus.len() + 1);
+        let mut grown = KnowledgeBase::with_weights(
+            corpus[..split].iter().enumerate().map(|(i, p)| (i, *p)),
+            w,
+        );
+        for (i, p) in corpus.iter().enumerate().skip(split) {
+            grown.insert(i, p);
+            if commit_mid && i == split {
+                grown.commit();
+            }
+        }
+        prop_assert_eq!(batch.len(), grown.len());
+        let target = &pool[target_i % pool.len()].1;
+        for mode in MODES {
+            prop_assert_eq!(
+                bits(&batch.query(target, mode, top_n)),
+                bits(&grown.query(target, mode, top_n)),
+                "batch vs incremental diverged ({:?})", mode
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_query_equals_single_shard(
+        indices in corpus_indices(),
+        w in weights(),
+        target_i in 0usize..134,
+        top_n in 1usize..12,
+    ) {
+        let pool = suite_programs();
+        let corpus: Vec<&Program> = indices.iter().map(|&i| &pool[i].1).collect();
+        let kb = KnowledgeBase::with_weights(
+            corpus.iter().enumerate().map(|(i, p)| (i, *p)),
+            w,
+        );
+        let target = &pool[target_i % pool.len()].1;
+        for mode in MODES {
+            let single = bits(&kb.query_with_threads(target, mode, top_n, 1));
+            for threads in [2, 3, 8] {
+                prop_assert_eq!(
+                    &single,
+                    &bits(&kb.query_with_threads(target, mode, top_n, threads)),
+                    "sharded diverged at {} threads ({:?})", threads, mode
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_ranking_equals_seed_retriever(
+        indices in corpus_indices(),
+        w in weights(),
+        target_i in 0usize..134,
+        top_n in 1usize..12,
+    ) {
+        // The strongest pruning-exactness check available: the seed
+        // retriever scores every document exhaustively, so any bound
+        // that wrongly culled a top-n document diverges here.
+        let pool = suite_programs();
+        let corpus: Vec<&Program> = indices.iter().map(|&i| &pool[i].1).collect();
+        let retriever = Retriever::with_weights(
+            corpus.iter().enumerate().map(|(i, p)| (i, *p)),
+            w.clone(),
+        );
+        let kb = KnowledgeBase::with_weights(
+            corpus.iter().enumerate().map(|(i, p)| (i, *p)),
+            w,
+        );
+        let target = &pool[target_i % pool.len()].1;
+        for mode in MODES {
+            prop_assert_eq!(
+                bits(&retriever.query(target, mode, top_n)),
+                bits(&kb.query(target, mode, top_n)),
+                "pruned ranking diverged from seed ({:?})", mode
+            );
+        }
+    }
+}

@@ -219,6 +219,7 @@ fn weights() -> impl Strategy<Value = LaWeights> {
             reward: [r0, r1],
             penalty: [p0, p1],
             bm25_scale,
+            bm25: looprag::looprag_retrieval::Bm25Params::default(),
             symmetric_penalty: false,
         })
 }
