@@ -13,6 +13,9 @@
 //! results are identical at any pool size.
 //! `--docs N` overrides the demonstration-dataset size (e.g. to
 //! benchmark retrieval over a large synthesized corpus).
+//! `--arm search` runs the search-only campaign arm (the
+//! legality-guided beam search through `run_campaign`, differential
+//! testing included) with `--beam N` / `--depth D` (defaults 4 / 3).
 
 use looprag_bench::experiments;
 use looprag_bench::{EvalOptions, Harness};
@@ -29,10 +32,51 @@ fn main() {
     let docs: Option<usize> = docs_pos
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok());
-    // Only the values that directly follow --threads / --docs are
-    // consumed; every other non-flag argument stays an experiment id so
-    // typos still hit the unknown-id diagnostic.
-    let flag_val_pos: Vec<usize> = [threads_pos, docs_pos]
+    let arm_pos = args.iter().position(|a| a == "--arm");
+    let arm: Option<String> = arm_pos.and_then(|i| args.get(i + 1).cloned());
+    if arm_pos.is_some() && arm.is_none() {
+        // Without this guard a forgotten value would fall through to
+        // the default full experiment battery — hours of work.
+        eprintln!("--arm requires a value (expected: search)");
+        std::process::exit(2);
+    }
+    if let Some(a) = arm.as_deref() {
+        // Validate before the harness synthesizes datasets: with no
+        // experiment ids a typo'd arm would otherwise burn a minute and
+        // then report success while running nothing.
+        if a != "search" {
+            eprintln!("unknown arm '{a}' (expected: search)");
+            std::process::exit(2);
+        }
+    }
+    // A present flag with a missing or unparseable value exits with a
+    // diagnostic instead of silently running at the default.
+    let numeric_flag = |flag: &str, default: usize| -> (Option<usize>, usize) {
+        let pos = args.iter().position(|a| a == flag);
+        let value = match pos {
+            None => default,
+            Some(i) => match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => v,
+                _ => {
+                    eprintln!("{flag} requires a positive integer value");
+                    std::process::exit(2);
+                }
+            },
+        };
+        (pos, value)
+    };
+    let (beam_pos, beam) = numeric_flag("--beam", 4);
+    let (depth_pos, depth) = numeric_flag("--depth", 3);
+    if arm.is_none() && (beam_pos.is_some() || depth_pos.is_some()) {
+        // Without this, `--beam 4 --depth 6` alone would silently fall
+        // through to the default full experiment battery.
+        eprintln!("--beam/--depth require --arm search");
+        std::process::exit(2);
+    }
+    // Only the values that directly follow --threads / --docs / --arm /
+    // --beam / --depth are consumed; every other non-flag argument stays
+    // an experiment id so typos still hit the unknown-id diagnostic.
+    let flag_val_pos: Vec<usize> = [threads_pos, docs_pos, arm_pos, beam_pos, depth_pos]
         .iter()
         .flatten()
         .map(|i| i + 1)
@@ -43,7 +87,13 @@ fn main() {
         .filter(|(i, a)| !a.starts_with("--") && !flag_val_pos.contains(i))
         .map(|(_, s)| s.as_str())
         .collect();
-    let ids: Vec<&str> = if ids.is_empty() { vec!["all"] } else { ids };
+    // `--arm search` selects the search-arm experiment on its own; ids
+    // only default to the full battery when neither is given.
+    let ids: Vec<&str> = if ids.is_empty() && arm.is_none() {
+        vec!["all"]
+    } else {
+        ids
+    };
 
     let mut opts = if quick {
         EvalOptions {
@@ -68,6 +118,10 @@ fn main() {
         looprag_runtime::resolve_threads(opts.threads)
     );
     let h = Harness::new(opts);
+
+    if arm.is_some() {
+        experiments::search_arm(&h, beam, depth);
+    }
 
     for id in ids {
         match id {

@@ -11,10 +11,14 @@
 //! rankings first) and writes `BENCH_retrieval.json`. Every PR can thus
 //! be compared against the last committed snapshots.
 //!
-//! Usage: `perf_snapshot [--quick] [--retrieval] [--out PATH]
-//! [--retrieval-out PATH]`
+//! Usage: `perf_snapshot [--quick] [--retrieval] [--search] [--out PATH]
+//! [--retrieval-out PATH] [--search-out PATH]`
 //!
-//! `--retrieval` runs only the retrieval section. `--quick` shrinks
+//! `--retrieval` runs only the retrieval section; `--search` runs only
+//! the search section (the legality-guided beam engine pinned against
+//! and timed versus the naive reference searcher over a strided TSVC
+//! frontier, written to `BENCH_search.json`, gated at >= 3x
+//! single-threaded in full mode). `--quick` shrinks
 //! sample counts, corpus size and kernel strides so CI can keep the bin
 //! from bit-rotting in seconds; the committed snapshots should come
 //! from full (non-quick) runs. In full mode the bin exits non-zero if
@@ -34,6 +38,7 @@ use looprag_ir::Program;
 use looprag_llm::LlmProfile;
 use looprag_machine::{measure_locality, CacheObserver, MachineConfig};
 use looprag_retrieval::{KnowledgeBase, RetrievalMode, Retriever};
+use looprag_search::{search, search_reference, SearchConfig, SearchStats};
 use looprag_suites::all_benchmarks;
 use looprag_synth::{build_dataset, generate_example, LoopParams, SynthConfig};
 use looprag_transform::{scaled_clone, tile_band};
@@ -183,10 +188,120 @@ fn gate_retrieval(quick: bool, kb_speedup: f64) {
     }
 }
 
+/// The search section: pins the optimized `looprag-search` engine
+/// bit-for-bit against the naive reference searcher over a strided TSVC
+/// frontier, then snapshots both searchers' single-threaded wall time
+/// on that same frontier. Returns the engine-over-reference speedup
+/// (the gated number).
+fn search_snapshot(quick: bool, out_path: &str) -> f64 {
+    // The full frontier runs a deep budget: depth is where the node
+    // table pays (the engine fixpoints while the naive reference keeps
+    // re-expanding carried frontier nodes).
+    let (stride, beam, depth) = if quick { (24, 2, 3) } else { (10, 4, 6) };
+    let kernels = looprag_suites::suite_strided(looprag_suites::Suite::Tsvc, stride);
+    let cfg = SearchConfig {
+        beam,
+        depth,
+        threads: 1,
+        ..SearchConfig::default()
+    };
+    eprintln!(
+        "[perf_snapshot] search: {} TSVC kernels (stride {stride}), beam {beam}, depth {depth}...",
+        kernels.len()
+    );
+    let mut engine_ms = 0.0f64;
+    let mut reference_ms = 0.0f64;
+    let mut engine_stats = SearchStats::default();
+    let mut reference_stats = SearchStats::default();
+    let mut improved = 0usize;
+    for b in &kernels {
+        let p = b.program();
+        let t0 = Instant::now();
+        let e = search(&p, &cfg);
+        let kernel_engine_ms = t0.elapsed().as_secs_f64() * 1e3;
+        engine_ms += kernel_engine_ms;
+        let t0 = Instant::now();
+        let r = search_reference(&p, &cfg);
+        let kernel_reference_ms = t0.elapsed().as_secs_f64() * 1e3;
+        reference_ms += kernel_reference_ms;
+        // The determinism pin: recipe, program text and cost bits must
+        // agree before the throughput numbers mean anything.
+        assert_eq!(
+            e.fingerprint(),
+            r.fingerprint(),
+            "search engine diverged from the reference searcher on {}",
+            b.name
+        );
+        assert_eq!(
+            e.stats.admitted, r.stats.admitted,
+            "candidate accounting diverged on {}",
+            b.name
+        );
+        engine_stats += e.stats;
+        reference_stats += r.stats;
+        if e.speedup > 1.0 {
+            improved += 1;
+        }
+        eprintln!(
+            "[perf_snapshot] search: {:<8} engine {:7.1} ms, reference {:7.1} ms \
+             (scored {} vs {}, deps {} vs {})",
+            b.name,
+            kernel_engine_ms,
+            kernel_reference_ms,
+            e.stats.scored,
+            r.stats.scored,
+            e.stats.deps_computed,
+            r.stats.deps_computed
+        );
+    }
+    let search_speedup = reference_ms / engine_ms.max(1e-9);
+    let n = kernels.len();
+    let json = format!(
+        "{{\n  \"quick\": {quick},\n  \"kernels\": {n},\n  \"stride\": {stride},\n  \"beam\": {beam},\n  \"depth\": {depth},\n  \"improved\": {improved},\n  \"engine_ms\": {engine_ms:.1},\n  \"reference_ms\": {reference_ms:.1},\n  \"search_speedup\": {search_speedup:.2},\n  \"engine_scored\": {},\n  \"reference_scored\": {},\n  \"engine_deps\": {},\n  \"reference_deps\": {},\n  \"engine_applied\": {},\n  \"reference_applied\": {},\n  \"engine_expanded\": {},\n  \"reference_expanded\": {},\n  \"expansions_reused\": {},\n  \"pruned_illegal\": {},\n  \"admitted\": {},\n  \"deps_reused\": {}\n}}\n",
+        engine_stats.scored,
+        reference_stats.scored,
+        engine_stats.deps_computed,
+        reference_stats.deps_computed,
+        engine_stats.applied,
+        reference_stats.applied,
+        engine_stats.nodes_expanded,
+        reference_stats.nodes_expanded,
+        engine_stats.expansions_reused,
+        engine_stats.pruned_illegal,
+        engine_stats.admitted,
+        engine_stats.deps_reused,
+    );
+    std::fs::write(out_path, &json).expect("write search snapshot");
+    println!("{json}");
+    eprintln!(
+        "[perf_snapshot] search: engine {search_speedup:.2}x vs reference ({improved}/{n} kernels \
+         improved); wrote {out_path}"
+    );
+    search_speedup
+}
+
+/// Applies the search gate: the pruned+memoized engine must beat the
+/// naive reference searcher by at least 3x single-threaded on the same
+/// frontier. Quick mode only warns.
+fn gate_search(quick: bool, search_speedup: f64) {
+    if search_speedup < 3.0 {
+        if quick {
+            eprintln!(
+                "[perf_snapshot] WARNING: search speedup {search_speedup:.2}x below 3x \
+                 (quick mode, not gating)"
+            );
+        } else {
+            eprintln!("[perf_snapshot] FAIL: search speedup {search_speedup:.2}x below 3x");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let retrieval_only = args.iter().any(|a| a == "--retrieval");
+    let search_only = args.iter().any(|a| a == "--search");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -197,13 +312,26 @@ fn main() {
         .position(|a| a == "--retrieval-out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_retrieval.json".to_string());
+    let search_out = args
+        .iter()
+        .position(|a| a == "--search-out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_search.json".to_string());
     let opts = BenchOpts {
         samples: if quick { 3 } else { 9 },
         target_ms: if quick { 5 } else { 40 },
     };
-    if retrieval_only {
-        let kb_speedup = retrieval_snapshot(quick, &opts, &retrieval_out);
-        gate_retrieval(quick, kb_speedup);
+    // Section flags compose: `--retrieval --search` runs both sections
+    // (each with its gate) and nothing else.
+    if retrieval_only || search_only {
+        if retrieval_only {
+            let kb_speedup = retrieval_snapshot(quick, &opts, &retrieval_out);
+            gate_retrieval(quick, kb_speedup);
+        }
+        if search_only {
+            let search_speedup = search_snapshot(quick, &search_out);
+            gate_search(quick, search_speedup);
+        }
         return;
     }
 
@@ -396,4 +524,11 @@ fn main() {
     // at least 3x single-threaded on the large corpus.
     let kb_speedup = retrieval_snapshot(quick, &opts, &retrieval_out);
     gate_retrieval(quick, kb_speedup);
+
+    // 7. Search: the legality-guided beam engine vs the naive reference
+    // searcher (determinism pin + wall time), written to its own file.
+    // Gate 4: the pruned+memoized engine must beat the reference by at
+    // least 3x single-threaded on the same frontier.
+    let search_speedup = search_snapshot(quick, &search_out);
+    gate_search(quick, search_speedup);
 }

@@ -21,6 +21,20 @@ fn passes(results: &[crate::KernelResult]) -> Vec<bool> {
     results.iter().map(|r| r.passed).collect()
 }
 
+/// The PLuTo baseline's per-suite `pass@k speedup` row cells.
+fn pluto_row(h: &Harness) -> String {
+    let mut cells = Vec::new();
+    for s in SUITES {
+        let r = h.pluto(s, "gcc");
+        cells.push(format!(
+            "{:>7} {:>8}",
+            fmt_pass(pass_at_k(&passes(&r))),
+            fmt_speedup(average_speedup(&speedups(&r)))
+        ));
+    }
+    cells.join(" |")
+}
+
 fn row(h: &Harness, arm: &crate::harness::ArmKey) -> String {
     let mut cells = Vec::new();
     for s in SUITES {
@@ -254,16 +268,7 @@ pub fn table3_fig8(h: &Harness) {
         "LOOPRAG GPT-4",
         row(h, &h.looprag_arm("gpt-4", "gcc"))
     );
-    let mut cells = Vec::new();
-    for s in SUITES {
-        let r = h.pluto(s, "gcc");
-        cells.push(format!(
-            "{:>7} {:>8}",
-            fmt_pass(pass_at_k(&passes(&r))),
-            fmt_speedup(average_speedup(&speedups(&r)))
-        ));
-    }
-    println!("{:<22}|{}", "PLuTo", cells.join(" |"));
+    println!("{:<22}|{}", "PLuTo", pluto_row(h));
 
     println!("\n=== Figure 8: % faster codes vs PLuTo ===");
     for s in SUITES {
@@ -271,6 +276,26 @@ pub fn table3_fig8(h: &Harness) {
         let pl = speedups(&h.pluto(s, "gcc"));
         println!("{s:<10}  LD vs PLuTo {:5.1}%", percent_faster(&ld, &pl));
     }
+}
+
+/// The search-arm table (`experiments -- --arm search`): the
+/// legality-guided beam search as a campaign arm of its own, next to
+/// PLuTo on the same machine model. Search candidates go through the
+/// same differential testing as every pipeline candidate, so `pass`
+/// means verified, not just legality-believed.
+pub fn search_arm(h: &Harness, beam: usize, depth: usize) {
+    println!("\n=== Search arm: legality-guided beam search (beam {beam}, depth {depth}) ===");
+    println!(
+        "{:<22}| {:^16} | {:^16} | {:^16}",
+        "", "PolyBench", "TSVC", "LORE"
+    );
+    println!("{:-<76}", "");
+    println!(
+        "{:<22}|{}",
+        "Search (K=0)",
+        row(h, &h.search_arm("gcc", beam, depth))
+    );
+    println!("{:<22}|{}", "PLuTo", pluto_row(h));
 }
 
 fn dataset_stats(d: &Dataset) -> Vec<looprag_synth::LoopPropertyStats> {
@@ -368,6 +393,7 @@ pub fn table5_fig10(h: &Harness) {
                 retrieval: "loop-aware".into(),
                 dataset: dataset.into(),
                 single_shot: false,
+                search: None,
             };
             println!("{:<22}|{}", format!("{label} {profile}"), row(h, &arm));
         }
@@ -408,6 +434,7 @@ pub fn table6_fig11(h: &Harness) {
                 retrieval: mode.into(),
                 dataset: "pd".into(),
                 single_shot: false,
+                search: None,
             };
             println!("{:<22}|{}", format!("{label} {profile}"), row(h, &arm));
         }

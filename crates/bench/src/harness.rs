@@ -3,14 +3,16 @@
 //! measurements in a single process.
 
 use looprag_baselines::{apply_baseline, CompilerBaseline};
-use looprag_core::{candidate_speedup, LoopRag, LoopRagConfig, OptimizationOutcome, StepTrace};
+use looprag_core::{
+    candidate_speedup, LoopRag, LoopRagConfig, OptimizationOutcome, SearchConfig, StepTrace,
+};
 use looprag_ir::Program;
 use looprag_llm::LlmProfile;
 use looprag_machine::{estimate_cost, MachineConfig};
 use looprag_polyopt::{optimize, PolyOptions};
 use looprag_retrieval::RetrievalMode;
 use looprag_runtime::{par_map, resolve_threads};
-use looprag_suites::{suite, Benchmark, Suite};
+use looprag_suites::{suite_strided, Benchmark, Suite};
 use looprag_synth::{build_dataset, Dataset, GeneratorKind, SynthConfig};
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -125,7 +127,7 @@ impl Default for EvalOptions {
 /// Identifies a pipeline arm for memoization.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ArmKey {
-    /// "deepseek" / "gpt-4".
+    /// "deepseek" / "gpt-4" / "none" (no model calls, `K = 0`).
     pub profile: String,
     /// "gcc" / "clang" / "icx".
     pub machine: String,
@@ -135,6 +137,10 @@ pub struct ArmKey {
     pub dataset: String,
     /// true for the base-LLM single-shot arm.
     pub single_shot: bool,
+    /// `(beam, depth)` of the legality-guided beam search joined to the
+    /// candidate batch; `None` for LLM-only arms. With profile "none"
+    /// this is the search-only scenario arm.
+    pub search: Option<(usize, usize)>,
 }
 
 /// The memoizing harness.
@@ -177,12 +183,7 @@ impl Harness {
 
     /// The evaluation kernels of one suite (after stride filtering).
     pub fn kernels(&self, which: Suite) -> Vec<Benchmark> {
-        suite(which)
-            .into_iter()
-            .enumerate()
-            .filter(|(i, _)| i % self.opts.kernel_stride == 0)
-            .map(|(_, b)| b)
-            .collect()
+        suite_strided(which, self.opts.kernel_stride)
     }
 
     fn machine_by_name(name: &str) -> MachineConfig {
@@ -229,6 +230,20 @@ impl Harness {
             }
             _ => self.dataset.clone(),
         };
+        if let Some((beam, depth)) = arm.search {
+            // The pipeline overrides the search machine and pool size
+            // with its own, so only the search shape needs configuring.
+            cfg.search = Some(SearchConfig {
+                beam,
+                depth,
+                ..SearchConfig::default()
+            });
+            if arm.profile == "none" {
+                // Search-only arm: no model calls; the differential
+                // tester judges the search winner alone.
+                cfg.k = 0;
+            }
+        }
         // Kernel-level fan-out saturates the pool; keep the
         // per-candidate stages inside each worker sequential.
         cfg.threads = 1;
@@ -247,6 +262,7 @@ impl Harness {
             retrieval: "loop-aware".into(),
             dataset: "pd".into(),
             single_shot: false,
+            search: None,
         }
     }
 
@@ -258,6 +274,31 @@ impl Harness {
             retrieval: "loop-aware".into(),
             dataset: "none".into(),
             single_shot: true,
+            search: None,
+        }
+    }
+
+    /// The search-only arm: no model calls (`K = 0`), no retrieval
+    /// demonstrations; the legality-guided beam search produces the one
+    /// candidate and differential testing verifies it — same
+    /// memoization, campaign driver and scoring as every other arm.
+    pub fn search_arm(&self, machine: &str, beam: usize, depth: usize) -> ArmKey {
+        ArmKey {
+            profile: "none".into(),
+            machine: machine.into(),
+            retrieval: "loop-aware".into(),
+            dataset: "none".into(),
+            single_shot: true,
+            search: Some((beam, depth)),
+        }
+    }
+
+    /// The hybrid LLM+search arm: the full LOOPRAG pipeline with the
+    /// search winner joining each step-1 batch.
+    pub fn hybrid_arm(&self, profile: &str, machine: &str, beam: usize, depth: usize) -> ArmKey {
+        ArmKey {
+            search: Some((beam, depth)),
+            ..self.looprag_arm(profile, machine)
         }
     }
 

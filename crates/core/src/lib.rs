@@ -23,9 +23,11 @@ mod pipeline;
 
 pub use metrics::{average_speedup, candidate_speedup, pass_at_k, percent_faster, OUTLIER_SPEEDUP};
 pub use pipeline::{CandidateReport, LoopRag, LoopRagConfig, OptimizationOutcome, StepTrace};
-// Re-exported so configuring the per-kernel budget or pool size does
-// not force a direct looprag-runtime dependency on callers.
+// Re-exported so configuring the per-kernel budget, pool size or the
+// hybrid search arm does not force direct looprag-runtime /
+// looprag-search dependencies on callers.
 pub use looprag_runtime::{Budget, BudgetPolicy};
+pub use looprag_search::SearchConfig;
 
 #[cfg(test)]
 mod tests {

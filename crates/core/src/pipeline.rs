@@ -36,6 +36,7 @@ use looprag_llm::{Demonstration, LanguageModel, LlmProfile, Prompt, SimLlm};
 use looprag_machine::{estimate_cost, CostReport, MachineConfig};
 use looprag_retrieval::{KnowledgeBase, RetrievalMode};
 use looprag_runtime::{par_map, resolve_threads, Budget, BudgetPolicy};
+use looprag_search::SearchConfig;
 use looprag_synth::{property_stats, Dataset, ExampleRecord, Provenance};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -88,6 +89,16 @@ pub struct LoopRagConfig {
     /// Off by default, which keeps fixed-seed outcomes bit-identical to
     /// a fixed-corpus run.
     pub feedback: bool,
+    /// Hybrid LLM+search mode: when set, the legality-guided beam
+    /// search of `looprag_search` runs on the target and its winner
+    /// joins the step-1 candidate batch *before* differential testing,
+    /// competing with the LLM's candidates on equal terms (and, under
+    /// [`LoopRagConfig::feedback`], being mined into the knowledge base
+    /// when it wins). The fixed-seed LLM stream is untouched, so with
+    /// the default `None` every outcome is byte-identical to a
+    /// search-free run. With `k = 0` this becomes the search-only
+    /// scenario arm: no model calls, only the search winner is tested.
+    pub search: Option<SearchConfig>,
 }
 
 impl LoopRagConfig {
@@ -107,6 +118,7 @@ impl LoopRagConfig {
             budget: BudgetPolicy::default_virtual(),
             threads: 0,
             feedback: false,
+            search: None,
         }
     }
 }
@@ -120,6 +132,9 @@ pub struct CandidateReport {
     pub compiled: bool,
     /// Whether the compile succeeded only after feedback repair.
     pub repaired: bool,
+    /// True for the beam-search winner injected by the hybrid arm
+    /// ([`LoopRagConfig::search`]); always false for LLM candidates.
+    pub from_search: bool,
     /// Testing verdict (`None` when it never compiled).
     pub verdict: Option<TestVerdict>,
     /// Estimated speedup over the original (0 when failed).
@@ -134,6 +149,7 @@ impl CandidateReport {
             round,
             compiled: false,
             repaired: false,
+            from_search: false,
             verdict: None,
             speedup: 0.0,
         }
@@ -146,6 +162,20 @@ impl CandidateReport {
             round,
             compiled: true,
             repaired,
+            from_search: false,
+            verdict: None,
+            speedup: 0.0,
+        }
+    }
+
+    /// The hybrid arm's injected beam-search winner, joining the step-1
+    /// batch before differential testing.
+    pub fn search_winner() -> Self {
+        CandidateReport {
+            round: 1,
+            compiled: true,
+            repaired: false,
+            from_search: true,
             verdict: None,
             speedup: 0.0,
         }
@@ -597,15 +627,38 @@ impl LoopRag {
             Prompt::with_demonstrations(target_text.clone(), demos)
         };
         let gen1 = self.generate_batch(&mut model, &prompt1, 1, &target_text, &budget);
-        let compiled1 = self.compile_batch(gen1, threads);
+        let mut compiled1 = self.compile_batch(gen1, threads);
+
+        // Hybrid arm: the legality-guided beam search runs alongside
+        // step 1 and its winner joins the batch before differential
+        // testing. Search consumes no model calls and no RNG, so the
+        // fixed-seed LLM stream is untouched; with `search: None`
+        // (default) this block is a no-op and outcomes stay
+        // byte-identical to a search-free build.
+        if let Some(base) = &self.config.search {
+            let mut scfg = base.clone();
+            scfg.threads = threads;
+            // The pipeline's machine model is authoritative: the winner
+            // competes in (and is ranked by) this pipeline, so search
+            // must score under the same model or its "winner" could be
+            // optimized for a different machine.
+            scfg.machine = self.config.machine.clone();
+            let found = looprag_search::search(target, &scfg);
+            if !found.recipe.steps.is_empty() {
+                compiled1
+                    .items
+                    .push((CandidateReport::search_winner(), Some(found.program)));
+            }
+        }
 
         // Step 2: test the (possibly repaired) batch and rank.
         let batch1 = self.test_batch(&prepared, &orig_cost, compiled1, &budget, threads);
         let mut steps = StepTrace {
-            pass_step1: batch1
-                .items
-                .iter()
-                .any(|(r, _)| r.compiled && !r.repaired && r.verdict == Some(TestVerdict::Pass)),
+            // The step-1 column isolates first-try *LLM* compiles, so
+            // the injected search winner does not count toward it.
+            pass_step1: batch1.items.iter().any(|(r, _)| {
+                r.compiled && !r.repaired && !r.from_search && r.verdict == Some(TestVerdict::Pass)
+            }),
             pass_step2: batch1
                 .items
                 .iter()

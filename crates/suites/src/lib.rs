@@ -110,6 +110,18 @@ pub fn find(name: &str) -> Option<Benchmark> {
     all_benchmarks().into_iter().find(|b| b.name == name)
 }
 
+/// Every `stride`-th kernel of one suite (1 = all), the shared
+/// subsetting idiom of the perf snapshots, the harness and the tests —
+/// one definition so they cannot quietly cover different subsets.
+pub fn suite_strided(which: Suite, stride: usize) -> Vec<Benchmark> {
+    suite(which)
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % stride.max(1) == 0)
+        .map(|(_, b)| b)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

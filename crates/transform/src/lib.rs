@@ -19,13 +19,15 @@
 
 #![warn(missing_docs)]
 
+mod catalog;
 mod oracle;
 mod primitives;
 mod recipe;
 
+pub use catalog::{enumerate_steps, StepGrid};
 pub use oracle::{scaled_clone, semantics_preserving, OracleConfig};
 pub use primitives::{
     distribute, fuse, interchange, parallelize, perfect_band, scalarize_reduction, serialize,
-    shift, shift_fuse, skew, tile_band, TransformError,
+    shift, shift_fuse, skew, tile_band, TransformError, TransformErrorKind,
 };
 pub use recipe::{Family, Recipe, Step};

@@ -11,17 +11,40 @@ use looprag_ir::{
 };
 use std::fmt;
 
+/// Classifies a [`TransformError`], so callers that probe many paths
+/// mechanically (e.g. the `looprag-search` engine) can tell a stale or
+/// dangling path apart from a genuine shape mismatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransformErrorKind {
+    /// The step addressed a node that does not exist (stale path after a
+    /// structural rewrite, or an empty path where a child is required).
+    BadPath,
+    /// The addressed node exists but does not have the required shape
+    /// (not a loop, imperfect nest, mismatched bounds, ...).
+    Shape,
+}
+
 /// Failure to apply a transformation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransformError {
     /// What went wrong.
     pub message: String,
+    /// Error class.
+    pub kind: TransformErrorKind,
 }
 
 impl TransformError {
     pub(crate) fn new(message: impl Into<String>) -> Self {
         TransformError {
             message: message.into(),
+            kind: TransformErrorKind::Shape,
+        }
+    }
+
+    pub(crate) fn bad_path(path: &[usize]) -> Self {
+        TransformError {
+            message: format!("no node at {path:?}"),
+            kind: TransformErrorKind::BadPath,
         }
     }
 }
@@ -42,7 +65,7 @@ fn loop_at<'a>(p: &'a Program, path: &[usize]) -> TResult<&'a Loop> {
         Some(_) => Err(TransformError::new(format!(
             "node at {path:?} is not a loop"
         ))),
-        None => Err(TransformError::new(format!("no node at {path:?}"))),
+        None => Err(TransformError::bad_path(path)),
     }
 }
 
@@ -52,7 +75,25 @@ fn loop_at_mut<'a>(p: &'a mut Program, path: &[usize]) -> TResult<&'a mut Loop> 
         Some(_) => Err(TransformError::new(format!(
             "node at {path:?} is not a loop"
         ))),
-        None => Err(TransformError::new(format!("no node at {path:?}"))),
+        None => Err(TransformError::bad_path(path)),
+    }
+}
+
+/// The body slot at `path` mutably, for primitives that replace the node
+/// they rewrote in place.
+fn slot_at_mut<'a>(body: &'a mut [Node], path: &[usize]) -> TResult<&'a mut Node> {
+    node_at_mut(body, path).ok_or_else(|| TransformError::bad_path(path))
+}
+
+/// The mutable child list of the container at `path` (the SCoP root for
+/// an empty path), for primitives that splice siblings.
+fn children_at_mut<'a>(out: &'a mut Program, path: &[usize]) -> TResult<&'a mut Vec<Node>> {
+    if path.is_empty() {
+        Ok(&mut out.body)
+    } else {
+        Ok(node_at_mut(&mut out.body, path)
+            .ok_or_else(|| TransformError::bad_path(path))?
+            .children_mut())
     }
 }
 
@@ -211,7 +252,7 @@ pub fn tile_band(p: &Program, path: &[usize], depth: usize, tile_size: i64) -> T
         body = vec![Node::Loop(tile)];
     }
 
-    let slot = node_at_mut(&mut out.body, path).unwrap();
+    let slot = slot_at_mut(&mut out.body, path)?;
     *slot = body.pop().unwrap();
     out.renumber_statements();
     Ok(out)
@@ -261,7 +302,7 @@ pub fn interchange(p: &Program, path: &[usize]) -> TResult<Program> {
     new_outer.parallel = false;
     new_outer.body = vec![Node::Loop(new_inner)];
     let mut out = p.clone();
-    *node_at_mut(&mut out.body, path).unwrap() = Node::Loop(new_outer);
+    *slot_at_mut(&mut out.body, path)? = Node::Loop(new_outer);
     out.renumber_statements();
     Ok(out)
 }
@@ -280,7 +321,7 @@ pub fn fuse(p: &Program, container: &[usize], index: usize) -> TResult<Program> 
     } else {
         match node_at(&p.body, container) {
             Some(n) => n.children(),
-            None => return Err(TransformError::new(format!("no node at {container:?}"))),
+            None => return Err(TransformError::bad_path(container)),
         }
     };
     let (Some(Node::Loop(a)), Some(Node::Loop(b))) = (body.get(index), body.get(index + 1)) else {
@@ -308,13 +349,7 @@ pub fn fuse(p: &Program, container: &[usize], index: usize) -> TResult<Program> 
         fused.body.push(substitute_node(n, &from, &to));
     }
     let mut out = p.clone();
-    let body_mut: &mut Vec<Node> = if container.is_empty() {
-        &mut out.body
-    } else {
-        node_at_mut(&mut out.body, container)
-            .unwrap()
-            .children_mut()
-    };
+    let body_mut = children_at_mut(&mut out, container)?;
     body_mut[index] = Node::Loop(fused);
     body_mut.remove(index + 1);
     out.renumber_statements();
@@ -368,14 +403,10 @@ pub fn distribute(p: &Program, path: &[usize], at: usize) -> TResult<Program> {
     first.body = l.body[..at].to_vec();
     second.body = l.body[at..].to_vec();
     let mut out = p.clone();
-    let (last, parent_path) = path.split_last().unwrap();
-    let body_mut: &mut Vec<Node> = if parent_path.is_empty() {
-        &mut out.body
-    } else {
-        node_at_mut(&mut out.body, parent_path)
-            .unwrap()
-            .children_mut()
-    };
+    let (last, parent_path) = path
+        .split_last()
+        .ok_or_else(|| TransformError::bad_path(path))?;
+    let body_mut = children_at_mut(&mut out, parent_path)?;
     body_mut[*last] = Node::Loop(first);
     body_mut.insert(*last + 1, Node::Loop(second));
     out.renumber_statements();
@@ -426,7 +457,7 @@ pub fn skew(p: &Program, path: &[usize], factor: i64) -> TResult<Program> {
     let mut new_outer = outer.clone();
     new_outer.body = vec![Node::Loop(new_inner)];
     let mut out = p.clone();
-    *node_at_mut(&mut out.body, path).unwrap() = Node::Loop(new_outer);
+    *slot_at_mut(&mut out.body, path)? = Node::Loop(new_outer);
     out.renumber_statements();
     Ok(out)
 }
@@ -484,7 +515,7 @@ pub fn shift(p: &Program, path: &[usize], stmt_index: usize, offset: i64) -> TRe
     new_loop.ub_inclusive = true;
     new_loop.body = new_body;
     let mut out = p.clone();
-    *node_at_mut(&mut out.body, path).unwrap() = Node::Loop(new_loop);
+    *slot_at_mut(&mut out.body, path)? = Node::Loop(new_loop);
     out.renumber_statements();
     Ok(out)
 }
@@ -504,7 +535,7 @@ pub fn shift_fuse(p: &Program, container: &[usize], index: usize) -> TResult<Pro
     } else {
         match node_at(&p.body, container) {
             Some(n) => n.children(),
-            None => return Err(TransformError::new(format!("no node at {container:?}"))),
+            None => return Err(TransformError::bad_path(container)),
         }
     };
     let (Some(Node::Loop(a)), Some(Node::Loop(b))) = (body.get(index), body.get(index + 1)) else {
@@ -547,13 +578,7 @@ pub fn shift_fuse(p: &Program, container: &[usize], index: usize) -> TResult<Pro
         fused.body.push(substitute_node(n, &from, &to));
     }
     let mut out = p.clone();
-    let body_mut: &mut Vec<Node> = if container.is_empty() {
-        &mut out.body
-    } else {
-        node_at_mut(&mut out.body, container)
-            .unwrap()
-            .children_mut()
-    };
+    let body_mut = children_at_mut(&mut out, container)?;
     body_mut[index] = Node::Loop(fused);
     body_mut.remove(index + 1);
     out.renumber_statements();
@@ -641,14 +666,10 @@ pub fn scalarize_reduction(p: &Program, path: &[usize]) -> TResult<Program> {
         AssignOp::Assign,
         Expr::Access(t),
     ));
-    let (last, parent_path) = path.split_last().unwrap();
-    let body_mut: &mut Vec<Node> = if parent_path.is_empty() {
-        &mut out.body
-    } else {
-        node_at_mut(&mut out.body, parent_path)
-            .unwrap()
-            .children_mut()
-    };
+    let (last, parent_path) = path
+        .split_last()
+        .ok_or_else(|| TransformError::bad_path(path))?;
+    let body_mut = children_at_mut(&mut out, parent_path)?;
     body_mut[*last] = load;
     body_mut.insert(*last + 1, Node::Loop(red_loop));
     body_mut.insert(*last + 2, store);

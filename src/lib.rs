@@ -16,6 +16,7 @@
 //! * [`looprag_eqcheck`] — mutation/coverage/differential testing
 //! * [`looprag_baselines`] — baseline compiler models
 //! * [`looprag_suites`] — PolyBench/TSVC/LORE kernels
+//! * [`looprag_search`] — legality-guided beam search over recipes
 //! * [`looprag_core`] — the end-to-end pipeline
 //!
 //! ```
@@ -43,6 +44,7 @@ pub use looprag_machine;
 pub use looprag_polyopt;
 pub use looprag_retrieval;
 pub use looprag_runtime;
+pub use looprag_search;
 pub use looprag_suites;
 pub use looprag_synth;
 pub use looprag_transform;
@@ -57,6 +59,7 @@ pub mod prelude {
     pub use looprag_machine::{estimate_cost, MachineConfig};
     pub use looprag_polyopt::{optimize, PolyOptions};
     pub use looprag_retrieval::{KnowledgeBase, RetrievalMode, Retriever};
+    pub use looprag_search::{search, SearchConfig, SearchResult};
     pub use looprag_synth::{build_dataset, SynthConfig};
     pub use looprag_transform::{semantics_preserving, tile_band, OracleConfig, Recipe, Step};
 }
