@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use looprag_dependence::analyze;
 use looprag_eqcheck::{
-    build_test_suite, differential_test, differential_test_reference, EqCheckConfig,
+    build_test_suite, differential_test, differential_test_reference, EqCheckConfig, PreparedTarget,
 };
 use looprag_exec::{run, run_with_store_reference, ArrayStore, CompiledProgram, ExecConfig};
 use looprag_ir::{compile, parse_program, print_program};
@@ -14,7 +14,7 @@ use looprag_polyopt::{optimize, PolyOptions};
 use looprag_retrieval::{KnowledgeBase, RetrievalMode, Retriever};
 use looprag_suites::find;
 use looprag_synth::{build_dataset, SynthConfig};
-use looprag_transform::{scaled_clone, tile_band};
+use looprag_transform::{parallelize, scaled_clone, tile_band};
 
 fn bench_parser(c: &mut Criterion) {
     let syrk = find("syrk").unwrap();
@@ -92,6 +92,18 @@ fn bench_differential_test(c: &mut Criterion) {
     });
     c.bench_function("differential_test_gemm_reference", |b| {
         b.iter(|| differential_test_reference(&p, &t, &suite, &cfg))
+    });
+    // The pipeline's stage-3 shape: ground truth prepared once, then a
+    // verdict per candidate. Batched (all suite inputs as lanes of one
+    // sweep) vs the per-input scalar path; the parallelized candidate
+    // makes the batched path sweep all three iteration orders.
+    let par = parallelize(&t, &[0]).unwrap();
+    let prepared = PreparedTarget::prepare(&p, &cfg);
+    c.bench_function("difftest_prepared_batched_gemm", |b| {
+        b.iter(|| prepared.differential_test(&par, &cfg))
+    });
+    c.bench_function("difftest_prepared_scalar_gemm", |b| {
+        b.iter(|| prepared.differential_test_scalar(&par, &cfg))
     });
 }
 

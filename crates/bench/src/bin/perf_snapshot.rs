@@ -11,27 +11,36 @@
 //! rankings first) and writes `BENCH_retrieval.json`. Every PR can thus
 //! be compared against the last committed snapshots.
 //!
-//! Usage: `perf_snapshot [--quick] [--retrieval] [--search] [--out PATH]
-//! [--retrieval-out PATH] [--search-out PATH]`
+//! Usage: `perf_snapshot [--quick] [--retrieval] [--search]
+//! [--difftest-batched] [--out PATH] [--retrieval-out PATH]
+//! [--search-out PATH]`
 //!
 //! `--retrieval` runs only the retrieval section; `--search` runs only
 //! the search section (the legality-guided beam engine pinned against
 //! and timed versus the naive reference searcher over a strided TSVC
 //! frontier, written to `BENCH_search.json`, gated at >= 3x
-//! single-threaded in full mode). `--quick` shrinks
+//! single-threaded in full mode); `--difftest-batched` runs only the
+//! batched differential-testing section (batched verdicts pinned
+//! bit-for-bit against the scalar and reference oracles — hard-asserted
+//! even in quick mode — then the per-candidate `PreparedTarget` verdict
+//! timed batched vs per-input scalar, gated at >= 3x in full mode; its
+//! fields land in `BENCH_interp.json` on full runs). `--quick` shrinks
 //! sample counts, corpus size and kernel strides so CI can keep the bin
 //! from bit-rotting in seconds; the committed snapshots should come
 //! from full (non-quick) runs. In full mode the bin exits non-zero if
 //! the compiled engine fails to beat the reference path by at least 3x
-//! on `differential_test`, if the knowledge base fails to beat the seed
-//! retriever by at least 3x on single-threaded query over the >= 10k-doc
-//! corpus, or — on hosts with at least four cores — if the parallel
-//! campaign fails to beat the sequential one by at least 2x.
+//! on `differential_test_scalar`, if the batched engine fails to beat
+//! the per-input scalar path by at least 3x, if the knowledge base
+//! fails to beat the seed retriever by at least 3x on single-threaded
+//! query over the >= 10k-doc corpus, or — on hosts with at least four
+//! cores — if the parallel campaign fails to beat the sequential one by
+//! at least 2x.
 
 use looprag_bench::run_campaign;
 use looprag_core::{LoopRag, LoopRagConfig};
 use looprag_eqcheck::{
-    build_test_suite, differential_test, differential_test_reference, EqCheckConfig, TestVerdict,
+    build_test_suite, differential_test, differential_test_reference, differential_test_scalar,
+    EqCheckConfig, PreparedTarget, TestVerdict,
 };
 use looprag_exec::{run_with_store_reference, ArrayStore, CompiledProgram, ExecConfig};
 use looprag_ir::Program;
@@ -41,7 +50,7 @@ use looprag_retrieval::{KnowledgeBase, RetrievalMode, Retriever};
 use looprag_search::{search, search_reference, SearchConfig, SearchStats};
 use looprag_suites::all_benchmarks;
 use looprag_synth::{build_dataset, generate_example, LoopParams, SynthConfig};
-use looprag_transform::{scaled_clone, tile_band};
+use looprag_transform::{parallelize, scaled_clone, tile_band};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -280,6 +289,121 @@ fn search_snapshot(quick: bool, out_path: &str) -> f64 {
     search_speedup
 }
 
+/// The gemm-shaped nest used by the interpreter and difftest sections:
+/// the dominant kernel shape, perfectly nested so it tiles cleanly.
+fn gemm_nest() -> Program {
+    looprag_ir::compile(
+        "param N = 64;\narray C[N][N];\narray A[N][N];\narray B[N][N];\nout C;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= N - 1; j++) for (k = 0; k <= N - 1; k++) C[i][j] += A[i][k] * B[k][j];\n#pragma endscop\n",
+        "gemm_nest",
+    )
+    .expect("gemm nest")
+}
+
+/// The batched-difftest section's measured numbers.
+struct DifftestBatched {
+    pinned: usize,
+    lanes: usize,
+    scalar_ns: f64,
+    batched_ns: f64,
+    speedup: f64,
+}
+
+/// The batched-difftest section: pins the batched `differential_test`
+/// bit-for-bit against the per-input scalar path and the tree-walking
+/// reference oracle over a strided kernel sweep (hard-asserted even in
+/// quick mode — the determinism pin, matching the retrieval and search
+/// sections), then times the pipeline's per-candidate verdict through a
+/// `PreparedTarget` on both paths. The scalar path re-runs the ground
+/// truth per input per candidate; the batched path replays all suite
+/// inputs as lanes of one sweep against cached expected stores. Returns
+/// the gated speedup alongside the pin counts.
+fn difftest_batched_snapshot(quick: bool, opts: &BenchOpts) -> DifftestBatched {
+    let stride = if quick { 16 } else { 4 };
+    let eq_cfg = EqCheckConfig::default();
+    eprintln!("[perf_snapshot] difftest-batched: verdict pin (kernel stride {stride})...");
+    let mut pinned = 0usize;
+    for (i, b) in all_benchmarks().iter().enumerate() {
+        if i % stride != 0 {
+            continue;
+        }
+        let p = b.program();
+        let suite = build_test_suite(&p, &eq_cfg);
+        let mut candidates = vec![p.clone()];
+        // A parallelized candidate exercises all three iteration orders.
+        if let Ok(par) = parallelize(&p, &[0]) {
+            candidates.push(par);
+        }
+        for cand in &candidates {
+            let batched = differential_test(&p, cand, &suite, &eq_cfg);
+            assert_eq!(
+                batched,
+                differential_test_scalar(&p, cand, &suite, &eq_cfg),
+                "batched difftest diverged from the scalar oracle on {}",
+                b.name
+            );
+            assert_eq!(
+                batched,
+                differential_test_reference(&p, cand, &suite, &eq_cfg),
+                "batched difftest diverged from the reference oracle on {}",
+                b.name
+            );
+            pinned += 1;
+        }
+    }
+
+    // Throughput: the pipeline's stage-3 shape — one PreparedTarget,
+    // one transformed candidate, verdict per call. The candidate is
+    // tiled and parallelized so the batched path has to sweep all three
+    // iteration orders, the worst case for it.
+    eprintln!("[perf_snapshot] difftest-batched: prepared-verdict throughput...");
+    let gemm = gemm_nest();
+    let tiled = tile_band(&gemm, &[0], 3, 8).expect("tile gemm");
+    let candidate = parallelize(&tiled, &[0]).expect("parallelize tiled gemm");
+    let prepared = PreparedTarget::prepare(&gemm, &eq_cfg);
+    let lanes = prepared.suite().inputs.len();
+    assert_eq!(
+        prepared.differential_test(&candidate, &eq_cfg),
+        TestVerdict::Pass
+    );
+    assert_eq!(
+        prepared.differential_test_scalar(&candidate, &eq_cfg),
+        TestVerdict::Pass
+    );
+    let batched_ns = bench_ns(opts, || prepared.differential_test(&candidate, &eq_cfg));
+    let scalar_ns = bench_ns(opts, || {
+        prepared.differential_test_scalar(&candidate, &eq_cfg)
+    });
+    let speedup = scalar_ns / batched_ns;
+    eprintln!(
+        "[perf_snapshot] difftest-batched: {pinned} verdicts pinned; batched {speedup:.2}x \
+         vs per-input scalar over {lanes} suite inputs"
+    );
+    DifftestBatched {
+        pinned,
+        lanes,
+        scalar_ns,
+        batched_ns,
+        speedup,
+    }
+}
+
+/// Applies the batched-difftest gate: the batched sweep must beat the
+/// per-input scalar path by at least 3x single-threaded. Quick mode
+/// only warns (the verdict pin in the section stays hard either way).
+fn gate_difftest_batched(quick: bool, speedup: f64) {
+    if speedup < 3.0 {
+        if quick {
+            eprintln!(
+                "[perf_snapshot] WARNING: batched difftest speedup {speedup:.2}x below 3x \
+                 (quick mode, not gating)"
+            );
+        } else {
+            eprintln!("[perf_snapshot] FAIL: batched difftest speedup {speedup:.2}x below 3x");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Applies the search gate: the pruned+memoized engine must beat the
 /// naive reference searcher by at least 3x single-threaded on the same
 /// frontier. Quick mode only warns.
@@ -302,6 +426,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let retrieval_only = args.iter().any(|a| a == "--retrieval");
     let search_only = args.iter().any(|a| a == "--search");
+    let difftest_batched_only = args.iter().any(|a| a == "--difftest-batched");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -323,7 +448,7 @@ fn main() {
     };
     // Section flags compose: `--retrieval --search` runs both sections
     // (each with its gate) and nothing else.
-    if retrieval_only || search_only {
+    if retrieval_only || search_only || difftest_batched_only {
         if retrieval_only {
             let kb_speedup = retrieval_snapshot(quick, &opts, &retrieval_out);
             gate_retrieval(quick, kb_speedup);
@@ -332,17 +457,22 @@ fn main() {
             let search_speedup = search_snapshot(quick, &search_out);
             gate_search(quick, search_speedup);
         }
+        if difftest_batched_only {
+            let d = difftest_batched_snapshot(quick, &opts);
+            let json = format!(
+                "{{\n  \"quick\": {quick},\n  \"difftest_batched_pinned\": {},\n  \"difftest_batched_lanes\": {},\n  \"difftest_scalar_prepared_ns\": {:.1},\n  \"difftest_batched_prepared_ns\": {:.1},\n  \"difftest_batched_speedup\": {:.2}\n}}\n",
+                d.pinned, d.lanes, d.scalar_ns, d.batched_ns, d.speedup
+            );
+            println!("{json}");
+            gate_difftest_batched(quick, d.speedup);
+        }
         return;
     }
 
     // 1. Interpreter on a gemm-shaped nest (the dominant kernel shape;
     // perfectly nested so it can also be tiled for the difftest below).
     eprintln!("[perf_snapshot] interpreter: gemm nest...");
-    let gemm = looprag_ir::compile(
-        "param N = 64;\narray C[N][N];\narray A[N][N];\narray B[N][N];\nout C;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= N - 1; j++) for (k = 0; k <= N - 1; k++) C[i][j] += A[i][k] * B[k][j];\n#pragma endscop\n",
-        "gemm_nest",
-    )
-    .expect("gemm nest");
+    let gemm = gemm_nest();
     let small = scaled_clone(&gemm, 16);
     let compiled = CompiledProgram::compile(&small);
     let exec_cfg = ExecConfig::default();
@@ -374,7 +504,11 @@ fn main() {
             .unwrap()
     });
 
-    // 2. differential_test: the pipeline's per-candidate verdict cost.
+    // 2. differential_test: the engine-swap payoff on the per-candidate
+    // verdict. `difftest_compiled_ns` tracks the scalar per-input
+    // compiled path (the historical baseline) against the tree-walking
+    // reference; the batched production path gets its own section and
+    // gate below.
     eprintln!("[perf_snapshot] differential_test: gemm vs tiled gemm...");
     let tiled = tile_band(&gemm, &[0], 3, 8).expect("tile gemm");
     let eq_cfg = EqCheckConfig::default();
@@ -383,12 +517,17 @@ fn main() {
         differential_test(&gemm, &tiled, &suite, &eq_cfg),
         TestVerdict::Pass
     );
-    let difftest_compiled_ns =
-        bench_ns(&opts, || differential_test(&gemm, &tiled, &suite, &eq_cfg));
+    let difftest_compiled_ns = bench_ns(&opts, || {
+        differential_test_scalar(&gemm, &tiled, &suite, &eq_cfg)
+    });
     let difftest_reference_ns = bench_ns(&opts, || {
         differential_test_reference(&gemm, &tiled, &suite, &eq_cfg)
     });
     let difftest_speedup = difftest_reference_ns / difftest_compiled_ns;
+
+    // 2b. Batched difftest: verdict pin plus batched-vs-scalar speedup
+    // on the prepared-target shape.
+    let batched = difftest_batched_snapshot(quick, &opts);
 
     // 3. Retriever::query over a synthesized corpus.
     eprintln!("[perf_snapshot] retriever query...");
@@ -476,14 +615,21 @@ fn main() {
     let interp_speedup = interp_reference_ns / interp_compiled_ns;
     let l1_rate = locality.l1_hit_rate();
     let campaign_n = campaign_kernels.len();
+    let DifftestBatched {
+        pinned: db_pinned,
+        lanes: db_lanes,
+        scalar_ns: db_scalar_ns,
+        batched_ns: db_batched_ns,
+        speedup: db_speedup,
+    } = batched;
     let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"interp_compiled_ns\": {interp_compiled_ns:.1},\n  \"interp_reference_ns\": {interp_reference_ns:.1},\n  \"interp_speedup\": {interp_speedup:.2},\n  \"compile_ns\": {compile_ns:.1},\n  \"interp_observed_ns\": {interp_observed_ns:.1},\n  \"gemm_l1_hit_rate\": {l1_rate:.4},\n  \"difftest_compiled_ns\": {difftest_compiled_ns:.1},\n  \"difftest_reference_ns\": {difftest_reference_ns:.1},\n  \"difftest_speedup\": {difftest_speedup:.2},\n  \"retriever_query_ns\": {query_ns:.1},\n  \"suite_stride\": {stride},\n  \"suite_kernels\": {suite_kernels},\n  \"suite_wall_ms\": {suite_wall_ms:.1},\n  \"host_cores\": {host_cores},\n  \"campaign_kernels\": {campaign_n},\n  \"campaign_threads\": {campaign_threads},\n  \"campaign_wall_1t_ms\": {campaign_wall_1t_ms:.1},\n  \"campaign_wall_nt_ms\": {campaign_wall_nt_ms:.1},\n  \"campaign_speedup\": {campaign_speedup:.2}\n}}\n"
+        "{{\n  \"quick\": {quick},\n  \"interp_compiled_ns\": {interp_compiled_ns:.1},\n  \"interp_reference_ns\": {interp_reference_ns:.1},\n  \"interp_speedup\": {interp_speedup:.2},\n  \"compile_ns\": {compile_ns:.1},\n  \"interp_observed_ns\": {interp_observed_ns:.1},\n  \"gemm_l1_hit_rate\": {l1_rate:.4},\n  \"difftest_compiled_ns\": {difftest_compiled_ns:.1},\n  \"difftest_reference_ns\": {difftest_reference_ns:.1},\n  \"difftest_speedup\": {difftest_speedup:.2},\n  \"difftest_batched_pinned\": {db_pinned},\n  \"difftest_batched_lanes\": {db_lanes},\n  \"difftest_scalar_prepared_ns\": {db_scalar_ns:.1},\n  \"difftest_batched_prepared_ns\": {db_batched_ns:.1},\n  \"difftest_batched_speedup\": {db_speedup:.2},\n  \"retriever_query_ns\": {query_ns:.1},\n  \"suite_stride\": {stride},\n  \"suite_kernels\": {suite_kernels},\n  \"suite_wall_ms\": {suite_wall_ms:.1},\n  \"host_cores\": {host_cores},\n  \"campaign_kernels\": {campaign_n},\n  \"campaign_threads\": {campaign_threads},\n  \"campaign_wall_1t_ms\": {campaign_wall_1t_ms:.1},\n  \"campaign_wall_nt_ms\": {campaign_wall_nt_ms:.1},\n  \"campaign_speedup\": {campaign_speedup:.2}\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("write snapshot");
     println!("{json}");
     eprintln!("[perf_snapshot] wrote {out_path}");
     eprintln!(
-        "[perf_snapshot] interp {interp_speedup:.2}x, differential_test {difftest_speedup:.2}x vs reference, campaign {campaign_speedup:.2}x at {campaign_threads} threads"
+        "[perf_snapshot] interp {interp_speedup:.2}x, differential_test {difftest_speedup:.2}x vs reference, batched difftest {db_speedup:.2}x vs scalar, campaign {campaign_speedup:.2}x at {campaign_threads} threads"
     );
 
     // The acceptance gates. Quick mode (CI smoke) only warns, since
@@ -500,6 +646,9 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // Gate 1b: batching the suite must pay for itself by at least 3x
+    // over the per-input compiled path on the prepared-target shape.
+    gate_difftest_batched(quick, db_speedup);
     // Gate 2: the campaign pool must pay for itself by at least 2x —
     // but only where the hardware can physically deliver it (a
     // single-core host runs the pool at ~1x by construction).

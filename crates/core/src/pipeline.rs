@@ -608,9 +608,12 @@ impl LoopRag {
         let mut model = SimLlm::new(self.config.profile.clone(), rng.gen());
         let target_text = print_program(target);
         // Per-kernel preparation, built once and shared by every
-        // candidate: the coverage suite plus the original scaled and
-        // compiled (candidates stop recompiling it), and the baseline
-        // cost for speedup ranking.
+        // candidate: the coverage suite, the original scaled and
+        // compiled (candidates stop recompiling it), the ground-truth
+        // stores for all suite inputs from one batched sweep (candidates
+        // stop re-running the original), and the baseline cost for
+        // speedup ranking. Each candidate verdict is then a batched
+        // lane sweep against the cached expected stores.
         let prepared = PreparedTarget::prepare(target, &self.config.eqcheck);
         let orig_cost = estimate_cost(target, &self.config.machine)
             .unwrap_or_else(|_| CostReport::unreachable());

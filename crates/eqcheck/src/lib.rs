@@ -12,6 +12,13 @@
 //! parallel-marked loops are illegal are exposed by re-running them under
 //! permuted iteration orders.
 //!
+//! The production path is *batched*: all suite inputs run as lanes of
+//! one [`BatchStore`] sweep per iteration order, and the ground truth is
+//! executed once (and cached by [`PreparedTarget`] across candidates).
+//! The per-input scalar path survives as [`differential_test_scalar`],
+//! pinned bit-for-bit against the batched verdicts, with the tree-walker
+//! ([`differential_test_reference`]) as the root oracle.
+//!
 //! ```
 //! use looprag_eqcheck::{build_test_suite, differential_test, EqCheckConfig, TestVerdict};
 //! let src = "param N = 32;\narray A[N];\nout A;\n#pragma scop\n\
@@ -26,8 +33,8 @@
 #![warn(missing_docs)]
 
 use looprag_exec::{
-    run_with_store_reference, ArrayStore, CompiledProgram, Coverage, ExecConfig, ExecError,
-    ExecStats, ParallelOrder,
+    run_with_store_reference, ArrayStore, BatchStore, CompiledProgram, Coverage, ExecConfig,
+    ExecError, ExecStats, ParallelOrder,
 };
 use looprag_ir::{adaptive_sampling_cap, has_parallel_loop, InitKind, Program};
 use rand::rngs::StdRng;
@@ -105,6 +112,10 @@ pub struct TestSuite {
     pub coverage: Coverage,
     /// How many candidate inputs were generated before selection.
     pub generated: usize,
+    /// How many generated inputs remained after semantic deduplication
+    /// (mutation can recreate an earlier input; duplicates are dropped
+    /// before anything runs).
+    pub unique: usize,
 }
 
 fn array_names(p: &Program) -> Vec<String> {
@@ -173,8 +184,7 @@ pub fn mutate_input(spec: &InputSpec, rng: &mut StdRng) -> InputSpec {
         // Statement-based: swap two arrays' initializations.
         _ => {
             if out.len() >= 2 {
-                let a = rng.gen_range(0..out.len());
-                let b = rng.gen_range(0..out.len());
+                let (a, b) = distinct_pair(rng, out.len());
                 out.swap(a, b);
             }
         }
@@ -182,16 +192,45 @@ pub fn mutate_input(spec: &InputSpec, rng: &mut StdRng) -> InputSpec {
     out
 }
 
+/// Draws two *distinct* indices in `0..len` (`len >= 2`): the statement
+/// mutation must never swap an array with itself — that would advance
+/// the RNG stream while leaving the input unchanged, silently feeding
+/// duplicates into the pool.
+fn distinct_pair(rng: &mut StdRng, len: usize) -> (usize, usize) {
+    let a = rng.gen_range(0..len);
+    let mut b = rng.gen_range(0..len - 1);
+    if b >= a {
+        b += 1;
+    }
+    (a, b)
+}
+
+/// Whether two inputs build the same store — compared order-insensitively,
+/// since a swap of equal initializations reorders the spec without
+/// changing any array's contents.
+fn same_input(a: &InputSpec, b: &InputSpec) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    fn canon(s: &InputSpec) -> Vec<&(String, InitKind)> {
+        let mut v: Vec<&(String, InitKind)> = s.iter().collect();
+        v.sort_by(|x, y| x.0.cmp(&y.0));
+        v
+    }
+    canon(a) == canon(b)
+}
+
 fn scaled(p: &Program, cap: i64) -> Program {
     looprag_transform::scaled_clone(p, cap)
 }
 
-/// Which execution engine differential testing runs on: the bytecode
-/// engine ([`CompiledProgram`], lowered once per [`differential_test`]
-/// call and reused across every suite input and iteration order) or the
-/// reference tree-walker (re-walked per run; the validation oracle and
-/// perf-snapshot baseline). Callers pick via [`differential_test`] /
-/// [`differential_test_reference`].
+/// Which execution engine the *scalar* (per-input) differential-test
+/// paths run on: the bytecode engine ([`CompiledProgram`], lowered once
+/// per call and reused across every suite input and iteration order) or
+/// the reference tree-walker (re-walked per run; the root validation
+/// oracle). Callers pick via [`differential_test_scalar`] /
+/// [`differential_test_reference`]; the batched production path
+/// ([`differential_test`]) does not go through here.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ExecEngine {
     Compiled,
@@ -249,16 +288,26 @@ pub fn build_test_suite(p: &Program, cfg: &EqCheckConfig) -> TestSuite {
     let mut pool: Vec<InputSpec> = seeds.clone();
     let mut generated = pool.len();
     while pool.len() < cfg.candidate_inputs {
-        let base = &pool[rng.gen_range(0..pool.len())].clone();
-        pool.push(mutate_input(base, &mut rng));
+        let base = pool[rng.gen_range(0..pool.len())].clone();
+        pool.push(mutate_input(&base, &mut rng));
         generated += 1;
     }
+    // Mutation can recreate an earlier input; duplicates add no coverage
+    // and would only burn execution budget, so drop them (order-
+    // preserving) before anything runs.
+    let mut unique_pool: Vec<InputSpec> = Vec::with_capacity(pool.len());
+    for spec in pool {
+        if !unique_pool.iter().any(|u| same_input(u, &spec)) {
+            unique_pool.push(spec);
+        }
+    }
+    let unique = unique_pool.len();
     let exec_cfg = ExecConfig {
         stmt_budget: cfg.stmt_budget,
         parallel_order: ParallelOrder::Forward,
     };
     let mut stale_rounds = 0;
-    for (i, spec) in pool.iter().enumerate() {
+    for (i, spec) in unique_pool.iter().enumerate() {
         let mut store = store_for(&small, spec);
         let Ok(stats) = compiled.run_with_store(&mut store, &exec_cfg, None) else {
             continue;
@@ -280,6 +329,33 @@ pub fn build_test_suite(p: &Program, cfg: &EqCheckConfig) -> TestSuite {
         inputs: kept,
         coverage: total,
         generated,
+        unique,
+    }
+}
+
+/// Verdict message when the ground truth failed on every suite input:
+/// zero comparisons ran, so `Pass` would be vacuous (and was, before
+/// this became a distinguishable failure).
+const GROUND_TRUTH_ALL_FAILED: &str =
+    "ground truth failed on every suite input; no differential comparisons ran";
+
+/// Annotates a failing verdict with the number of suite inputs that were
+/// skipped (ground-truth failure) before the failure was found, so
+/// partially-vacuous verdicts are visible. Passing verdicts and verdicts
+/// found with no prior skips are returned untouched, keeping the common
+/// case byte-identical across engines and releases.
+fn annotate_skips(verdict: TestVerdict, skipped: usize) -> TestVerdict {
+    if skipped == 0 {
+        return verdict;
+    }
+    match verdict {
+        TestVerdict::IncorrectAnswer { detail } => TestVerdict::IncorrectAnswer {
+            detail: format!("{detail} ({skipped} ground-truth input(s) skipped)"),
+        },
+        TestVerdict::RuntimeError { message } => TestVerdict::RuntimeError {
+            message: format!("{message} ({skipped} ground-truth input(s) skipped)"),
+        },
+        other => other,
     }
 }
 
@@ -287,9 +363,31 @@ pub fn build_test_suite(p: &Program, cfg: &EqCheckConfig) -> TestSuite {
 /// checksum quick-filter, element-wise comparison, and permuted-order
 /// re-execution for parallel-marked loops.
 ///
-/// Both programs are compiled to bytecode once and the compiled forms
-/// are reused across every suite input and every iteration order.
+/// This is the production path: all suite inputs run as lanes of one
+/// batched sweep per iteration order ([`BatchStore`]), with the ground
+/// truth executed once up front. Verdicts are bit-identical to
+/// [`differential_test_scalar`] and [`differential_test_reference`] —
+/// the batched sweeps replay the scalar traversal's input-major,
+/// order-minor failure priority exactly.
 pub fn differential_test(
+    original: &Program,
+    candidate: &Program,
+    suite: &TestSuite,
+    cfg: &EqCheckConfig,
+) -> TestVerdict {
+    let cap = adaptive_sampling_cap(candidate, cfg.param_cap, 400_000.0)
+        .max(adaptive_sampling_cap(original, cfg.param_cap, 400_000.0));
+    let orig = scaled(original, cap);
+    let compiled = CompiledProgram::compile(&orig);
+    let expected = ExpectedLanes::prepare(&orig, &compiled, suite, cfg);
+    differential_test_batched(&orig, &expected, candidate, cap, suite, cfg)
+}
+
+/// [`differential_test`] forced through the scalar bytecode engine, one
+/// suite input at a time — the pre-batching production path, kept as the
+/// bit-for-bit oracle for the batched sweeps and as the perf-snapshot
+/// baseline the batched speedup is gated against.
+pub fn differential_test_scalar(
     original: &Program,
     candidate: &Program,
     suite: &TestSuite,
@@ -363,13 +461,18 @@ fn differential_test_scaled(
     } else {
         vec![ParallelOrder::Forward]
     };
+    let mut compared = 0usize;
+    let mut skipped = 0usize;
     for spec in &suite.inputs {
         let mut ostore = store_for(orig, spec);
         if orig_runner.run(&mut ostore, &fwd).is_err() {
             // Ground truth failed on this input (should not happen for
-            // benchmark kernels); skip the input.
+            // benchmark kernels); skip it, but *count* the skip — a
+            // verdict reached with zero comparisons is no verdict.
+            skipped += 1;
             continue;
         }
+        compared += 1;
         let expected_sum = ostore.checksum(&outputs);
         for order in &orders {
             let ecfg = ExecConfig {
@@ -380,9 +483,12 @@ fn differential_test_scaled(
             match cand_runner.run(&mut cstore, &ecfg) {
                 Err(ExecError::BudgetExceeded { .. }) => return TestVerdict::Timeout,
                 Err(e) => {
-                    return TestVerdict::RuntimeError {
-                        message: e.to_string(),
-                    }
+                    return annotate_skips(
+                        TestVerdict::RuntimeError {
+                            message: e.to_string(),
+                        },
+                        skipped,
+                    )
                 }
                 Ok(_) => {}
             }
@@ -395,31 +501,234 @@ fn differential_test_scaled(
                 false
             };
             if !checksum_ok {
-                return TestVerdict::IncorrectAnswer {
-                    detail: format!("checksum mismatch: expected {expected_sum}, got {got_sum}"),
-                };
+                return annotate_skips(
+                    TestVerdict::IncorrectAnswer {
+                        detail: format!(
+                            "checksum mismatch: expected {expected_sum}, got {got_sum}"
+                        ),
+                    },
+                    skipped,
+                );
             }
             // Element-wise testing: the precise comparison.
             if let Some((arr, idx, a, b)) = ostore.element_diff(&cstore, &outputs, cfg.rel_eps) {
-                return TestVerdict::IncorrectAnswer {
-                    detail: format!("{arr}[{idx}]: expected {a}, got {b}"),
-                };
+                return annotate_skips(
+                    TestVerdict::IncorrectAnswer {
+                        detail: format!("{arr}[{idx}]: expected {a}, got {b}"),
+                    },
+                    skipped,
+                );
             }
         }
+    }
+    if compared == 0 {
+        return TestVerdict::RuntimeError {
+            message: GROUND_TRUTH_ALL_FAILED.into(),
+        };
     }
     TestVerdict::Pass
 }
 
+/// The ground truth executed once for a whole suite: every input's final
+/// store held as one lane of a [`BatchStore`], plus the per-input output
+/// checksums. Candidates compare against these cached lanes instead of
+/// re-running the original per input per candidate.
+#[derive(Debug, Clone)]
+struct ExpectedLanes {
+    /// The original's final stores, one lane per suite input.
+    stores: BatchStore,
+    /// Per input: whether the ground-truth run succeeded.
+    ok: Vec<bool>,
+    /// Per input: output checksum of the final store (valid when `ok`).
+    checksums: Vec<f64>,
+}
+
+impl ExpectedLanes {
+    /// Runs the scaled original over all suite inputs as one batched
+    /// Forward sweep and caches the per-lane stores and checksums.
+    fn prepare(
+        orig: &Program,
+        compiled: &CompiledProgram,
+        suite: &TestSuite,
+        cfg: &EqCheckConfig,
+    ) -> Self {
+        let n = suite.inputs.len();
+        let mut stores = BatchStore::from_program(orig, n);
+        for (lane, spec) in suite.inputs.iter().enumerate() {
+            for (name, init) in spec {
+                stores.fill_lane(lane, name, init);
+            }
+        }
+        let fwd = ExecConfig {
+            stmt_budget: cfg.stmt_budget,
+            parallel_order: ParallelOrder::Forward,
+        };
+        let results = compiled.run_batched(&mut stores, &fwd, None);
+        let ok: Vec<bool> = results.iter().map(|r| r.is_ok()).collect();
+        let sums = stores.checksum_lanes(&orig.outputs);
+        let checksums: Vec<f64> = (0..n)
+            .map(|lane| if ok[lane] { sums[lane] } else { f64::NAN })
+            .collect();
+        ExpectedLanes {
+            stores,
+            ok,
+            checksums,
+        }
+    }
+}
+
+/// The batched per-candidate core: `orig` is already scaled to `cap` and
+/// its ground truth cached in `expected`; only the candidate is scaled
+/// and compiled here. Each iteration order runs as one batched sweep
+/// over the (ground-truth-passing) suite inputs.
+///
+/// The scalar oracle visits `(input, order)` pairs input-major with an
+/// early return, so its verdict is the lexicographically first failure.
+/// The sweeps reproduce that exactly: each later order only re-runs
+/// inputs *before* the earliest failure found so far (a genuine early
+/// exit — once input 0 fails nothing else runs), and the surviving
+/// minimum is the scalar verdict by construction.
+fn differential_test_batched(
+    orig: &Program,
+    expected: &ExpectedLanes,
+    candidate: &Program,
+    cap: i64,
+    suite: &TestSuite,
+    cfg: &EqCheckConfig,
+) -> TestVerdict {
+    let cand = scaled(candidate, cap);
+    if orig.outputs != cand.outputs {
+        return TestVerdict::IncorrectAnswer {
+            detail: "output arrays differ".into(),
+        };
+    }
+    let outputs = &orig.outputs;
+    let lane_inputs: Vec<usize> = (0..suite.inputs.len())
+        .filter(|&i| expected.ok[i])
+        .collect();
+    if lane_inputs.is_empty() {
+        return TestVerdict::RuntimeError {
+            message: GROUND_TRUTH_ALL_FAILED.into(),
+        };
+    }
+    let compiled = CompiledProgram::compile(&cand);
+    // Lane template: allocated and input-filled once; full-width sweeps
+    // clone it instead of recomputing per-element array initialization
+    // for every iteration order.
+    let mut template = BatchStore::from_program(&cand, lane_inputs.len());
+    for (lane, &i) in lane_inputs.iter().enumerate() {
+        for (name, init) in &suite.inputs[i] {
+            template.fill_lane(lane, name, init);
+        }
+    }
+    let orders: &[ParallelOrder] = if has_parallel_loop(&cand) {
+        &[
+            ParallelOrder::Forward,
+            ParallelOrder::Reverse,
+            ParallelOrder::EvenOdd,
+        ]
+    } else {
+        &[ParallelOrder::Forward]
+    };
+    let mut first_fail: Option<(usize, TestVerdict)> = None;
+    for order in orders {
+        let limit = first_fail.as_ref().map_or(usize::MAX, |(i, _)| *i);
+        let active: Vec<usize> = lane_inputs.iter().copied().filter(|&i| i < limit).collect();
+        if active.is_empty() {
+            break;
+        }
+        let mut store = if active.len() == lane_inputs.len() {
+            template.clone()
+        } else {
+            // Narrowed sweep (an earlier order already failed): cheap by
+            // construction, build the reduced store directly.
+            let mut s = BatchStore::from_program(&cand, active.len());
+            for (lane, &i) in active.iter().enumerate() {
+                for (name, init) in &suite.inputs[i] {
+                    s.fill_lane(lane, name, init);
+                }
+            }
+            s
+        };
+        let ecfg = ExecConfig {
+            stmt_budget: cfg.stmt_budget,
+            parallel_order: *order,
+        };
+        let results = compiled.run_batched(&mut store, &ecfg, None);
+        let sums = store.checksum_lanes(outputs);
+        for (lane, &i) in active.iter().enumerate() {
+            let verdict = match &results[lane] {
+                Err(ExecError::BudgetExceeded { .. }) => Some(TestVerdict::Timeout),
+                Err(e) => Some(TestVerdict::RuntimeError {
+                    message: e.to_string(),
+                }),
+                Ok(_) => lane_mismatch(expected, i, &store, lane, sums[lane], outputs, cfg),
+            };
+            if let Some(v) = verdict {
+                // First failing input of this sweep; anything after it
+                // is moot under input-major priority.
+                first_fail = Some((i, v));
+                break;
+            }
+        }
+    }
+    match first_fail {
+        Some((i, v)) => {
+            let skipped = (0..i).filter(|&j| !expected.ok[j]).count();
+            annotate_skips(v, skipped)
+        }
+        None => TestVerdict::Pass,
+    }
+}
+
+/// Compares one candidate lane against the cached ground-truth lane for
+/// `input`: checksum quick-filter, then element-wise comparison — the
+/// identical formulas (and verdict strings) as the scalar path.
+fn lane_mismatch(
+    expected: &ExpectedLanes,
+    input: usize,
+    got: &BatchStore,
+    lane: usize,
+    got_sum: f64,
+    outputs: &[String],
+    cfg: &EqCheckConfig,
+) -> Option<TestVerdict> {
+    let expected_sum = expected.checksums[input];
+    let scale = expected_sum.abs().max(1.0);
+    let checksum_ok = if expected_sum.is_finite() && got_sum.is_finite() {
+        (expected_sum - got_sum).abs() <= cfg.rel_eps * scale * 1e3
+    } else {
+        false
+    };
+    if !checksum_ok {
+        return Some(TestVerdict::IncorrectAnswer {
+            detail: format!("checksum mismatch: expected {expected_sum}, got {got_sum}"),
+        });
+    }
+    if let Some((arr, idx, a, b)) =
+        expected
+            .stores
+            .element_diff_lane(input, got, lane, outputs, cfg.rel_eps)
+    {
+        return Some(TestVerdict::IncorrectAnswer {
+            detail: format!("{arr}[{idx}]: expected {a}, got {b}"),
+        });
+    }
+    None
+}
+
 /// A kernel prepared for repeated differential testing: the coverage
-/// suite plus the original program scaled and compiled **once**, reused
-/// across every candidate of a pipeline run instead of being recompiled
-/// per [`differential_test`] call.
+/// suite plus the original program scaled, compiled **and executed over
+/// the whole suite** once — its per-input final stores and checksums are
+/// cached as [`BatchStore`] lanes and reused across every candidate of a
+/// pipeline run, instead of re-running the original per input per
+/// [`differential_test`] call.
 ///
 /// The cached form covers the common case where the candidate's
 /// adaptive sampling cap does not exceed the original's; a candidate
 /// that widens the cap (e.g. aggressive tiling) falls back to rescaling
-/// the original for that one test, preserving verdict equality with the
-/// one-shot entry points.
+/// (and re-running) the original for that one test, preserving verdict
+/// equality with the one-shot entry points.
 #[derive(Debug, Clone)]
 pub struct PreparedTarget {
     original: Program,
@@ -427,21 +736,25 @@ pub struct PreparedTarget {
     cap: i64,
     scaled: Program,
     compiled: CompiledProgram,
+    expected: ExpectedLanes,
 }
 
 impl PreparedTarget {
-    /// Builds the suite and compiles the scaled original for `original`.
+    /// Builds the suite, compiles the scaled original, and runs the
+    /// ground truth once over all suite inputs (one batched sweep).
     pub fn prepare(original: &Program, cfg: &EqCheckConfig) -> Self {
         let suite = build_test_suite(original, cfg);
         let cap = adaptive_sampling_cap(original, cfg.param_cap, 400_000.0);
         let scaled_orig = scaled(original, cap);
         let compiled = CompiledProgram::compile(&scaled_orig);
+        let expected = ExpectedLanes::prepare(&scaled_orig, &compiled, &suite, cfg);
         PreparedTarget {
             original: original.clone(),
             suite,
             cap,
             scaled: scaled_orig,
             compiled,
+            expected,
         }
     }
 
@@ -456,9 +769,36 @@ impl PreparedTarget {
     }
 
     /// [`differential_test`] against the prepared original. Verdicts are
-    /// identical to the one-shot function; the compiled original is
-    /// reused whenever the candidate's sampling cap allows it.
+    /// identical to the one-shot function; the cached ground-truth lanes
+    /// are reused whenever the candidate's sampling cap allows it.
     pub fn differential_test(&self, candidate: &Program, cfg: &EqCheckConfig) -> TestVerdict {
+        let cap = adaptive_sampling_cap(candidate, cfg.param_cap, 400_000.0).max(self.cap);
+        if cap == self.cap {
+            return differential_test_batched(
+                &self.scaled,
+                &self.expected,
+                candidate,
+                cap,
+                &self.suite,
+                cfg,
+            );
+        }
+        // Cold path: the candidate widened the cap, so the original must
+        // be rescaled and its ground truth recomputed to match.
+        let orig = scaled(&self.original, cap);
+        let compiled = CompiledProgram::compile(&orig);
+        let expected = ExpectedLanes::prepare(&orig, &compiled, &self.suite, cfg);
+        differential_test_batched(&orig, &expected, candidate, cap, &self.suite, cfg)
+    }
+
+    /// [`differential_test_scalar`] against the prepared original: the
+    /// per-input scalar path over the cached compiled form. Kept as the
+    /// oracle and baseline the batched path is pinned and gated against.
+    pub fn differential_test_scalar(
+        &self,
+        candidate: &Program,
+        cfg: &EqCheckConfig,
+    ) -> TestVerdict {
         let cap = adaptive_sampling_cap(candidate, cfg.param_cap, 400_000.0).max(self.cap);
         if cap == self.cap {
             let runner = Runner::CompiledRef(&self.compiled);
@@ -472,8 +812,6 @@ impl PreparedTarget {
                 ExecEngine::Compiled,
             );
         }
-        // Cold path: the candidate widened the cap, so the original must
-        // be rescaled to match.
         let orig = scaled(&self.original, cap);
         let runner = Runner::new(&orig, ExecEngine::Compiled);
         differential_test_scaled(
@@ -615,7 +953,7 @@ mod tests {
     }
 
     #[test]
-    fn reference_engine_reaches_identical_verdicts() {
+    fn all_engines_reach_identical_verdicts() {
         let p = gemm();
         let cfg = EqCheckConfig::default();
         let suite = build_test_suite(&p, &cfg);
@@ -626,10 +964,9 @@ mod tests {
         )
         .unwrap();
         for cand in [&p, &legal, &wrong] {
-            assert_eq!(
-                differential_test(&p, cand, &suite, &cfg),
-                differential_test_reference(&p, cand, &suite, &cfg)
-            );
+            let batched = differential_test(&p, cand, &suite, &cfg);
+            assert_eq!(batched, differential_test_scalar(&p, cand, &suite, &cfg));
+            assert_eq!(batched, differential_test_reference(&p, cand, &suite, &cfg));
         }
     }
 
@@ -648,10 +985,85 @@ mod tests {
         )
         .unwrap();
         for cand in [&p, &legal, &widened, &wrong] {
-            assert_eq!(
-                prepared.differential_test(cand, &cfg),
-                differential_test(&p, cand, prepared.suite(), &cfg)
-            );
+            let one_shot = differential_test(&p, cand, prepared.suite(), &cfg);
+            assert_eq!(prepared.differential_test(cand, &cfg), one_shot);
+            assert_eq!(prepared.differential_test_scalar(cand, &cfg), one_shot);
+        }
+    }
+
+    /// Regression (vacuous Pass): a ground truth that faults on every
+    /// suite input used to skip every comparison and return `Pass` — the
+    /// candidate was never tested. All three paths must now return a
+    /// distinguishable failure.
+    #[test]
+    fn ground_truth_failing_on_all_inputs_is_not_pass() {
+        let ok = compile(
+            "param N = 32;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i] = A[i] + 1.0;\n#pragma endscop\n",
+            "ok",
+        )
+        .unwrap();
+        let oob = compile(
+            "param N = 32;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i + 1] = A[i] + 1.0;\n#pragma endscop\n",
+            "oob",
+        )
+        .unwrap();
+        let cfg = EqCheckConfig::default();
+        let suite = build_test_suite(&ok, &cfg);
+        assert!(!suite.inputs.is_empty());
+        // `oob` as the *original*: every ground-truth run faults.
+        let verdicts = [
+            differential_test(&oob, &ok, &suite, &cfg),
+            differential_test_scalar(&oob, &ok, &suite, &cfg),
+            differential_test_reference(&oob, &ok, &suite, &cfg),
+            PreparedTarget::prepare(&oob, &cfg).differential_test(&ok, &cfg),
+        ];
+        for v in verdicts {
+            match v {
+                TestVerdict::RuntimeError { ref message } => {
+                    assert!(
+                        message.contains("ground truth failed"),
+                        "unexpected message: {message}"
+                    );
+                }
+                other => panic!("expected a runtime-error verdict, got {other:?}"),
+            }
+        }
+    }
+
+    /// Regression (no-op mutation): the statement arm must always swap
+    /// two *different* entries.
+    #[test]
+    fn distinct_pair_never_collides_and_is_deterministic() {
+        for seed in 0..64u64 {
+            for len in 2..6usize {
+                let mut r1 = StdRng::seed_from_u64(seed);
+                let mut r2 = StdRng::seed_from_u64(seed);
+                let (a, b) = distinct_pair(&mut r1, len);
+                assert_ne!(a, b, "seed {seed} len {len} drew identical indices");
+                assert!(a < len && b < len);
+                assert_eq!((a, b), distinct_pair(&mut r2, len));
+            }
+        }
+    }
+
+    /// Regression (pool duplicates): the generated pool is deduped
+    /// semantically before anything runs, and the suite records it.
+    #[test]
+    fn suite_pool_is_deduped() {
+        let p = gemm();
+        let cfg = EqCheckConfig::default();
+        let suite = build_test_suite(&p, &cfg);
+        assert_eq!(suite.generated, cfg.candidate_inputs);
+        assert!(
+            suite.unique < suite.generated,
+            "the default-seed pool has collisions; unique {} of {}",
+            suite.unique,
+            suite.generated
+        );
+        for (i, a) in suite.inputs.iter().enumerate() {
+            for b in &suite.inputs[i + 1..] {
+                assert!(!same_input(a, b), "kept inputs contain duplicates");
+            }
         }
     }
 

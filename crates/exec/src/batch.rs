@@ -1,0 +1,878 @@
+//! Batched (structure-of-arrays) execution: many inputs of one program
+//! run as parallel *lanes* through a single decode of the compiled op
+//! stream.
+//!
+//! Control flow in this language is data-independent — loop bounds, `if`
+//! guards and subscripts are affine in iterators and parameters, never in
+//! array values — so every lane follows the identical statement sequence.
+//! [`CompiledProgram::run_batched`] exploits that: bounds, guards and
+//! subscripts are evaluated **once** per visit, and only the `f64` data
+//! work fans out across lanes. [`BatchStore`] keeps each array as dense
+//! element-major stripes (`data[flat * lanes + lane]`), so the per-lane
+//! inner loops walk contiguous memory.
+//!
+//! Per-lane semantics are exactly those of the scalar engine:
+//!
+//! * every lane has its own statement budget; a lane that exhausts it is
+//!   latched with [`ExecError::BudgetExceeded`] and drops out, its
+//!   stripes frozen at the death point — bit-for-bit the partial store a
+//!   scalar run with that budget would leave — while the remaining lanes
+//!   continue;
+//! * faults (out-of-bounds subscripts, unbound symbols) are control-flow
+//!   level and therefore hit every still-live lane at the same program
+//!   point, latching the identical error a scalar run would report;
+//! * the run early-exits as soon as no live lanes remain.
+//!
+//! Every lane's outcome (stats, error class, final store) is pinned
+//! bit-for-bit against scalar [`CompiledProgram::run_with_store`] runs by
+//! `tests/engine_differential.rs`.
+
+use crate::compile::{CAccess, CLoop, CNode, CStmt, CompiledProgram, Op};
+use crate::coverage::Coverage;
+use crate::interp::{ExecConfig, ExecError, ExecStats, ParallelOrder};
+use crate::store::{flatten_extents, ArrayData, ArrayStore};
+use looprag_ir::{AssignOp, BinOp, InitKind, Program};
+use std::collections::HashMap;
+
+/// A structure-of-arrays store: `lanes` independent memory images of one
+/// program, interleaved element-major so that the lane dimension is
+/// contiguous (`data[flat * lanes + lane]`).
+#[derive(Debug, Clone)]
+pub struct BatchStore {
+    lanes: usize,
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+    extents: Vec<Vec<i64>>,
+    /// Per-lane element count of each array (extents product, min 1).
+    lens: Vec<usize>,
+    /// Per array: `lens[i] * lanes` values, element-major.
+    data: Vec<Vec<f64>>,
+}
+
+impl BatchStore {
+    /// Allocates `lanes` copies of every array declared by `p`, each lane
+    /// initialized exactly like [`ArrayStore::from_program`]: non-local
+    /// arrays filled from the program's init patterns, locals zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an array extent references an undeclared parameter; run
+    /// [`looprag_ir::validate`] first.
+    pub fn from_program(p: &Program, lanes: usize) -> Self {
+        let env = p.param_env();
+        let mut store = BatchStore {
+            lanes,
+            names: Vec::new(),
+            index: HashMap::new(),
+            extents: Vec::new(),
+            lens: Vec::new(),
+            data: Vec::new(),
+        };
+        for decl in &p.arrays {
+            let extents = decl
+                .extents(&env)
+                .unwrap_or_else(|sym| panic!("unbound parameter '{sym}' in array extents"));
+            let len = extents.iter().product::<i64>().max(1) as usize;
+            let mut data = vec![0.0; len * lanes];
+            if !decl.local {
+                let init = p.init_for(&decl.name);
+                for flat in 0..len {
+                    let v = init.value_at(flat);
+                    data[flat * lanes..(flat + 1) * lanes].fill(v);
+                }
+            }
+            store.insert(decl.name.clone(), extents, len, data);
+        }
+        store
+    }
+
+    fn insert(&mut self, name: String, extents: Vec<i64>, len: usize, data: Vec<f64>) {
+        match self.index.get(&name) {
+            // Duplicate declarations replace, like `ArrayStore::insert`.
+            Some(&i) => {
+                self.extents[i] = extents;
+                self.lens[i] = len;
+                self.data[i] = data;
+            }
+            None => {
+                self.index.insert(name.clone(), self.names.len());
+                self.names.push(name);
+                self.extents.push(extents);
+                self.lens.push(len);
+                self.data.push(data);
+            }
+        }
+    }
+
+    /// Number of lanes (independent memory images).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of arrays held.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the store holds no arrays.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Resolves a name to its dense store index.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Overwrites one lane of the named array from an [`InitKind`]
+    /// pattern; silently ignores names the store does not hold (matching
+    /// how eqcheck input specs are applied to scalar stores).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is out of range.
+    pub fn fill_lane(&mut self, lane: usize, name: &str, init: &InitKind) {
+        assert!(lane < self.lanes, "lane {lane} out of {}", self.lanes);
+        if let Some(&i) = self.index.get(name) {
+            let lanes = self.lanes;
+            let col = &mut self.data[i];
+            for flat in 0..self.lens[i] {
+                col[flat * lanes + lane] = init.value_at(flat);
+            }
+        }
+    }
+
+    /// Extracts one lane as a plain [`ArrayStore`] (arrays in insertion
+    /// order, so dense indexes match a store built the scalar way).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is out of range.
+    pub fn lane_store(&self, lane: usize) -> ArrayStore {
+        assert!(lane < self.lanes, "lane {lane} out of {}", self.lanes);
+        let mut out = ArrayStore::new();
+        for i in 0..self.names.len() {
+            let data = (0..self.lens[i])
+                .map(|flat| self.data[i][flat * self.lanes + lane])
+                .collect();
+            out.insert(
+                self.names[i].clone(),
+                ArrayData {
+                    extents: self.extents[i].clone(),
+                    data,
+                },
+            );
+        }
+        out
+    }
+
+    /// Per-lane checksum over the named arrays — the same sequential sum
+    /// (and non-finite NaN poisoning) as [`ArrayStore::checksum`], so the
+    /// result is bit-identical to checksumming the extracted lane.
+    pub fn checksum_lane(&self, lane: usize, names: &[String]) -> f64 {
+        let mut acc = 0.0f64;
+        for n in names {
+            if let Some(&i) = self.index.get(n.as_str()) {
+                for flat in 0..self.lens[i] {
+                    let v = self.data[i][flat * self.lanes + lane];
+                    if v.is_finite() {
+                        acc += v;
+                    } else {
+                        return f64::NAN;
+                    }
+                }
+            }
+        }
+        acc
+    }
+
+    /// [`Self::checksum_lane`] for every lane in one contiguous pass:
+    /// stripe-major traversal visits each element once, accumulating all
+    /// lanes simultaneously. Per lane the addition sequence (and the NaN
+    /// poisoning on the first non-finite element) is identical to the
+    /// single-lane walk, so each entry is bit-identical to
+    /// `checksum_lane(lane, names)`.
+    pub fn checksum_lanes(&self, names: &[String]) -> Vec<f64> {
+        let mut acc = vec![0.0f64; self.lanes];
+        let mut poisoned = vec![false; self.lanes];
+        for n in names {
+            if let Some(&i) = self.index.get(n.as_str()) {
+                for flat in 0..self.lens[i] {
+                    let stripe = &self.data[i][flat * self.lanes..(flat + 1) * self.lanes];
+                    for (lane, v) in stripe.iter().enumerate() {
+                        if poisoned[lane] {
+                            continue;
+                        }
+                        if v.is_finite() {
+                            acc[lane] += v;
+                        } else {
+                            poisoned[lane] = true;
+                        }
+                    }
+                }
+            }
+        }
+        for lane in 0..self.lanes {
+            if poisoned[lane] {
+                acc[lane] = f64::NAN;
+            }
+        }
+        acc
+    }
+
+    /// Element-wise comparison of one lane of `self` against one lane of
+    /// `other`, with the exact semantics (missing-array and length
+    /// sentinels, relative tolerance) of [`ArrayStore::element_diff`].
+    /// Returns the first mismatch as `(array, flat_index, self_value,
+    /// other_value)`.
+    pub fn element_diff_lane(
+        &self,
+        lane: usize,
+        other: &BatchStore,
+        other_lane: usize,
+        names: &[String],
+        rel_eps: f64,
+    ) -> Option<(String, usize, f64, f64)> {
+        for n in names {
+            let (Some(&a), Some(&b)) = (self.index.get(n.as_str()), other.index.get(n.as_str()))
+            else {
+                return Some((n.clone(), 0, f64::NAN, f64::NAN));
+            };
+            if self.lens[a] != other.lens[b] {
+                return Some((n.clone(), 0, self.lens[a] as f64, other.lens[b] as f64));
+            }
+            for flat in 0..self.lens[a] {
+                let x = self.data[a][flat * self.lanes + lane];
+                let y = other.data[b][flat * other.lanes + other_lane];
+                let close = if x.is_finite() && y.is_finite() {
+                    let scale = x.abs().max(y.abs()).max(1.0);
+                    (x - y).abs() <= rel_eps * scale
+                } else {
+                    x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan())
+                };
+                if !close {
+                    return Some((n.clone(), flat, x, y));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl CompiledProgram {
+    /// Runs the compiled program over every lane of `store` in one pass.
+    ///
+    /// Control flow (bounds, guards, subscripts, iteration order) is
+    /// evaluated once and shared by all lanes; only element data differs
+    /// per lane. `budgets`, when given, holds one statement budget per
+    /// lane (`cfg.stmt_budget` otherwise). The returned vector has one
+    /// entry per lane: surviving lanes get the shared [`ExecStats`],
+    /// lanes that exhausted their budget or hit a fault get the exact
+    /// [`ExecError`] a scalar run of that lane would have returned, with
+    /// their stripes frozen at the death point.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `budgets` is given with a length other than the lane
+    /// count.
+    pub fn run_batched(
+        &self,
+        store: &mut BatchStore,
+        cfg: &ExecConfig,
+        budgets: Option<&[u64]>,
+    ) -> Vec<Result<ExecStats, ExecError>> {
+        let lanes = store.lanes();
+        if lanes == 0 {
+            return Vec::new();
+        }
+        let budgets: Vec<u64> = match budgets {
+            Some(b) => {
+                assert_eq!(b.len(), lanes, "one budget per lane");
+                b.to_vec()
+            }
+            None => vec![cfg.stmt_budget; lanes],
+        };
+        // Resolve interned array ids to dense store indexes once.
+        let store_idx: Vec<Option<u32>> = self
+            .arrays
+            .iter()
+            .map(|n| store.index_of(n).map(|i| i as u32))
+            .collect();
+        let min_budget = budgets.iter().copied().min().unwrap_or(u64::MAX);
+        let mut m = BatchMachine {
+            cp: self,
+            store,
+            lanes,
+            order: cfg.parallel_order,
+            budgets,
+            min_budget,
+            executed: 0,
+            live: vec![true; lanes],
+            n_live: lanes,
+            fault: vec![None; lanes],
+            coverage: Coverage::with_sites(self.n_ifs, self.n_loops),
+            frame: vec![0; self.n_slots],
+            stack: Vec::with_capacity(16 * lanes),
+            args: Vec::with_capacity(4),
+            dims: Vec::with_capacity(4),
+            store_idx,
+        };
+        for n in &self.body {
+            // `Halt` means every lane is dead (latched budget/fault
+            // errors): stop decoding, the per-lane verdicts are final.
+            if m.exec_node(n).is_err() {
+                break;
+            }
+        }
+        let stats = ExecStats {
+            stmts_executed: m.executed,
+            coverage: m.coverage,
+        };
+        m.fault
+            .into_iter()
+            .map(|f| match f {
+                Some(e) => Err(e),
+                None => Ok(stats.clone()),
+            })
+            .collect()
+    }
+}
+
+/// Control-flow signal: every lane is dead, stop the whole run.
+struct Halt;
+
+struct BatchMachine<'c, 's> {
+    cp: &'c CompiledProgram,
+    store: &'s mut BatchStore,
+    lanes: usize,
+    order: ParallelOrder,
+    /// Per-lane statement budgets.
+    budgets: Vec<u64>,
+    /// Minimum budget over the live lanes: until `executed` reaches it,
+    /// no per-lane budget check can fire, so the per-statement latch
+    /// loop reduces to one comparison.
+    min_budget: u64,
+    /// Shared statement counter: all lanes execute the same sequence.
+    executed: u64,
+    live: Vec<bool>,
+    n_live: usize,
+    /// Latched per-lane error; `Some` implies the lane is dead.
+    fault: Vec<Option<ExecError>>,
+    coverage: Coverage,
+    frame: Vec<i64>,
+    /// Postfix evaluation stack in stripes of `lanes` values.
+    stack: Vec<f64>,
+    /// Per-lane argument scratch for intrinsic calls.
+    args: Vec<f64>,
+    dims: Vec<i64>,
+    store_idx: Vec<Option<u32>>,
+}
+
+impl<'c> BatchMachine<'c, '_> {
+    /// Latches `e` onto every live lane. Faults are raised by control
+    /// flow, which all live lanes share, so they die together.
+    fn halt_all(&mut self, e: ExecError) -> Halt {
+        for l in 0..self.lanes {
+            if self.live[l] {
+                self.fault[l] = Some(e.clone());
+                self.live[l] = false;
+            }
+        }
+        self.n_live = 0;
+        Halt
+    }
+
+    /// Evaluates an access's subscripts and bounds-checks them, returning
+    /// `(store_index, flat_element_index)` — shared by all lanes.
+    fn resolve(&mut self, acc: &'c CAccess, stmt: usize) -> Result<(usize, usize), Halt> {
+        self.dims.clear();
+        for d in acc.dims.iter() {
+            match d.eval(&self.frame) {
+                Ok(v) => self.dims.push(v),
+                Err(e) => return Err(self.halt_all(e)),
+            }
+        }
+        let Some(idx) = self.store_idx[acc.array as usize] else {
+            let e = ExecError::Unbound(self.cp.arrays[acc.array as usize].clone());
+            return Err(self.halt_all(e));
+        };
+        match flatten_extents(&self.store.extents[idx as usize], &self.dims) {
+            Some(flat) => Ok((idx as usize, flat)),
+            None => {
+                let e = ExecError::OutOfBounds {
+                    array: self.cp.arrays[acc.array as usize].clone(),
+                    indexes: self.dims.clone(),
+                    stmt,
+                };
+                Err(self.halt_all(e))
+            }
+        }
+    }
+
+    /// Evaluates a statement's postfix op stream over all lanes, leaving
+    /// the result stripe (one value per lane) on top of the stack.
+    fn eval_ops(&mut self, s: &'c CStmt) -> Result<(), Halt> {
+        let cp = self.cp;
+        let n = self.lanes;
+        self.stack.clear();
+        for op in &cp.ops[s.ops.0 as usize..s.ops.1 as usize] {
+            match op {
+                Op::Const(v) => {
+                    let len = self.stack.len();
+                    self.stack.resize(len + n, *v);
+                }
+                Op::Slot(i) => {
+                    let v = self.frame[*i as usize] as f64;
+                    let len = self.stack.len();
+                    self.stack.resize(len + n, v);
+                }
+                Op::Load(a) => {
+                    let acc = &cp.accesses[*a as usize];
+                    let (idx, flat) = self.resolve(acc, s.id)?;
+                    let base = flat * n;
+                    self.stack
+                        .extend_from_slice(&self.store.data[idx][base..base + n]);
+                }
+                Op::UnboundSym(i) => {
+                    let e = ExecError::Unbound(cp.syms[*i as usize].clone());
+                    return Err(self.halt_all(e));
+                }
+                Op::Neg => {
+                    let len = self.stack.len();
+                    for v in &mut self.stack[len - n..] {
+                        *v = -*v;
+                    }
+                }
+                Op::Bin(b) => {
+                    let len = self.stack.len();
+                    let (xs, ys) = self.stack.split_at_mut(len - n);
+                    let base = xs.len() - n;
+                    let xs = &mut xs[base..];
+                    // The operator match hoisted out of the stripe loop so
+                    // each arm is a straight vectorizable sweep; arithmetic
+                    // is identical to `BinOp::apply` per element.
+                    match b {
+                        BinOp::Add => {
+                            for k in 0..n {
+                                xs[k] += ys[k];
+                            }
+                        }
+                        BinOp::Sub => {
+                            for k in 0..n {
+                                xs[k] -= ys[k];
+                            }
+                        }
+                        BinOp::Mul => {
+                            for k in 0..n {
+                                xs[k] *= ys[k];
+                            }
+                        }
+                        BinOp::Div => {
+                            for k in 0..n {
+                                xs[k] /= ys[k];
+                            }
+                        }
+                    }
+                    self.stack.truncate(len - n);
+                }
+                Op::Call(f, cnt) => {
+                    let cnt = *cnt as usize;
+                    if cnt == 0 {
+                        let v = f.apply(&[]);
+                        let len = self.stack.len();
+                        self.stack.resize(len + n, v);
+                        continue;
+                    }
+                    let base = self.stack.len() - cnt * n;
+                    // Gather each lane's arguments from the stripes; the
+                    // result overwrites the lane's slot in the first
+                    // argument stripe (read before written, in order).
+                    for lane in 0..n {
+                        self.args.clear();
+                        for j in 0..cnt {
+                            self.args.push(self.stack[base + j * n + lane]);
+                        }
+                        self.stack[base + lane] = f.apply(&self.args);
+                    }
+                    self.stack.truncate(base + n);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, s: &'c CStmt) -> Result<(), Halt> {
+        // Per-lane budget latch, checked where the scalar engine checks
+        // its budget: a lane whose budget is exhausted dies exactly at
+        // the statement a scalar run with that budget would abort on.
+        // Until `executed` reaches the smallest live budget no lane can
+        // fire, so the common case is one comparison.
+        if self.executed >= self.min_budget {
+            for l in 0..self.lanes {
+                if self.live[l] && self.executed >= self.budgets[l] {
+                    self.fault[l] = Some(ExecError::BudgetExceeded {
+                        budget: self.budgets[l],
+                    });
+                    self.live[l] = false;
+                    self.n_live -= 1;
+                }
+            }
+            if self.n_live == 0 {
+                return Err(Halt);
+            }
+            self.min_budget = (0..self.lanes)
+                .filter(|&l| self.live[l])
+                .map(|l| self.budgets[l])
+                .min()
+                .unwrap_or(u64::MAX);
+        }
+        self.executed += 1;
+        self.eval_ops(s)?;
+        let lhs = &self.cp.accesses[s.lhs as usize];
+        let (idx, flat) = self.resolve(lhs, s.id)?;
+        let n = self.lanes;
+        let base = flat * n;
+        let top = self.stack.len() - n;
+        let col = &mut self.store.data[idx];
+        if self.n_live == n {
+            let dst = &mut col[base..base + n];
+            let rhs = &self.stack[top..top + n];
+            // Assign-op match hoisted out of the stripe loop; per element
+            // identical to `AssignOp::apply`.
+            match s.op {
+                AssignOp::Assign => dst.copy_from_slice(rhs),
+                AssignOp::AddAssign => {
+                    for l in 0..n {
+                        dst[l] += rhs[l];
+                    }
+                }
+                AssignOp::SubAssign => {
+                    for l in 0..n {
+                        dst[l] -= rhs[l];
+                    }
+                }
+                AssignOp::MulAssign => {
+                    for l in 0..n {
+                        dst[l] *= rhs[l];
+                    }
+                }
+            }
+        } else {
+            // Dead lanes keep their stripes frozen at the death point.
+            for l in 0..n {
+                if self.live[l] {
+                    let slot = &mut col[base + l];
+                    *slot = s.op.apply(*slot, self.stack[top + l]);
+                }
+            }
+        }
+        self.stack.truncate(top);
+        Ok(())
+    }
+
+    #[inline]
+    fn iteration(&mut self, l: &'c CLoop, v: i64) -> Result<(), Halt> {
+        self.frame[l.slot as usize] = v;
+        for child in l.body.iter() {
+            self.exec_node(child)?;
+        }
+        Ok(())
+    }
+
+    fn exec_loop(&mut self, l: &'c CLoop) -> Result<(), Halt> {
+        let lb = match l.lb.eval(&self.frame) {
+            Ok(v) => v,
+            Err(e) => return Err(self.halt_all(e)),
+        };
+        let mut ub = match l.ub.eval(&self.frame) {
+            Ok(v) => v,
+            Err(e) => return Err(self.halt_all(e)),
+        };
+        if !l.ub_inclusive {
+            ub -= 1;
+        }
+        let site = l.site as usize;
+        if ub < lb {
+            self.coverage.loops[site].1 = true;
+            return Ok(());
+        }
+        self.coverage.loops[site].0 = true;
+        let step = l.step;
+        // Degenerate steps: one iteration at the lower bound, matching
+        // both scalar engines.
+        if step <= 0 {
+            return self.iteration(l, lb);
+        }
+        let order = if l.parallel {
+            self.order
+        } else {
+            ParallelOrder::Forward
+        };
+        match order {
+            ParallelOrder::Forward => {
+                let mut v = lb;
+                loop {
+                    self.iteration(l, v)?;
+                    match v.checked_add(step) {
+                        Some(nv) if nv <= ub => v = nv,
+                        _ => break,
+                    }
+                }
+            }
+            ParallelOrder::Reverse => {
+                let trips = (ub - lb) / step + 1;
+                let mut k = trips - 1;
+                while k >= 0 {
+                    self.iteration(l, lb + k * step)?;
+                    k -= 1;
+                }
+            }
+            ParallelOrder::EvenOdd => {
+                let trips = (ub - lb) / step + 1;
+                let mut k = 0;
+                while k < trips {
+                    self.iteration(l, lb + k * step)?;
+                    k += 2;
+                }
+                let mut k = 1;
+                while k < trips {
+                    self.iteration(l, lb + k * step)?;
+                    k += 2;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_node(&mut self, n: &'c CNode) -> Result<(), Halt> {
+        match n {
+            CNode::Stmt(s) => self.exec_stmt(s),
+            CNode::Loop(l) => self.exec_loop(l),
+            CNode::If { conds, site, then } => {
+                let mut taken = true;
+                for (lhs, op, rhs) in conds.iter() {
+                    let a = match lhs.eval(&self.frame) {
+                        Ok(v) => v,
+                        Err(e) => return Err(self.halt_all(e)),
+                    };
+                    let b = match rhs.eval(&self.frame) {
+                        Ok(v) => v,
+                        Err(e) => return Err(self.halt_all(e)),
+                    };
+                    if !op.eval(a, b) {
+                        taken = false;
+                        break;
+                    }
+                }
+                if taken {
+                    self.coverage.ifs[*site as usize].0 = true;
+                    for child in then.iter() {
+                        self.exec_node(child)?;
+                    }
+                } else {
+                    self.coverage.ifs[*site as usize].1 = true;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use looprag_ir::compile as compile_src;
+
+    fn program(src: &str) -> Program {
+        compile_src(src, "t").unwrap()
+    }
+
+    fn gemm() -> Program {
+        program(
+            "param N = 8;\narray C[N][N];\narray A[N][N];\narray B[N][N];\nout C;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= N - 1; j++) for (k = 0; k <= N - 1; k++) C[i][j] += A[i][k] * B[k][j];\n#pragma endscop\n",
+        )
+    }
+
+    /// Runs `lanes` differently initialized copies batched and scalar and
+    /// asserts bit-identical per-lane outcomes and stores.
+    fn assert_lanes_match_scalar(
+        p: &Program,
+        inits: &[InitKind],
+        cfg: &ExecConfig,
+        budgets: Option<&[u64]>,
+    ) {
+        let cp = CompiledProgram::compile(p);
+        let non_local: Vec<String> = p
+            .arrays
+            .iter()
+            .filter(|d| !d.local)
+            .map(|d| d.name.clone())
+            .collect();
+        let mut batch = BatchStore::from_program(p, inits.len());
+        for (lane, init) in inits.iter().enumerate() {
+            for name in &non_local {
+                batch.fill_lane(lane, name, init);
+            }
+        }
+        let results = cp.run_batched(&mut batch, cfg, budgets);
+        for (lane, init) in inits.iter().enumerate() {
+            let mut store = ArrayStore::from_program(p);
+            for name in &non_local {
+                if let Some(a) = store.get_mut(name) {
+                    a.fill(init);
+                }
+            }
+            let scfg = ExecConfig {
+                stmt_budget: budgets.map_or(cfg.stmt_budget, |b| b[lane]),
+                parallel_order: cfg.parallel_order,
+            };
+            let r = cp.run_with_store(&mut store, &scfg, None);
+            assert_eq!(r, results[lane], "lane {lane} outcome diverges");
+            let got = batch.lane_store(lane);
+            assert_eq!(got.len(), store.len(), "lane {lane} store size");
+            for (name, da) in store.iter() {
+                let db = got.get(name).unwrap();
+                assert_eq!(da.extents, db.extents, "lane {lane} {name} extents");
+                for (i, (x, y)) in da.data.iter().zip(&db.data).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "lane {lane} {name}[{i}]: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_match_scalar_runs() {
+        let p = gemm();
+        let inits = [
+            InitKind::default_pattern(),
+            InitKind::Constant(1.0),
+            InitKind::Zero,
+            InitKind::IndexPattern {
+                a: 31,
+                b: 7,
+                m: 113,
+            },
+        ];
+        assert_lanes_match_scalar(&p, &inits, &ExecConfig::default(), None);
+    }
+
+    #[test]
+    fn heterogeneous_budgets_drop_lanes_independently() {
+        let p = gemm();
+        let inits = [
+            InitKind::default_pattern(),
+            InitKind::Constant(2.0),
+            InitKind::Zero,
+        ];
+        // Lane 0 dies almost immediately, lane 1 mid-run, lane 2 survives.
+        let budgets = [3u64, 100, u64::MAX];
+        assert_lanes_match_scalar(&p, &inits, &ExecConfig::default(), Some(&budgets));
+    }
+
+    #[test]
+    fn all_lanes_exhausted_early_exits_with_per_lane_budgets() {
+        let p = gemm();
+        let inits = [InitKind::Zero, InitKind::Constant(1.0)];
+        let budgets = [5u64, 9];
+        assert_lanes_match_scalar(&p, &inits, &ExecConfig::default(), Some(&budgets));
+    }
+
+    #[test]
+    fn global_fault_latches_all_live_lanes() {
+        let p = program(
+            "param N = 4;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i + 1] = 1.0;\n#pragma endscop\n",
+        );
+        // Lane 0 exceeds its budget before the out-of-bounds access and
+        // must keep the budget error; lane 1 reaches the fault.
+        let inits = [InitKind::Zero, InitKind::Constant(1.0)];
+        let budgets = [2u64, u64::MAX];
+        assert_lanes_match_scalar(&p, &inits, &ExecConfig::default(), Some(&budgets));
+    }
+
+    #[test]
+    fn permuted_orders_match_scalar() {
+        let p = program(
+            "param N = 10;\narray A[N];\nout A;\n#pragma scop\n#pragma omp parallel for\nfor (i = 1; i <= N - 1; i++) A[i] = A[i - 1] + 1.0;\n#pragma endscop\n",
+        );
+        let inits = [InitKind::default_pattern(), InitKind::Constant(3.0)];
+        for order in [
+            ParallelOrder::Forward,
+            ParallelOrder::Reverse,
+            ParallelOrder::EvenOdd,
+        ] {
+            let cfg = ExecConfig {
+                parallel_order: order,
+                ..Default::default()
+            };
+            assert_lanes_match_scalar(&p, &inits, &cfg, None);
+        }
+    }
+
+    #[test]
+    fn checksum_and_diff_match_scalar_store() {
+        let p = gemm();
+        let outputs = p.outputs.clone();
+        let mut batch = BatchStore::from_program(&p, 2);
+        batch.fill_lane(1, "A", &InitKind::Constant(1.5));
+        let cp = CompiledProgram::compile(&p);
+        cp.run_batched(&mut batch, &ExecConfig::default(), None);
+        for lane in 0..2 {
+            let store = batch.lane_store(lane);
+            assert_eq!(
+                batch.checksum_lane(lane, &outputs).to_bits(),
+                store.checksum(&outputs).to_bits(),
+                "lane {lane} checksum"
+            );
+        }
+        // The two lanes genuinely differ, and the reported first
+        // mismatch matches the scalar element_diff.
+        let d_batch = batch
+            .element_diff_lane(0, &batch, 1, &outputs, 1e-9)
+            .unwrap();
+        let d_scalar = batch
+            .lane_store(0)
+            .element_diff(&batch.lane_store(1), &outputs, 1e-9)
+            .unwrap();
+        assert_eq!(d_batch, d_scalar);
+        assert!(batch
+            .element_diff_lane(0, &batch, 0, &outputs, 1e-9)
+            .is_none());
+    }
+
+    #[test]
+    fn checksum_lanes_matches_per_lane_walk_including_poison() {
+        // Lane 0 divides by zero (inf output, NaN-poisoned checksum);
+        // lane 1 stays finite.
+        let p = program(
+            "param N = 6;\narray A[N];\narray B[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i] = 1.0 / B[i];\n#pragma endscop\n",
+        );
+        let outputs = p.outputs.clone();
+        let mut batch = BatchStore::from_program(&p, 2);
+        batch.fill_lane(0, "B", &InitKind::Zero);
+        batch.fill_lane(1, "B", &InitKind::Constant(2.0));
+        CompiledProgram::compile(&p).run_batched(&mut batch, &ExecConfig::default(), None);
+        let all = batch.checksum_lanes(&outputs);
+        for (lane, sum) in all.iter().enumerate() {
+            assert_eq!(
+                sum.to_bits(),
+                batch.checksum_lane(lane, &outputs).to_bits(),
+                "lane {lane}"
+            );
+        }
+        assert!(all[0].is_nan());
+        assert!(all[1].is_finite());
+    }
+
+    #[test]
+    fn zero_lanes_is_a_no_op() {
+        let p = gemm();
+        let mut batch = BatchStore::from_program(&p, 0);
+        let results =
+            CompiledProgram::compile(&p).run_batched(&mut batch, &ExecConfig::default(), None);
+        assert!(results.is_empty());
+    }
+}

@@ -32,7 +32,7 @@ use std::collections::HashMap;
 /// are kept by name and reported only if the form is ever evaluated, so
 /// dead code behaves exactly as under the reference walker.
 #[derive(Debug, Clone)]
-struct LinForm {
+pub(crate) struct LinForm {
     constant: i64,
     terms: Box<[(u16, i64)]>,
     unbound: Option<Box<str>>,
@@ -40,7 +40,7 @@ struct LinForm {
 
 impl LinForm {
     #[inline]
-    fn eval(&self, frame: &[i64]) -> Result<i64, ExecError> {
+    pub(crate) fn eval(&self, frame: &[i64]) -> Result<i64, ExecError> {
         if let Some(s) = &self.unbound {
             return Err(ExecError::Unbound(s.to_string()));
         }
@@ -54,7 +54,7 @@ impl LinForm {
 
 /// A lowered loop bound: [`Bound`] with [`LinForm`] leaves.
 #[derive(Debug, Clone)]
-enum CBound {
+pub(crate) enum CBound {
     Lin(LinForm),
     Min(Box<CBound>, Box<CBound>),
     Max(Box<CBound>, Box<CBound>),
@@ -62,7 +62,7 @@ enum CBound {
 }
 
 impl CBound {
-    fn eval(&self, frame: &[i64]) -> Result<i64, ExecError> {
+    pub(crate) fn eval(&self, frame: &[i64]) -> Result<i64, ExecError> {
         match self {
             CBound::Lin(f) => f.eval(frame),
             CBound::Min(a, b) => Ok(a.eval(frame)?.min(b.eval(frame)?)),
@@ -75,14 +75,14 @@ impl CBound {
 /// A lowered access: interned array id plus one linear form per
 /// subscript dimension.
 #[derive(Debug, Clone)]
-struct CAccess {
-    array: u32,
-    dims: Box<[LinForm]>,
+pub(crate) struct CAccess {
+    pub(crate) array: u32,
+    pub(crate) dims: Box<[LinForm]>,
 }
 
 /// One postfix instruction of a statement's RHS stream.
 #[derive(Debug, Clone)]
-enum Op {
+pub(crate) enum Op {
     /// Push a literal (or compile-time-folded parameter) value.
     Const(f64),
     /// Push the current value of a loop iterator.
@@ -100,33 +100,33 @@ enum Op {
 }
 
 #[derive(Debug, Clone)]
-struct CStmt {
-    id: usize,
+pub(crate) struct CStmt {
+    pub(crate) id: usize,
     /// Range into [`CompiledProgram::ops`].
-    ops: (u32, u32),
+    pub(crate) ops: (u32, u32),
     /// Index into [`CompiledProgram::accesses`] for the write target.
-    lhs: u32,
-    op: AssignOp,
+    pub(crate) lhs: u32,
+    pub(crate) op: AssignOp,
     /// Precomputed `rhs.alu_cost()` for the observer.
-    alu: u64,
-    reads_target: bool,
+    pub(crate) alu: u64,
+    pub(crate) reads_target: bool,
 }
 
 #[derive(Debug, Clone)]
-struct CLoop {
-    slot: u16,
-    iter: Box<str>,
-    lb: CBound,
-    ub: CBound,
-    ub_inclusive: bool,
-    step: i64,
-    parallel: bool,
-    site: u32,
-    body: Box<[CNode]>,
+pub(crate) struct CLoop {
+    pub(crate) slot: u16,
+    pub(crate) iter: Box<str>,
+    pub(crate) lb: CBound,
+    pub(crate) ub: CBound,
+    pub(crate) ub_inclusive: bool,
+    pub(crate) step: i64,
+    pub(crate) parallel: bool,
+    pub(crate) site: u32,
+    pub(crate) body: Box<[CNode]>,
 }
 
 #[derive(Debug, Clone)]
-enum CNode {
+pub(crate) enum CNode {
     Stmt(CStmt),
     Loop(CLoop),
     If {
@@ -140,14 +140,14 @@ enum CNode {
 /// across stores, iteration orders and observers.
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
-    arrays: Vec<String>,
-    ops: Vec<Op>,
-    accesses: Vec<CAccess>,
-    syms: Vec<String>,
-    body: Vec<CNode>,
-    n_slots: usize,
-    n_ifs: usize,
-    n_loops: usize,
+    pub(crate) arrays: Vec<String>,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) accesses: Vec<CAccess>,
+    pub(crate) syms: Vec<String>,
+    pub(crate) body: Vec<CNode>,
+    pub(crate) n_slots: usize,
+    pub(crate) n_ifs: usize,
+    pub(crate) n_loops: usize,
 }
 
 struct Compiler<'p> {

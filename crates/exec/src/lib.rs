@@ -29,11 +29,13 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 mod compile;
 mod coverage;
 mod interp;
 mod store;
 
+pub use batch::BatchStore;
 pub use compile::{run, run_with_store, CompiledProgram};
 pub use coverage::Coverage;
 pub use interp::{

@@ -37,18 +37,25 @@ impl ArrayData {
 
     /// Flattens a multi-dimensional index, or `None` when out of bounds.
     pub fn flatten(&self, indexes: &[i64]) -> Option<usize> {
-        if indexes.len() != self.extents.len() {
+        flatten_extents(&self.extents, indexes)
+    }
+}
+
+/// Row-major flattening with bounds checks — the single source of truth
+/// for subscript semantics, shared by [`ArrayData::flatten`] and the
+/// batched store ([`crate::BatchStore`]).
+pub(crate) fn flatten_extents(extents: &[i64], indexes: &[i64]) -> Option<usize> {
+    if indexes.len() != extents.len() {
+        return None;
+    }
+    let mut flat: i64 = 0;
+    for (ix, ext) in indexes.iter().zip(extents) {
+        if *ix < 0 || ix >= ext {
             return None;
         }
-        let mut flat: i64 = 0;
-        for (ix, ext) in indexes.iter().zip(&self.extents) {
-            if *ix < 0 || ix >= ext {
-                return None;
-            }
-            flat = flat * ext + ix;
-        }
-        Some(flat as usize)
+        flat = flat * ext + ix;
     }
+    Some(flat as usize)
 }
 
 /// A named collection of arrays — the memory image a program runs against.

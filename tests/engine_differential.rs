@@ -1,18 +1,28 @@
 //! Differential self-test of the bytecode execution engine against the
-//! reference tree-walker.
+//! reference tree-walker, and of the batched (structure-of-arrays)
+//! engine against scalar runs.
 //!
 //! The bytecode engine ([`CompiledProgram`]) is the production execution
 //! path for every pipeline verdict; these tests pin it to the reference
 //! interpreter bit-for-bit: identical stores (to the last mantissa bit),
 //! identical `stmts_executed`, identical branch coverage, and identical
 //! errors — across all 134 suite kernels, all parallel iteration orders,
-//! the eqcheck seed inputs, and randomly synthesized programs.
+//! the eqcheck seed inputs, and randomly synthesized programs. The
+//! batched path is pinned the same way: every lane of a
+//! [`BatchStore`] run must be bit-identical to a scalar run of that
+//! input (including lanes that fault or exhaust their budget
+//! mid-batch), and batched `differential_test` verdicts must equal the
+//! scalar and reference oracles on every kernel.
 
-use looprag::looprag_eqcheck::seed_inputs;
-use looprag::looprag_exec::{
-    run_with_store_reference, ArrayStore, CompiledProgram, ExecConfig, ExecStats, ParallelOrder,
+use looprag::looprag_eqcheck::{
+    build_test_suite, differential_test, differential_test_reference, differential_test_scalar,
+    mutate_input, seed_inputs, EqCheckConfig, TestVerdict,
 };
-use looprag::looprag_ir::Program;
+use looprag::looprag_exec::{
+    run_with_store_reference, ArrayStore, BatchStore, CompiledProgram, ExecConfig, ExecStats,
+    ParallelOrder,
+};
+use looprag::looprag_ir::{InitKind, Program};
 use looprag::looprag_suites::all_benchmarks;
 use looprag::looprag_synth::{generate_example, LoopParams};
 use looprag::looprag_transform::{parallelize, scaled_clone};
@@ -130,6 +140,158 @@ fn parallelized_kernels_match_reference_under_all_orders() {
     );
 }
 
+/// Runs `p` batched over the given lanes and asserts every lane is
+/// bit-identical (outcome and store) to a scalar run of that input with
+/// that lane's budget.
+fn assert_batch_matches_scalar(
+    p: &Program,
+    specs: &[Vec<(String, InitKind)>],
+    order: ParallelOrder,
+    budgets: &[u64],
+    ctx: &str,
+) {
+    let compiled = CompiledProgram::compile(p);
+    let mut batch = BatchStore::from_program(p, specs.len());
+    for (lane, spec) in specs.iter().enumerate() {
+        for (name, init) in spec {
+            batch.fill_lane(lane, name, init);
+        }
+    }
+    let bcfg = ExecConfig {
+        stmt_budget: u64::MAX,
+        parallel_order: order,
+    };
+    let results = compiled.run_batched(&mut batch, &bcfg, Some(budgets));
+    for (lane, spec) in specs.iter().enumerate() {
+        let mut store = ArrayStore::from_program(p);
+        for (name, init) in spec {
+            if let Some(arr) = store.get_mut(name) {
+                arr.fill(init);
+            }
+        }
+        let scfg = ExecConfig {
+            stmt_budget: budgets[lane],
+            parallel_order: order,
+        };
+        let scalar = compiled.run_with_store(&mut store, &scfg, None);
+        assert_eq!(
+            scalar, results[lane],
+            "{ctx} lane {lane}: batched outcome diverges from scalar"
+        );
+        assert_stores_bit_identical(
+            &batch.lane_store(lane),
+            &store,
+            &format!("{ctx} lane {lane}"),
+        );
+    }
+}
+
+/// The batched engine over every suite kernel: the eqcheck seed inputs
+/// run as lanes, under all three iteration orders, and every lane must
+/// be bit-identical to the scalar run of that input.
+#[test]
+fn batched_lanes_match_scalar_on_all_suite_kernels() {
+    let benchmarks = all_benchmarks();
+    assert!(
+        benchmarks.len() >= 130,
+        "suite shrank to {}",
+        benchmarks.len()
+    );
+    for b in &benchmarks {
+        let p = scaled_clone(&b.program(), 10);
+        let specs = seed_inputs(&p);
+        let budgets = vec![5_000_000u64; specs.len()];
+        for order in ORDERS {
+            let ctx = format!("{} order {order:?}", b.name);
+            assert_batch_matches_scalar(&p, &specs, order, &budgets, &ctx);
+        }
+    }
+}
+
+/// The batched `differential_test` against its two oracles on every
+/// suite kernel: the per-input scalar engine and the reference
+/// tree-walker must reach bit-identical verdicts, for both a passing
+/// candidate (the kernel itself) and a force-parallelized one (which
+/// mixes `Pass` with `IncorrectAnswer` across the permuted orders).
+#[test]
+fn batched_difftest_verdicts_match_oracles_on_all_suite_kernels() {
+    let cfg = EqCheckConfig {
+        stmt_budget: 5_000_000,
+        ..Default::default()
+    };
+    for b in &all_benchmarks() {
+        let p = b.program();
+        let suite = build_test_suite(&p, &cfg);
+        let mut candidates = vec![p.clone()];
+        if let Ok(par) = parallelize(&p, &[0]) {
+            candidates.push(par);
+        }
+        for (k, cand) in candidates.iter().enumerate() {
+            let batched = differential_test(&p, cand, &suite, &cfg);
+            let scalar = differential_test_scalar(&p, cand, &suite, &cfg);
+            let reference = differential_test_reference(&p, cand, &suite, &cfg);
+            assert_eq!(
+                batched, scalar,
+                "{} candidate {k}: batched vs scalar verdicts diverge",
+                b.name
+            );
+            assert_eq!(
+                batched, reference,
+                "{} candidate {k}: batched vs reference verdicts diverge",
+                b.name
+            );
+        }
+    }
+}
+
+/// Regression (vacuous Pass): a ground truth faulting on every suite
+/// input must yield a distinguishable failure, not `Pass`, through the
+/// public batched entry point.
+#[test]
+fn ground_truth_failure_is_a_runtime_error_not_pass() {
+    let ok = looprag::looprag_ir::compile(
+        "param N = 24;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i] = A[i] + 1.0;\n#pragma endscop\n",
+        "ok",
+    )
+    .unwrap();
+    let oob = looprag::looprag_ir::compile(
+        "param N = 24;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i + 1] = A[i] + 1.0;\n#pragma endscop\n",
+        "oob",
+    )
+    .unwrap();
+    let cfg = EqCheckConfig::default();
+    let suite = build_test_suite(&ok, &cfg);
+    for verdict in [
+        differential_test(&oob, &ok, &suite, &cfg),
+        differential_test_scalar(&oob, &ok, &suite, &cfg),
+    ] {
+        assert!(
+            matches!(
+                verdict,
+                TestVerdict::RuntimeError { ref message } if message.contains("ground truth failed")
+            ),
+            "expected ground-truth runtime error, got {verdict:?}"
+        );
+    }
+}
+
+/// Regression (no-op mutation): with inputs whose every mutation arm
+/// must change something (index patterns always perturb), no seed may
+/// return the input unchanged — the statement arm used to draw `a == b`
+/// and swap an array with itself.
+#[test]
+fn mutations_never_return_the_input_unchanged() {
+    let spec: Vec<(String, InitKind)> = vec![
+        ("A".into(), InitKind::IndexPattern { a: 7, b: 1, m: 97 }),
+        ("B".into(), InitKind::IndexPattern { a: 3, b: 2, m: 51 }),
+    ];
+    for seed in 0..500u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mutated = mutate_input(&spec, &mut rng);
+        assert_ne!(mutated, spec, "seed {seed} produced an identity mutation");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -165,6 +327,33 @@ proptest! {
             };
             let ctx = format!("seed {seed} budget {budget}");
             let _ = assert_engines_agree(&small, |_| {}, &cfg, &ctx);
+        }
+    }
+
+    /// Synthesized programs run batched with *heterogeneous* per-lane
+    /// budgets: some lanes exhaust their budget (or hit a fault) and
+    /// drop out mid-batch while others run to completion; every lane
+    /// must still match its scalar run bit-for-bit, frozen partial
+    /// stores included.
+    #[test]
+    fn batched_lane_dropout_matches_scalar(seed in 0u64..10_000, budget in 1u64..400) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = LoopParams::sample(&mut rng);
+        if let Some(p) = generate_example(&params, 0, &mut rng) {
+            let small = scaled_clone(&p, 8);
+            let specs = seed_inputs(&small);
+            // One tiny budget (dies almost immediately), one mid-range,
+            // one that tracks the sampled value, one effectively
+            // unlimited — exercising dropout at different batch depths.
+            let budgets: Vec<u64> = [1, budget, budget * 3, u64::MAX]
+                .into_iter()
+                .cycle()
+                .take(specs.len())
+                .collect();
+            for order in ORDERS {
+                let ctx = format!("seed {seed} budget {budget} order {order:?}");
+                assert_batch_matches_scalar(&small, &specs, order, &budgets, &ctx);
+            }
         }
     }
 }
