@@ -9,7 +9,9 @@ use looprag_eqcheck::{
 };
 use looprag_exec::{run, run_with_store_reference, ArrayStore, CompiledProgram, ExecConfig};
 use looprag_ir::{compile, parse_program, print_program};
-use looprag_machine::{estimate_cost, CacheGeometry, CacheLevel, MachineConfig};
+use looprag_machine::{
+    estimate_cost, estimate_cost_reference, CacheGeometry, CacheLevel, CostEngine, MachineConfig,
+};
 use looprag_polyopt::{optimize, PolyOptions};
 use looprag_retrieval::{KnowledgeBase, RetrievalMode, Retriever};
 use looprag_suites::find;
@@ -112,6 +114,22 @@ fn bench_machine(c: &mut Criterion) {
     let stream = find("vpv").unwrap().program();
     c.bench_function("cost_model_vpv", |b| {
         b.iter(|| estimate_cost(&stream, &cfg).unwrap())
+    });
+    // CostEngine vs reference on a perfectly nested gemm (deep nest,
+    // body-invariant outer loops — the shape the steady-state memoizer
+    // and the inlined walker are tuned for). A fresh engine per
+    // iteration keeps the cost cache out of the measurement; the
+    // comparison is pure walker vs walker.
+    let gemm = compile(
+        "param N = 48;\narray C[N][N];\narray A[N][N];\narray B[N][N];\nout C;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= N - 1; j++) for (k = 0; k <= N - 1; k++) C[i][j] += A[i][k] * B[k][j];\n#pragma endscop\n",
+        "gemm48",
+    )
+    .unwrap();
+    c.bench_function("cost_estimate_engine_gemm", |b| {
+        b.iter(|| CostEngine::new().estimate(&gemm, &cfg).unwrap())
+    });
+    c.bench_function("cost_estimate_reference_gemm", |b| {
+        b.iter(|| estimate_cost_reference(&gemm, &cfg).unwrap())
     });
     c.bench_function("cache_sim_1m_accesses", |b| {
         b.iter_batched(

@@ -12,8 +12,8 @@
 //! be compared against the last committed snapshots.
 //!
 //! Usage: `perf_snapshot [--quick] [--retrieval] [--search]
-//! [--difftest-batched] [--out PATH] [--retrieval-out PATH]
-//! [--search-out PATH]`
+//! [--difftest-batched] [--costmodel] [--out PATH]
+//! [--retrieval-out PATH] [--search-out PATH]`
 //!
 //! `--retrieval` runs only the retrieval section; `--search` runs only
 //! the search section (the legality-guided beam engine pinned against
@@ -24,7 +24,13 @@
 //! bit-for-bit against the scalar and reference oracles — hard-asserted
 //! even in quick mode — then the per-candidate `PreparedTarget` verdict
 //! timed batched vs per-input scalar, gated at >= 3x in full mode; its
-//! fields land in `BENCH_interp.json` on full runs). `--quick` shrinks
+//! fields land in `BENCH_interp.json` on full runs); `--costmodel` runs
+//! only the cost-model section (the memoizing `CostEngine` pinned
+//! bit-for-bit against `estimate_cost_reference` over a strided kernel
+//! sweep, including budget-exhaustion cases — hard-asserted even in
+//! quick mode — then engine vs reference timed on the campaign scoring
+//! shape, gated at >= 3x in full mode; its fields also land in
+//! `BENCH_interp.json` on full runs). `--quick` shrinks
 //! sample counts, corpus size and kernel strides so CI can keep the bin
 //! from bit-rotting in seconds; the committed snapshots should come
 //! from full (non-quick) runs. In full mode the bin exits non-zero if
@@ -45,7 +51,10 @@ use looprag_eqcheck::{
 use looprag_exec::{run_with_store_reference, ArrayStore, CompiledProgram, ExecConfig};
 use looprag_ir::Program;
 use looprag_llm::LlmProfile;
-use looprag_machine::{measure_locality, CacheObserver, MachineConfig};
+use looprag_machine::{
+    estimate_cost_reference, measure_locality, CacheObserver, CostEngine, CostError, CostReport,
+    MachineConfig,
+};
 use looprag_retrieval::{KnowledgeBase, RetrievalMode, Retriever};
 use looprag_search::{search, search_reference, SearchConfig, SearchStats};
 use looprag_suites::all_benchmarks;
@@ -404,6 +413,184 @@ fn gate_difftest_batched(quick: bool, speedup: f64) {
     }
 }
 
+/// The cost-model section's measured numbers.
+struct CostModel {
+    kernels: usize,
+    pinned: usize,
+    arms: usize,
+    estimates: usize,
+    engine_ms: f64,
+    reference_ms: f64,
+    speedup: f64,
+    cache_hits: u64,
+    steady_loops: u64,
+    iters_replayed: u64,
+}
+
+/// Renders every bit of a cost result — f64s via their exact bit
+/// patterns — so string equality is bitwise equality of the reports.
+fn cost_bits(r: &Result<CostReport, CostError>) -> String {
+    match r {
+        Ok(r) => format!(
+            "{:016x}|{:016x},{:016x},{:016x},{:016x},{:016x}|{}|{}|{}|{}|{:?}|{}",
+            r.cycles.to_bits(),
+            r.breakdown.alu.to_bits(),
+            r.breakdown.l1.to_bits(),
+            r.breakdown.l2.to_bits(),
+            r.breakdown.mem.to_bits(),
+            r.breakdown.ovh.to_bits(),
+            r.instances,
+            r.l1_hits,
+            r.l2_hits,
+            r.mem_accesses,
+            r.vectorized,
+            r.parallel_entries,
+        ),
+        Err(e) => format!("err:{e:?}"),
+    }
+}
+
+/// The cost-model section: pins the memoizing `CostEngine` bit-for-bit
+/// against `estimate_cost_reference` over a strided kernel sweep —
+/// including `InstanceBudget` exhaustion under a starved budget —
+/// (hard-asserted even in quick mode, matching the other determinism
+/// pins), then times the campaign scoring shape on both paths: several
+/// arms each scoring the original, a parallelized and a tiled variant
+/// of every kernel. The engine shares one cross-stage cache across
+/// arms (repeat queries are hits, the parallelized variant is scored
+/// through `estimate_with_deps`); the reference re-analyzes and
+/// re-simulates every call. Returns the gated speedup and the cache /
+/// steady-state counters.
+fn costmodel_snapshot(quick: bool) -> CostModel {
+    let stride = if quick { 16 } else { 4 };
+    let arms = 3usize;
+    let kernels: Vec<_> = all_benchmarks()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % stride == 0)
+        .map(|(_, b)| b)
+        .collect();
+    let cfg = MachineConfig::gcc();
+    let mut starved = MachineConfig::gcc();
+    starved.instance_budget = 20_000;
+
+    eprintln!(
+        "[perf_snapshot] costmodel: pin over {} kernels (stride {stride})...",
+        kernels.len()
+    );
+    let mut pinned = 0usize;
+    let pin_engine = CostEngine::new();
+    for b in &kernels {
+        let p = b.program();
+        for machine in [&cfg, &starved] {
+            let reference = estimate_cost_reference(&p, machine);
+            let fresh = pin_engine.estimate(&p, machine);
+            assert_eq!(
+                cost_bits(&fresh),
+                cost_bits(&reference),
+                "cost engine diverged from the reference model on {}",
+                b.name
+            );
+            // The cached answer must carry the exact same bits.
+            let hit = pin_engine.estimate(&p, machine);
+            assert_eq!(
+                cost_bits(&hit),
+                cost_bits(&reference),
+                "cached cost diverged from the reference model on {}",
+                b.name
+            );
+            pinned += 1;
+        }
+    }
+
+    // Throughput: the campaign scoring shape. Each arm scores every
+    // kernel's original, parallelized and tiled forms — the pipeline,
+    // search and baseline arms all ranking the same candidates.
+    eprintln!(
+        "[perf_snapshot] costmodel: {arms} arms x {} kernels x 3 variants...",
+        kernels.len()
+    );
+    let variants: Vec<(Program, Option<Program>, Option<Program>)> = kernels
+        .iter()
+        .map(|b| {
+            let p = b.program();
+            let par = parallelize(&p, &[0]).ok();
+            let tiled = tile_band(&p, &[0], 2, 8).ok();
+            (p, par, tiled)
+        })
+        .collect();
+    let mut estimates = 0usize;
+    let engine = CostEngine::new();
+    let t0 = Instant::now();
+    for _arm in 0..arms {
+        for (p, par, tiled) in &variants {
+            let (_, deps) = engine.estimate_full(p, &cfg);
+            estimates += 1;
+            if let Some(par) = par {
+                // Parallel marks don't change dependences: the original's
+                // analysis carries over.
+                let _ = std::hint::black_box(engine.estimate_with_deps(par, &cfg, deps));
+                estimates += 1;
+            }
+            if let Some(tiled) = tiled {
+                let _ = std::hint::black_box(engine.estimate(tiled, &cfg));
+                estimates += 1;
+            }
+        }
+    }
+    let engine_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    for _arm in 0..arms {
+        for (p, par, tiled) in &variants {
+            let _ = std::hint::black_box(estimate_cost_reference(p, &cfg));
+            if let Some(par) = par {
+                let _ = std::hint::black_box(estimate_cost_reference(par, &cfg));
+            }
+            if let Some(tiled) = tiled {
+                let _ = std::hint::black_box(estimate_cost_reference(tiled, &cfg));
+            }
+        }
+    }
+    let reference_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let speedup = reference_ms / engine_ms.max(1e-9);
+    let stats = engine.stats();
+    eprintln!(
+        "[perf_snapshot] costmodel: {pinned} estimates pinned; engine {speedup:.2}x vs reference \
+         over {estimates} estimates ({} cache hits, {} steady loops, {} iterations replayed)",
+        stats.cost_hits, stats.steady_loops, stats.iters_replayed
+    );
+    CostModel {
+        kernels: kernels.len(),
+        pinned,
+        arms,
+        estimates,
+        engine_ms,
+        reference_ms,
+        speedup,
+        cache_hits: stats.cost_hits,
+        steady_loops: stats.steady_loops,
+        iters_replayed: stats.iters_replayed,
+    }
+}
+
+/// Applies the cost-model gate: the memoizing engine must beat the
+/// reference model by at least 3x single-threaded on the campaign
+/// scoring shape. Quick mode only warns (the bitwise pin in the section
+/// stays hard either way).
+fn gate_costmodel(quick: bool, speedup: f64) {
+    if speedup < 3.0 {
+        if quick {
+            eprintln!(
+                "[perf_snapshot] WARNING: cost-engine speedup {speedup:.2}x below 3x \
+                 (quick mode, not gating)"
+            );
+        } else {
+            eprintln!("[perf_snapshot] FAIL: cost-engine speedup {speedup:.2}x below 3x");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Applies the search gate: the pruned+memoized engine must beat the
 /// naive reference searcher by at least 3x single-threaded on the same
 /// frontier. Quick mode only warns.
@@ -427,6 +614,7 @@ fn main() {
     let retrieval_only = args.iter().any(|a| a == "--retrieval");
     let search_only = args.iter().any(|a| a == "--search");
     let difftest_batched_only = args.iter().any(|a| a == "--difftest-batched");
+    let costmodel_only = args.iter().any(|a| a == "--costmodel");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -448,7 +636,7 @@ fn main() {
     };
     // Section flags compose: `--retrieval --search` runs both sections
     // (each with its gate) and nothing else.
-    if retrieval_only || search_only || difftest_batched_only {
+    if retrieval_only || search_only || difftest_batched_only || costmodel_only {
         if retrieval_only {
             let kb_speedup = retrieval_snapshot(quick, &opts, &retrieval_out);
             gate_retrieval(quick, kb_speedup);
@@ -465,6 +653,24 @@ fn main() {
             );
             println!("{json}");
             gate_difftest_batched(quick, d.speedup);
+        }
+        if costmodel_only {
+            let c = costmodel_snapshot(quick);
+            let json = format!(
+                "{{\n  \"quick\": {quick},\n  \"costmodel_kernels\": {},\n  \"costmodel_pinned\": {},\n  \"costmodel_arms\": {},\n  \"costmodel_estimates\": {},\n  \"costmodel_engine_ms\": {:.1},\n  \"costmodel_reference_ms\": {:.1},\n  \"costmodel_speedup\": {:.2},\n  \"costmodel_cache_hits\": {},\n  \"costmodel_steady_loops\": {},\n  \"costmodel_iters_replayed\": {}\n}}\n",
+                c.kernels,
+                c.pinned,
+                c.arms,
+                c.estimates,
+                c.engine_ms,
+                c.reference_ms,
+                c.speedup,
+                c.cache_hits,
+                c.steady_loops,
+                c.iters_replayed
+            );
+            println!("{json}");
+            gate_costmodel(quick, c.speedup);
         }
         return;
     }
@@ -528,6 +734,11 @@ fn main() {
     // 2b. Batched difftest: verdict pin plus batched-vs-scalar speedup
     // on the prepared-target shape.
     let batched = difftest_batched_snapshot(quick, &opts);
+
+    // 2c. Cost model: bitwise pin of the memoizing CostEngine against
+    // the reference model, plus engine-vs-reference wall time on the
+    // campaign scoring shape.
+    let costmodel = costmodel_snapshot(quick);
 
     // 3. Retriever::query over a synthesized corpus.
     eprintln!("[perf_snapshot] retriever query...");
@@ -622,8 +833,20 @@ fn main() {
         batched_ns: db_batched_ns,
         speedup: db_speedup,
     } = batched;
+    let CostModel {
+        kernels: cm_kernels,
+        pinned: cm_pinned,
+        arms: cm_arms,
+        estimates: cm_estimates,
+        engine_ms: cm_engine_ms,
+        reference_ms: cm_reference_ms,
+        speedup: cm_speedup,
+        cache_hits: cm_cache_hits,
+        steady_loops: cm_steady_loops,
+        iters_replayed: cm_iters_replayed,
+    } = costmodel;
     let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"interp_compiled_ns\": {interp_compiled_ns:.1},\n  \"interp_reference_ns\": {interp_reference_ns:.1},\n  \"interp_speedup\": {interp_speedup:.2},\n  \"compile_ns\": {compile_ns:.1},\n  \"interp_observed_ns\": {interp_observed_ns:.1},\n  \"gemm_l1_hit_rate\": {l1_rate:.4},\n  \"difftest_compiled_ns\": {difftest_compiled_ns:.1},\n  \"difftest_reference_ns\": {difftest_reference_ns:.1},\n  \"difftest_speedup\": {difftest_speedup:.2},\n  \"difftest_batched_pinned\": {db_pinned},\n  \"difftest_batched_lanes\": {db_lanes},\n  \"difftest_scalar_prepared_ns\": {db_scalar_ns:.1},\n  \"difftest_batched_prepared_ns\": {db_batched_ns:.1},\n  \"difftest_batched_speedup\": {db_speedup:.2},\n  \"retriever_query_ns\": {query_ns:.1},\n  \"suite_stride\": {stride},\n  \"suite_kernels\": {suite_kernels},\n  \"suite_wall_ms\": {suite_wall_ms:.1},\n  \"host_cores\": {host_cores},\n  \"campaign_kernels\": {campaign_n},\n  \"campaign_threads\": {campaign_threads},\n  \"campaign_wall_1t_ms\": {campaign_wall_1t_ms:.1},\n  \"campaign_wall_nt_ms\": {campaign_wall_nt_ms:.1},\n  \"campaign_speedup\": {campaign_speedup:.2}\n}}\n"
+        "{{\n  \"quick\": {quick},\n  \"interp_compiled_ns\": {interp_compiled_ns:.1},\n  \"interp_reference_ns\": {interp_reference_ns:.1},\n  \"interp_speedup\": {interp_speedup:.2},\n  \"compile_ns\": {compile_ns:.1},\n  \"interp_observed_ns\": {interp_observed_ns:.1},\n  \"gemm_l1_hit_rate\": {l1_rate:.4},\n  \"difftest_compiled_ns\": {difftest_compiled_ns:.1},\n  \"difftest_reference_ns\": {difftest_reference_ns:.1},\n  \"difftest_speedup\": {difftest_speedup:.2},\n  \"difftest_batched_pinned\": {db_pinned},\n  \"difftest_batched_lanes\": {db_lanes},\n  \"difftest_scalar_prepared_ns\": {db_scalar_ns:.1},\n  \"difftest_batched_prepared_ns\": {db_batched_ns:.1},\n  \"difftest_batched_speedup\": {db_speedup:.2},\n  \"costmodel_kernels\": {cm_kernels},\n  \"costmodel_pinned\": {cm_pinned},\n  \"costmodel_arms\": {cm_arms},\n  \"costmodel_estimates\": {cm_estimates},\n  \"costmodel_engine_ms\": {cm_engine_ms:.1},\n  \"costmodel_reference_ms\": {cm_reference_ms:.1},\n  \"costmodel_speedup\": {cm_speedup:.2},\n  \"costmodel_cache_hits\": {cm_cache_hits},\n  \"costmodel_steady_loops\": {cm_steady_loops},\n  \"costmodel_iters_replayed\": {cm_iters_replayed},\n  \"retriever_query_ns\": {query_ns:.1},\n  \"suite_stride\": {stride},\n  \"suite_kernels\": {suite_kernels},\n  \"suite_wall_ms\": {suite_wall_ms:.1},\n  \"host_cores\": {host_cores},\n  \"campaign_kernels\": {campaign_n},\n  \"campaign_threads\": {campaign_threads},\n  \"campaign_wall_1t_ms\": {campaign_wall_1t_ms:.1},\n  \"campaign_wall_nt_ms\": {campaign_wall_nt_ms:.1},\n  \"campaign_speedup\": {campaign_speedup:.2}\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("write snapshot");
     println!("{json}");
@@ -649,6 +872,9 @@ fn main() {
     // Gate 1b: batching the suite must pay for itself by at least 3x
     // over the per-input compiled path on the prepared-target shape.
     gate_difftest_batched(quick, db_speedup);
+    // Gate 1c: the memoizing cost engine must beat the reference model
+    // by at least 3x on the campaign scoring shape.
+    gate_costmodel(quick, cm_speedup);
     // Gate 2: the campaign pool must pay for itself by at least 2x —
     // but only where the hardware can physically deliver it (a
     // single-core host runs the pool at ~1x by construction).

@@ -3,14 +3,6 @@
 
 use looprag_ir::Program;
 use looprag_machine::{estimate_cost, CostReport, MachineConfig};
-use std::cell::RefCell;
-use std::collections::HashMap;
-
-thread_local! {
-    /// Per-thread memo of candidate cost estimates, keyed by printed
-    /// text; candidate batches contain many duplicates.
-    static COST_CACHE: RefCell<HashMap<String, Option<f64>>> = RefCell::new(HashMap::new());
-}
 
 /// Speedup threshold beyond which a measurement is excluded from averages
 /// as an outlier, per the paper's metric definition.
@@ -21,26 +13,18 @@ pub const OUTLIER_SPEEDUP: f64 = 600.0;
 /// Returns 0 when the candidate's cost estimation exhausts its budget
 /// (execution timeout) or the candidate is slower than
 /// `orig * slow_factor` (the inefficiency wall-clock limit).
+///
+/// Candidate batches contain many duplicates; `estimate_cost` answers
+/// those from the process-wide `CostEngine` cache (shared with the beam
+/// search and every campaign arm), which replaced the per-thread memo
+/// that used to live here.
 pub fn candidate_speedup(
     orig: &CostReport,
     candidate: &Program,
     machine: &MachineConfig,
     slow_factor: f64,
 ) -> f64 {
-    let key = format!("{}::{}", machine.name, looprag_ir::print_program(candidate));
-    let cycles = COST_CACHE.with(|c| {
-        if let Some(hit) = c.borrow().get(&key) {
-            return *hit;
-        }
-        let cycles = estimate_cost(candidate, machine).ok().map(|r| r.cycles);
-        let mut map = c.borrow_mut();
-        if map.len() > 4096 {
-            map.clear();
-        }
-        map.insert(key.clone(), cycles);
-        cycles
-    });
-    match cycles {
+    match estimate_cost(candidate, machine).ok().map(|r| r.cycles) {
         None => 0.0,
         Some(cycles) => {
             if cycles > orig.cycles * slow_factor || cycles <= 0.0 {

@@ -520,9 +520,12 @@ impl LoopRag {
     }
 
     /// Stage 3: differential testing and cost estimation — the dominant
-    /// cost — on the worker pool. Budget decisions happen sequentially
-    /// in submission order *before* the fan-out, so which candidates get
-    /// tested is identical at any thread count.
+    /// cost — on the worker pool. Cost estimates go through the shared
+    /// `CostEngine` (via [`candidate_speedup`]), so duplicate candidates
+    /// across batches, rounds and campaign arms are cache hits. Budget
+    /// decisions happen sequentially in submission order *before* the
+    /// fan-out, so which candidates get tested is identical at any
+    /// thread count.
     fn test_batch(
         &self,
         prepared: &PreparedTarget,
@@ -612,8 +615,10 @@ impl LoopRag {
         // compiled (candidates stop recompiling it), the ground-truth
         // stores for all suite inputs from one batched sweep (candidates
         // stop re-running the original), and the baseline cost for
-        // speedup ranking. Each candidate verdict is then a batched
-        // lane sweep against the cached expected stores.
+        // speedup ranking (engine-backed: a repeat kernel, or one a
+        // search arm already scored, is a cache hit). Each candidate
+        // verdict is then a batched lane sweep against the cached
+        // expected stores.
         let prepared = PreparedTarget::prepare(target, &self.config.eqcheck);
         let orig_cost = estimate_cost(target, &self.config.machine)
             .unwrap_or_else(|_| CostReport::unreachable());

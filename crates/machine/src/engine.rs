@@ -1,0 +1,785 @@
+//! The memoizing cost engine: fast cost estimation, bit-for-bit pinned
+//! to [`estimate_cost_reference`](crate::estimate_cost_reference).
+//!
+//! Three layers make estimates cheap without changing a single bit of
+//! any result:
+//!
+//! 1. **Steady-state memoization** inside the cache simulator. At the
+//!    iteration boundaries of *body-invariant* loops (loops whose body
+//!    never references the loop's own iterator — outer time loops of
+//!    stencils), the walker fingerprints the full simulator state (tag
+//!    arrays + LRU order). When a state recurs the remaining iterations
+//!    are provably periodic: the walker stops simulating accesses and
+//!    instead replays the recorded per-iteration `f64` breakdown
+//!    additions in the exact naive sequence and advances the integer
+//!    counters by periodic prefix sums, so totals, hit counters and
+//!    `InstanceBudget` exhaustion points are bitwise identical to the
+//!    naive run.
+//! 2. **Dependence-analysis reuse**: [`estimate_cost_with_deps`] lets
+//!    callers that already hold a [`DependenceSet`] (the beam search
+//!    Arc-shares them across nodes) skip the per-estimate analysis; a
+//!    shared deps cache covers everyone else. The cost model's analysis
+//!    configuration is identical to the search's `analyze_for_search`,
+//!    which is what makes the sets interchangeable.
+//! 3. **Cross-stage cost caching**: results are memoized under
+//!    `(MachineConfig::fingerprint(), printed program)`, shared by the
+//!    pipeline's candidate batches, the search node table and campaign
+//!    arms. Full keys — not hashes of them — are stored, so a hash
+//!    collision can never alias two programs. The cache is thread-safe
+//!    behind a mutex and deterministic by construction: a cached result
+//!    is bitwise equal to a fresh one, so hit/miss timing (and pool
+//!    scheduling) cannot change any outcome.
+
+use crate::cache::HierarchyState;
+use crate::model::{
+    cost_analysis, lower_for_cost, CostError, CostReport, CostVec, LNode, MachineConfig, Model,
+};
+use looprag_dependence::DependenceSet;
+use looprag_ir::{print_program, Program};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::Hasher;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Minimum trip count before the steady-state machinery engages on a
+/// body-invariant loop (shorter loops cannot amortize the snapshots).
+const MIN_STEADY_TRIPS: u64 = 4;
+
+/// Maximum iteration boundaries fingerprinted per loop execution. If no
+/// recurrence appears within this window the loop runs naively, so the
+/// worst-case overhead per execution is bounded and small.
+const MAX_BOUNDARIES: usize = 64;
+
+/// Executions of one loop node allowed to complete without a recurrence
+/// before the walker stops fingerprinting that node. A loop whose
+/// working set never settles (or that is executed thousands of times by
+/// an outer nest) would otherwise pay the snapshot overhead on every
+/// execution for nothing.
+const STEADY_FAILURE_CAP: u32 = 2;
+
+/// Cost-cache capacity before a wholesale clear (the metrics-cache
+/// pattern: bounded memory, no eviction bookkeeping on the hot path).
+const COST_CACHE_CAP: usize = 8192;
+
+/// Dependence-cache capacity before a wholesale clear.
+const DEPS_CACHE_CAP: usize = 2048;
+
+// ---------------------------------------------------------------------
+// The memoizing walker.
+// ---------------------------------------------------------------------
+
+/// Snapshot taken at one iteration boundary of a candidate loop: the
+/// simulator state plus every integer counter, so both the recurrence
+/// check and the periodic counter advance are exact.
+struct Boundary {
+    tag_hash: u64,
+    state: HierarchyState,
+    instances: u64,
+    l1_hits: u64,
+    l2_hits: u64,
+    mem_accesses: u64,
+    parallel_entries: u64,
+}
+
+/// The engine's walker: the reference [`Model`] plus steady-state
+/// memoization on body-invariant loops. Every arithmetic operation on
+/// the cost vectors happens in the exact order the reference performs
+/// it — replay *re-adds* the recorded per-iteration vectors rather than
+/// multiplying, because float addition does not distribute.
+struct MemoModel<'a> {
+    m: Model<'a>,
+    steady_loops: u64,
+    iters_replayed: u64,
+    /// Per loop node (keyed by its address in the lowered tree, which
+    /// is stable for the walk's lifetime): executions that completed
+    /// without a recurrence. At [`STEADY_FAILURE_CAP`] the node runs
+    /// naively with zero snapshot overhead forever after.
+    steady_failures: HashMap<usize, u32>,
+}
+
+impl<'a> MemoModel<'a> {
+    fn new(cfg: &'a MachineConfig) -> MemoModel<'a> {
+        MemoModel {
+            m: Model::new(cfg),
+            steady_loops: 0,
+            iters_replayed: 0,
+            steady_failures: HashMap::new(),
+        }
+    }
+
+    fn visit_nodes(&mut self, nodes: &[LNode]) -> Result<CostVec, CostError> {
+        let mut cost = CostVec::default();
+        for n in nodes {
+            cost.add(self.visit_node(n)?);
+        }
+        Ok(cost)
+    }
+
+    fn visit_node(&mut self, n: &LNode) -> Result<CostVec, CostError> {
+        match n {
+            // Statements are the hot leaves; the body is a verbatim
+            // copy of the reference walker's (an extra delegation call
+            // here costs ~30% on gemm-class kernels).
+            LNode::Stmt { alu, accesses } => {
+                if self.m.instances >= self.m.cfg.instance_budget {
+                    return Err(CostError::InstanceBudget);
+                }
+                self.m.instances += 1;
+                let mut cost = CostVec::default();
+                cost.alu += alu;
+                for a in accesses {
+                    self.m.charge_access(a, &mut cost);
+                }
+                Ok(cost)
+            }
+            LNode::If { conds, then } => {
+                let mut cost = CostVec::default();
+                cost.alu += conds.len() as f64;
+                let taken = conds
+                    .iter()
+                    .all(|(l, op, r)| op.eval(l.eval(&self.m.iters), r.eval(&self.m.iters)));
+                if taken {
+                    cost.add(self.visit_nodes(then)?);
+                }
+                Ok(cost)
+            }
+            LNode::Loop {
+                slot,
+                lb,
+                ub,
+                inclusive,
+                step,
+                parallel,
+                vec_factor,
+                header_ovh,
+                body_invariant,
+                body,
+            } => {
+                let lbv = lb.eval(&self.m.iters);
+                let mut ubv = ub.eval(&self.m.iters);
+                if !inclusive {
+                    ubv -= 1;
+                }
+                let mut cost = CostVec::default();
+                cost.ovh += header_ovh;
+                if ubv < lbv {
+                    return Ok(cost);
+                }
+                let trips = ((ubv - lbv) / step + 1) as u64;
+                let parallel_here = *parallel && !self.m.in_parallel;
+                if parallel_here {
+                    self.m.in_parallel = true;
+                    self.m.parallel_entries += 1;
+                }
+                while self.m.iters.len() <= *slot {
+                    self.m.iters.push(0);
+                }
+                let mut body_cost = CostVec::default();
+                let node_key = n as *const LNode as usize;
+                let res = if *body_invariant
+                    && trips >= MIN_STEADY_TRIPS
+                    && self.steady_failures.get(&node_key).copied().unwrap_or(0)
+                        < STEADY_FAILURE_CAP
+                {
+                    self.run_loop_steady(
+                        node_key,
+                        *slot,
+                        lbv,
+                        ubv,
+                        *step,
+                        trips,
+                        *header_ovh,
+                        body,
+                        &mut body_cost,
+                    )
+                } else {
+                    self.run_loop_naive(*slot, lbv, ubv, *step, *header_ovh, body, &mut body_cost)
+                };
+                if parallel_here {
+                    self.m.in_parallel = false;
+                }
+                res?;
+                if let Some(factor) = vec_factor {
+                    body_cost.alu /= factor;
+                    body_cost.l1 /= factor;
+                    body_cost.ovh /= factor;
+                }
+                if parallel_here {
+                    let ideal = (self.m.cfg.threads as f64).min(trips as f64);
+                    let p_eff = (ideal * self.m.cfg.parallel_efficiency).max(1.0);
+                    body_cost.scale_all(1.0 / p_eff);
+                    body_cost.ovh += self.m.cfg.parallel_spawn_cycles as f64;
+                }
+                cost.add(body_cost);
+                Ok(cost)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the loop-header tuple
+    fn run_loop_naive(
+        &mut self,
+        slot: usize,
+        lbv: i64,
+        ubv: i64,
+        step: i64,
+        header_ovh: f64,
+        body: &[LNode],
+        body_cost: &mut CostVec,
+    ) -> Result<(), CostError> {
+        let mut v = lbv;
+        while v <= ubv {
+            self.m.iters[slot] = v;
+            body_cost.ovh += header_ovh;
+            body_cost.add(self.visit_nodes(body)?);
+            v += step;
+        }
+        Ok(())
+    }
+
+    /// The steady-state path for a body-invariant loop. Simulates
+    /// iterations naively while fingerprinting the simulator state at
+    /// each boundary; on a recurrence, fast-forwards the rest.
+    ///
+    /// Soundness: the body never references this loop's iterator slot,
+    /// so every iteration issues the same address stream over whatever
+    /// cache state it starts from. Simulator state at a boundary is
+    /// therefore a complete summary of the future — if the state at
+    /// boundary `k` equals the state at an earlier boundary `u`, the
+    /// per-iteration cost vectors and counter deltas repeat with period
+    /// `P = k - u` forever after.
+    #[allow(clippy::too_many_arguments)] // mirrors the loop-header tuple
+    fn run_loop_steady(
+        &mut self,
+        node_key: usize,
+        slot: usize,
+        lbv: i64,
+        ubv: i64,
+        step: i64,
+        trips: u64,
+        header_ovh: f64,
+        body: &[LNode],
+        body_cost: &mut CostVec,
+    ) -> Result<(), CostError> {
+        let mut boundaries: Vec<Boundary> = Vec::new();
+        let mut deltas: Vec<CostVec> = Vec::new();
+        let mut v = lbv;
+        let mut i: u64 = 0;
+        while v <= ubv {
+            if (i as usize) < MAX_BOUNDARIES {
+                let mut hasher = DefaultHasher::new();
+                self.m.caches.hash_tags(&mut hasher);
+                let h = hasher.finish();
+                // Hash prefilter, then a full tag comparison: a hash
+                // collision costs time, never correctness.
+                if let Some(u) = boundaries
+                    .iter()
+                    .position(|b| b.tag_hash == h && self.m.caches.tags_eq(&b.state))
+                {
+                    return self.fast_forward(
+                        slot,
+                        lbv,
+                        step,
+                        trips,
+                        i,
+                        u,
+                        header_ovh,
+                        &boundaries,
+                        &deltas,
+                        body_cost,
+                    );
+                }
+                boundaries.push(Boundary {
+                    tag_hash: h,
+                    state: self.m.caches.state(),
+                    instances: self.m.instances,
+                    l1_hits: self.m.l1_hits,
+                    l2_hits: self.m.l2_hits,
+                    mem_accesses: self.m.mem_accesses,
+                    parallel_entries: self.m.parallel_entries,
+                });
+            }
+            self.m.iters[slot] = v;
+            body_cost.ovh += header_ovh;
+            let c = self.visit_nodes(body)?;
+            body_cost.add(c);
+            if (i as usize) < MAX_BOUNDARIES {
+                deltas.push(c);
+            }
+            v += step;
+            i += 1;
+        }
+        // Completed with no recurrence: charge a strike so a loop whose
+        // state never settles stops paying for snapshots.
+        *self.steady_failures.entry(node_key).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Replays the remaining `trips - k` iterations of a loop whose
+    /// state at boundary `k` recurred from boundary `u`.
+    #[allow(clippy::too_many_arguments)] // internal continuation of run_loop_steady
+    fn fast_forward(
+        &mut self,
+        slot: usize,
+        lbv: i64,
+        step: i64,
+        trips: u64,
+        k: u64,
+        u: usize,
+        header_ovh: f64,
+        boundaries: &[Boundary],
+        deltas: &[CostVec],
+        body_cost: &mut CostVec,
+    ) -> Result<(), CostError> {
+        let period = k as usize - u;
+        let remaining = trips - k;
+        let q = remaining / period as u64;
+        let r = (remaining % period as u64) as usize;
+        let b_u = &boundaries[u];
+        let b_ur = &boundaries[u + r];
+        // Any counter C recorded at the boundaries advances by periodic
+        // prefix sums: with the live value C(k) and the snapshots,
+        // C(final) = C(k) + q*(C(k) - C(u)) + (C(u+r) - C(u)).
+        let advance = |cur: u64, at_u: u64, at_ur: u64| -> u128 {
+            cur as u128 + q as u128 * (cur - at_u) as u128 + (at_ur - at_u) as u128
+        };
+
+        // Budget check first. The naive walker errors out of iteration
+        // `m` exactly when its statement-visit count would push
+        // `instances` past the budget; deltas are non-negative, so some
+        // remaining iteration errors iff the final total exceeds the
+        // budget. On error the whole estimate returns
+        // `Err(InstanceBudget)` and every accumulated number is
+        // discarded, so erroring here without materializing the partial
+        // state is bitwise-faithful.
+        let final_instances = advance(self.m.instances, b_u.instances, b_ur.instances);
+        if final_instances > self.m.cfg.instance_budget as u128 {
+            return Err(CostError::InstanceBudget);
+        }
+        self.m.instances = final_instances as u64;
+        self.m.l1_hits = advance(self.m.l1_hits, b_u.l1_hits, b_ur.l1_hits) as u64;
+        self.m.l2_hits = advance(self.m.l2_hits, b_u.l2_hits, b_ur.l2_hits) as u64;
+        self.m.mem_accesses =
+            advance(self.m.mem_accesses, b_u.mem_accesses, b_ur.mem_accesses) as u64;
+        self.m.parallel_entries = advance(
+            self.m.parallel_entries,
+            b_u.parallel_entries,
+            b_ur.parallel_entries,
+        ) as u64;
+
+        // The simulator's own hit/miss counters advance by the same
+        // formula; the tag arrays land where the periodic orbit says
+        // they must — the state at boundary `u + r`.
+        let (l1h, l1m) = (self.m.caches.l1.hits(), self.m.caches.l1.misses());
+        self.m.caches.l1.bump_counters(
+            (advance(l1h, b_u.state.l1.hits, b_ur.state.l1.hits) - l1h as u128) as u64,
+            (advance(l1m, b_u.state.l1.misses, b_ur.state.l1.misses) - l1m as u128) as u64,
+        );
+        let (l2h, l2m) = (self.m.caches.l2.hits(), self.m.caches.l2.misses());
+        self.m.caches.l2.bump_counters(
+            (advance(l2h, b_u.state.l2.hits, b_ur.state.l2.hits) - l2h as u128) as u64,
+            (advance(l2m, b_u.state.l2.misses, b_ur.state.l2.misses) - l2m as u128) as u64,
+        );
+        self.m.caches.restore_tags(&b_ur.state);
+
+        // Replay the f64 additions in the exact naive sequence. The
+        // iteration that ran from boundary `j` contributed `deltas[j]`;
+        // remaining iteration `m` (0-based) repeats the cycle position
+        // `u + (m mod P)`. No multiplying out — float addition is not
+        // associative, and the pin is bitwise.
+        for m in 0..remaining as usize {
+            body_cost.ovh += header_ovh;
+            body_cost.add(deltas[u + (m % period)]);
+        }
+        // The naive loop leaves the iterator at its last value; nothing
+        // after the loop can read this slot, but keep the state exact.
+        self.m.iters[slot] = lbv + (trips as i64 - 1) * step;
+        self.iters_replayed += remaining;
+        self.steady_loops += 1;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// The cross-stage engine.
+// ---------------------------------------------------------------------
+
+/// Work counters for the engine's caches and the steady-state memoizer,
+/// cumulative since construction (or the last [`CostEngine::clear`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostEngineStats {
+    /// Cost queries answered from the cross-stage cache.
+    pub cost_hits: u64,
+    /// Cost queries computed fresh.
+    pub cost_misses: u64,
+    /// Fresh computations that reused a caller-supplied or cached
+    /// dependence set instead of re-running the analysis.
+    pub deps_reused: u64,
+    /// Dependence analyses actually run.
+    pub deps_computed: u64,
+    /// Loops fast-forwarded by the steady-state memoizer.
+    pub steady_loops: u64,
+    /// Loop iterations replayed instead of simulated per-access.
+    pub iters_replayed: u64,
+}
+
+struct EngineInner {
+    /// `(machine fingerprint, printed program)` → result. Full key
+    /// strings, so cache hits cannot alias distinct inputs.
+    costs: HashMap<(String, String), Result<CostReport, CostError>>,
+    /// printed program → dependence set (machine-independent).
+    deps: HashMap<String, Arc<DependenceSet>>,
+    stats: CostEngineStats,
+}
+
+/// The memoizing, cross-stage cost engine. See the module docs for the
+/// three layers; the determinism contract is that every result is
+/// bitwise identical to [`crate::estimate_cost_reference`], cached or
+/// not, at any pool size.
+pub struct CostEngine {
+    inner: Mutex<EngineInner>,
+}
+
+impl Default for CostEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CostEngine {
+    /// An empty engine with its own private caches.
+    pub fn new() -> CostEngine {
+        CostEngine {
+            inner: Mutex::new(EngineInner {
+                costs: HashMap::new(),
+                deps: HashMap::new(),
+                stats: CostEngineStats::default(),
+            }),
+        }
+    }
+
+    /// The process-wide shared engine: the cache the pipeline, the beam
+    /// search and campaign arms all score through.
+    pub fn global() -> &'static CostEngine {
+        static GLOBAL: OnceLock<CostEngine> = OnceLock::new();
+        GLOBAL.get_or_init(CostEngine::new)
+    }
+
+    /// Estimates the cost of `p` on `cfg`; answers from the cross-stage
+    /// cache when this (program, machine) pair has been scored before.
+    pub fn estimate(&self, p: &Program, cfg: &MachineConfig) -> Result<CostReport, CostError> {
+        self.estimate_impl(p, cfg, None, false).0
+    }
+
+    /// [`CostEngine::estimate`] with a caller-supplied dependence set
+    /// (must describe `p` under the cost model's analysis
+    /// configuration — the search's `analyze_for_search` sets qualify,
+    /// and parallel marks do not change a program's dependences).
+    pub fn estimate_with_deps(
+        &self,
+        p: &Program,
+        cfg: &MachineConfig,
+        deps: Arc<DependenceSet>,
+    ) -> Result<CostReport, CostError> {
+        self.estimate_impl(p, cfg, Some(deps), false).0
+    }
+
+    /// [`CostEngine::estimate`], also returning the dependence set for
+    /// `p` so callers with their own legality queries (the beam search)
+    /// never analyze the same program twice.
+    pub fn estimate_full(
+        &self,
+        p: &Program,
+        cfg: &MachineConfig,
+    ) -> (Result<CostReport, CostError>, Arc<DependenceSet>) {
+        let (report, deps) = self.estimate_impl(p, cfg, None, true);
+        (
+            report,
+            deps.expect("estimate_impl resolves deps when want_deps is set"),
+        )
+    }
+
+    fn estimate_impl(
+        &self,
+        p: &Program,
+        cfg: &MachineConfig,
+        supplied: Option<Arc<DependenceSet>>,
+        want_deps: bool,
+    ) -> (Result<CostReport, CostError>, Option<Arc<DependenceSet>>) {
+        let printed = print_program(p);
+        let key = (cfg.fingerprint(), printed);
+        let supplied_deps = supplied.is_some();
+        let mut deps = supplied;
+        {
+            let mut inner = self.inner.lock().expect("cost engine lock");
+            if let Some(hit) = inner.costs.get(&key) {
+                let hit = hit.clone();
+                inner.stats.cost_hits += 1;
+                if deps.is_none() && want_deps {
+                    deps = inner.deps.get(&key.1).cloned();
+                }
+                drop(inner);
+                if want_deps && deps.is_none() {
+                    // Deps were evicted (or never cached): resolve them
+                    // outside the lock, keeping the cached report.
+                    deps = Some(self.resolve_deps(&key.1, p, None));
+                }
+                return (hit, deps);
+            }
+            inner.stats.cost_misses += 1;
+            if deps.is_none() {
+                deps = inner.deps.get(&key.1).cloned();
+                if deps.is_some() {
+                    inner.stats.deps_reused += 1;
+                }
+            } else {
+                inner.stats.deps_reused += 1;
+            }
+        }
+        // Compute outside the lock: concurrent scorers proceed in
+        // parallel, and a racing duplicate insert is harmless because
+        // both values are bitwise identical.
+        let deps = match deps {
+            // A caller-supplied set is also worth caching for future
+            // callers that don't hold one.
+            Some(d) if supplied_deps => self.resolve_deps(&key.1, p, Some(d)),
+            Some(d) => d,
+            None => self.resolve_deps(&key.1, p, None),
+        };
+        let report = compute_fresh(p, cfg, &deps, self);
+        let mut inner = self.inner.lock().expect("cost engine lock");
+        if inner.costs.len() >= COST_CACHE_CAP {
+            inner.costs.clear();
+        }
+        inner.costs.insert(key, report.clone());
+        (report, Some(deps))
+    }
+
+    /// Returns the cached dependence set for `printed`, inserting
+    /// `supplied` (or a fresh analysis of `p`) on a miss.
+    fn resolve_deps(
+        &self,
+        printed: &str,
+        p: &Program,
+        supplied: Option<Arc<DependenceSet>>,
+    ) -> Arc<DependenceSet> {
+        {
+            let mut inner = self.inner.lock().expect("cost engine lock");
+            if let Some(d) = inner.deps.get(printed) {
+                return d.clone();
+            }
+            if let Some(d) = supplied {
+                if inner.deps.len() >= DEPS_CACHE_CAP {
+                    inner.deps.clear();
+                }
+                inner.deps.insert(printed.to_string(), d.clone());
+                return d;
+            }
+        }
+        let d = Arc::new(cost_analysis(p));
+        let mut inner = self.inner.lock().expect("cost engine lock");
+        inner.stats.deps_computed += 1;
+        if inner.deps.len() >= DEPS_CACHE_CAP {
+            inner.deps.clear();
+        }
+        inner
+            .deps
+            .entry(printed.to_string())
+            .or_insert_with(|| d.clone());
+        d
+    }
+
+    /// Cumulative cache and memoizer counters.
+    pub fn stats(&self) -> CostEngineStats {
+        self.inner.lock().expect("cost engine lock").stats
+    }
+
+    /// Drops every cached cost and dependence set and zeroes the stats.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cost engine lock");
+        inner.costs.clear();
+        inner.deps.clear();
+        inner.stats = CostEngineStats::default();
+    }
+}
+
+/// One fresh estimate through the memoizing walker, folding the
+/// steady-state counters into the engine's stats.
+fn compute_fresh(
+    p: &Program,
+    cfg: &MachineConfig,
+    deps: &DependenceSet,
+    engine: &CostEngine,
+) -> Result<CostReport, CostError> {
+    let prepared = lower_for_cost(p, cfg, deps)?;
+    let mut model = MemoModel::new(cfg);
+    let walked = model.visit_nodes(&prepared.lowered);
+    {
+        let mut inner = engine.inner.lock().expect("cost engine lock");
+        inner.stats.steady_loops += model.steady_loops;
+        inner.stats.iters_replayed += model.iters_replayed;
+    }
+    let breakdown = walked?;
+    Ok(model.m.report(breakdown, prepared.vectorized))
+}
+
+/// Estimates the cost of running `p` on `cfg` through the process-wide
+/// [`CostEngine`] — the production entry point, bit-for-bit pinned to
+/// [`crate::estimate_cost_reference`].
+///
+/// # Errors
+///
+/// Returns [`CostError::InstanceBudget`] when the simulated instance
+/// budget is exhausted (the harness reports this as a timeout) and
+/// [`CostError::Unbound`] for malformed programs.
+pub fn estimate_cost(p: &Program, cfg: &MachineConfig) -> Result<CostReport, CostError> {
+    CostEngine::global().estimate(p, cfg)
+}
+
+/// [`estimate_cost`] with a caller-supplied dependence set, skipping
+/// the per-estimate analysis entirely.
+///
+/// # Errors
+///
+/// As [`estimate_cost`].
+pub fn estimate_cost_with_deps(
+    p: &Program,
+    cfg: &MachineConfig,
+    deps: Arc<DependenceSet>,
+) -> Result<CostReport, CostError> {
+    CostEngine::global().estimate_with_deps(p, cfg, deps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::estimate_cost_reference;
+    use looprag_ir::compile;
+
+    /// Renders every bit of a cost result, so equality of the strings
+    /// is bitwise equality of the reports (f64s via their bit patterns).
+    fn bits(r: &Result<CostReport, CostError>) -> String {
+        match r {
+            Ok(r) => format!(
+                "{:016x}|{:016x},{:016x},{:016x},{:016x},{:016x}|{}|{}|{}|{}|{:?}|{}",
+                r.cycles.to_bits(),
+                r.breakdown.alu.to_bits(),
+                r.breakdown.l1.to_bits(),
+                r.breakdown.l2.to_bits(),
+                r.breakdown.mem.to_bits(),
+                r.breakdown.ovh.to_bits(),
+                r.instances,
+                r.l1_hits,
+                r.l2_hits,
+                r.mem_accesses,
+                r.vectorized,
+                r.parallel_entries,
+            ),
+            Err(e) => format!("err:{e:?}"),
+        }
+    }
+
+    fn pin(src: &str, cfg: &MachineConfig) -> CostEngineStats {
+        let p = compile(src, "t").unwrap();
+        let engine = CostEngine::new();
+        let fresh = engine.estimate(&p, cfg);
+        let reference = estimate_cost_reference(&p, cfg);
+        assert_eq!(bits(&fresh), bits(&reference), "fresh vs reference");
+        let hit = engine.estimate(&p, cfg);
+        assert_eq!(bits(&hit), bits(&reference), "cache hit vs reference");
+        let stats = engine.stats();
+        assert_eq!(stats.cost_hits, 1);
+        assert_eq!(stats.cost_misses, 1);
+        stats
+    }
+
+    /// An outer time loop whose body never reads `t`: the canonical
+    /// steady-state shape (jacobi-style).
+    const TIME_STENCIL: &str = "param T = 200;\nparam N = 400;\narray A[N];\narray B[N];\nout A;\n#pragma scop\nfor (t = 0; t <= T - 1; t++) { for (i = 1; i <= N - 2; i++) B[i] = (A[i - 1] + A[i] + A[i + 1]) / 3.0; for (i = 1; i <= N - 2; i++) A[i] = B[i]; }\n#pragma endscop\n";
+
+    /// Same shape but the body reads `fict[t]`: state recurrence no
+    /// longer implies periodicity, so the memoizer must stay off.
+    const TIME_DEPENDENT: &str = "param T = 200;\nparam N = 400;\narray A[N];\narray F[T];\nout A;\n#pragma scop\nfor (t = 0; t <= T - 1; t++) { for (i = 1; i <= N - 2; i++) A[i] = A[i] + F[t]; }\n#pragma endscop\n";
+
+    #[test]
+    fn steady_stencil_is_memoized_and_pinned() {
+        let stats = pin(TIME_STENCIL, &MachineConfig::gcc());
+        assert!(stats.steady_loops > 0, "time loop should fast-forward");
+        assert!(stats.iters_replayed > 0);
+    }
+
+    #[test]
+    fn iterator_dependent_body_is_not_memoized_but_pinned() {
+        let stats = pin(TIME_DEPENDENT, &MachineConfig::clang());
+        assert_eq!(
+            stats.steady_loops, 0,
+            "a body reading F[t] must not be fast-forwarded"
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_mid_replay_is_pinned() {
+        // Budgets that exhaust before, during and after the time loop's
+        // steady state all pin (Err and Ok cases both bitwise).
+        for budget in [500u64, 5_000, 40_000, 100_000, 1_000_000] {
+            let mut cfg = MachineConfig::gcc();
+            cfg.instance_budget = budget;
+            pin(TIME_STENCIL, &cfg);
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_configs() {
+        let gcc = MachineConfig::gcc();
+        assert_eq!(gcc.fingerprint(), MachineConfig::gcc().fingerprint());
+        assert_ne!(gcc.fingerprint(), MachineConfig::clang().fingerprint());
+        let mut tweaked = MachineConfig::gcc();
+        tweaked.instance_budget -= 1;
+        assert_ne!(gcc.fingerprint(), tweaked.fingerprint());
+        // And the engine keys on it: same program, different budget,
+        // different (cached) results.
+        let p = compile(TIME_STENCIL, "t").unwrap();
+        let engine = CostEngine::new();
+        let full = engine.estimate(&p, &gcc);
+        let mut tiny = MachineConfig::gcc();
+        tiny.instance_budget = 500;
+        let starved = engine.estimate(&p, &tiny);
+        assert!(full.is_ok());
+        assert_eq!(starved, Err(CostError::InstanceBudget));
+        assert_eq!(engine.stats().cost_misses, 2);
+    }
+
+    #[test]
+    fn with_deps_skips_analysis_and_pins() {
+        let p = compile(TIME_STENCIL, "t").unwrap();
+        let cfg = MachineConfig::gcc();
+        let deps = Arc::new(cost_analysis(&p));
+        let engine = CostEngine::new();
+        let viaarc = engine.estimate_with_deps(&p, &cfg, deps);
+        assert_eq!(bits(&viaarc), bits(&estimate_cost_reference(&p, &cfg)));
+        let stats = engine.stats();
+        assert_eq!(stats.deps_computed, 0, "supplied deps must be reused");
+        assert_eq!(stats.deps_reused, 1);
+        // estimate_full hands the (cached) deps back out.
+        let (report, d2) = engine.estimate_full(&p, &cfg);
+        assert_eq!(bits(&report), bits(&viaarc));
+        assert_eq!(engine.stats().cost_hits, 1);
+        assert!(
+            Arc::strong_count(&d2) >= 2,
+            "deps should come from the cache"
+        );
+    }
+
+    #[test]
+    fn clear_resets_caches_and_stats() {
+        let p = compile(TIME_STENCIL, "t").unwrap();
+        let cfg = MachineConfig::gcc();
+        let engine = CostEngine::new();
+        let first = engine.estimate(&p, &cfg);
+        engine.clear();
+        assert_eq!(engine.stats(), CostEngineStats::default());
+        let second = engine.estimate(&p, &cfg);
+        assert_eq!(bits(&first), bits(&second));
+        assert_eq!(engine.stats().cost_misses, 1, "post-clear call recomputes");
+    }
+}

@@ -6,6 +6,11 @@
 //! Speedups reported by the experiment harness are ratios of
 //! [`estimate_cost`] results.
 //!
+//! Production estimates run through the memoizing [`CostEngine`]
+//! (steady-state cache-simulator memoization, dependence-analysis
+//! reuse, cross-stage cost caching), bit-for-bit pinned to the naive
+//! [`estimate_cost_reference`] walker.
+//!
 //! ```
 //! use looprag_machine::{estimate_cost, MachineConfig};
 //! let src = "param N = 1024;\narray A[N];\nout A;\n#pragma scop\n\
@@ -20,9 +25,11 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod engine;
 mod model;
 mod observer;
 
 pub use cache::{CacheGeometry, CacheLevel, Hierarchy, ServiceLevel};
-pub use model::{estimate_cost, CostError, CostReport, CostVec, MachineConfig};
+pub use engine::{estimate_cost, estimate_cost_with_deps, CostEngine, CostEngineStats};
+pub use model::{estimate_cost_reference, CostError, CostReport, CostVec, MachineConfig};
 pub use observer::{measure_locality, CacheObserver, LocalityReport};

@@ -1,8 +1,9 @@
-//! The analytical+simulated performance model.
+//! The analytical+simulated performance model (reference path).
 //!
-//! [`estimate_cost`] walks a program's loop nest at *cost-model* parameter
-//! scales, feeding every array access through a two-level cache simulator
-//! and charging ALU and loop-header overhead, then applies:
+//! [`estimate_cost_reference`] walks a program's loop nest at
+//! *cost-model* parameter scales, feeding every array access through a
+//! two-level cache simulator and charging ALU and loop-header overhead,
+//! then applies:
 //!
 //! * **vectorization** — innermost loops that are dependence-free (or
 //!   clean reductions) with unit-stride accesses have their ALU and
@@ -18,6 +19,12 @@
 //! The result stands in for the paper's wall-clock measurements on the
 //! 2×24-core EPYC testbed; the EXPERIMENTS harness reports speedups as
 //! ratios of estimated cycles.
+//!
+//! This module is the *reference* implementation: a straight-line
+//! simulation with no caching. The production entry point is
+//! [`crate::estimate_cost`], the [`crate::CostEngine`]-backed path that
+//! is pinned bit-for-bit against this one (shared lowering lives here;
+//! the memoizing walker lives in `engine`).
 
 use crate::cache::{CacheGeometry, Hierarchy, ServiceLevel};
 use looprag_dependence::{analyze_with, AnalysisConfig, DependenceSet};
@@ -113,6 +120,46 @@ impl MachineConfig {
         c.vector_messy_factor = 0.65;
         c
     }
+
+    /// A canonical fingerprint covering **every** field, used (together
+    /// with the candidate's printed form) as the [`crate::CostEngine`]
+    /// cache key. Floats are rendered via their exact bit patterns, so
+    /// two configs collide only when every estimate they could produce
+    /// is bitwise identical.
+    pub fn fingerprint(&self) -> String {
+        // Exhaustive destructuring: adding a field without folding it
+        // into the fingerprint is a compile error, so a new knob can
+        // never silently alias cache entries.
+        let MachineConfig {
+            name,
+            threads,
+            vector_width,
+            vector_messy_factor,
+            reduction_factor,
+            l1,
+            l2,
+            lat_l1,
+            lat_l2,
+            lat_mem,
+            loop_overhead,
+            parallel_spawn_cycles,
+            parallel_efficiency,
+            instance_budget,
+        } = self;
+        format!(
+            "{name};{threads};{:016x};{:016x};{:016x};{}/{}/{};{}/{}/{};{lat_l1};{lat_l2};{lat_mem};{loop_overhead};{parallel_spawn_cycles};{:016x};{instance_budget}",
+            vector_width.to_bits(),
+            vector_messy_factor.to_bits(),
+            reduction_factor.to_bits(),
+            l1.size_bytes,
+            l1.line_bytes,
+            l1.assoc,
+            l2.size_bytes,
+            l2.line_bytes,
+            l2.assoc,
+            parallel_efficiency.to_bits(),
+        )
+    }
 }
 
 /// Cost components, in cycles.
@@ -136,7 +183,7 @@ impl CostVec {
         self.alu + self.l1 + self.l2 + self.mem + self.ovh
     }
 
-    fn add(&mut self, other: CostVec) {
+    pub(crate) fn add(&mut self, other: CostVec) {
         self.alu += other.alu;
         self.l1 += other.l1;
         self.l2 += other.l2;
@@ -144,7 +191,7 @@ impl CostVec {
         self.ovh += other.ovh;
     }
 
-    fn scale_all(&mut self, f: f64) {
+    pub(crate) fn scale_all(&mut self, f: f64) {
         self.alu *= f;
         self.l1 *= f;
         self.l2 *= f;
@@ -192,8 +239,13 @@ impl CostReport {
     }
 
     /// Speedup of `opt` relative to this baseline report.
+    ///
+    /// Returns 0 when the optimized cycle count is zero, negative, NaN
+    /// or infinite (an [`unreachable`](CostReport::unreachable)
+    /// candidate), so a degenerate report can never inject `inf`/`NaN`
+    /// into rankings.
     pub fn speedup_of(&self, opt: &CostReport) -> f64 {
-        if opt.cycles <= 0.0 {
+        if !opt.cycles.is_finite() || opt.cycles <= 0.0 {
             return 0.0;
         }
         self.cycles / opt.cycles
@@ -231,19 +283,21 @@ struct VecInfo {
 // Lowered cost IR: symbols resolved to iterator stack slots, parameters
 // folded into constants, and subscripts collapsed into a single linear
 // form per access. This keeps the hot simulation loop free of string
-// hashing and map lookups.
+// hashing and map lookups. `pub(crate)` — the memoizing engine walks
+// the exact same lowered tree, so the two paths cannot diverge on what
+// they simulate.
 // ---------------------------------------------------------------------
 
 /// A linear form `constant + sum(coeff * iters[slot])`.
 #[derive(Debug, Clone)]
-struct LinForm {
-    constant: i64,
-    terms: Vec<(usize, i64)>,
+pub(crate) struct LinForm {
+    pub(crate) constant: i64,
+    pub(crate) terms: Vec<(usize, i64)>,
 }
 
 impl LinForm {
     #[inline]
-    fn eval(&self, iters: &[i64]) -> i64 {
+    pub(crate) fn eval(&self, iters: &[i64]) -> i64 {
         let mut acc = self.constant;
         for (slot, coeff) in &self.terms {
             acc += coeff * iters[*slot];
@@ -254,7 +308,7 @@ impl LinForm {
 
 /// A lowered loop bound.
 #[derive(Debug, Clone)]
-enum LBound {
+pub(crate) enum LBound {
     Lin(LinForm),
     Min(Box<LBound>, Box<LBound>),
     Max(Box<LBound>, Box<LBound>),
@@ -262,7 +316,7 @@ enum LBound {
 }
 
 impl LBound {
-    fn eval(&self, iters: &[i64]) -> i64 {
+    pub(crate) fn eval(&self, iters: &[i64]) -> i64 {
         match self {
             LBound::Lin(f) => f.eval(iters),
             LBound::Min(a, b) => a.eval(iters).min(b.eval(iters)),
@@ -275,14 +329,14 @@ impl LBound {
 /// A lowered access: byte base plus a linear element index, clamped to
 /// the allocation (the cost model measures locality, not correctness).
 #[derive(Debug, Clone)]
-struct LAccess {
-    base: u64,
-    linear: LinForm,
-    max_flat: i64,
+pub(crate) struct LAccess {
+    pub(crate) base: u64,
+    pub(crate) linear: LinForm,
+    pub(crate) max_flat: i64,
 }
 
 #[derive(Debug, Clone)]
-enum LNode {
+pub(crate) enum LNode {
     Loop {
         slot: usize,
         lb: LBound,
@@ -292,6 +346,14 @@ enum LNode {
         parallel: bool,
         vec_factor: Option<f64>,
         header_ovh: f64,
+        /// True when nothing under this loop — subscripts, `if`
+        /// conditions or nested bounds — references the loop's own
+        /// iterator slot. For such loops every iteration replays the
+        /// same address stream over whatever cache state it starts
+        /// from, so a recurring simulator state at an iteration
+        /// boundary implies exact periodicity; the engine's
+        /// steady-state memoizer is only engaged here.
+        body_invariant: bool,
         body: Vec<LNode>,
     },
     If {
@@ -302,6 +364,35 @@ enum LNode {
         alu: f64,
         accesses: Vec<LAccess>,
     },
+}
+
+/// True when any lowered node in `nodes` references iterator slot
+/// `slot` — in an access subscript, an `if` condition or a nested loop
+/// bound. Nested loops occupy strictly higher slots (the candidate's
+/// slot stays on the lowering stack), so a match is unambiguous.
+fn references_slot(nodes: &[LNode], slot: usize) -> bool {
+    fn lin_uses(f: &LinForm, slot: usize) -> bool {
+        f.terms.iter().any(|(s, _)| *s == slot)
+    }
+    fn bound_uses(b: &LBound, slot: usize) -> bool {
+        match b {
+            LBound::Lin(f) => lin_uses(f, slot),
+            LBound::Min(a, c) | LBound::Max(a, c) => bound_uses(a, slot) || bound_uses(c, slot),
+            LBound::FloorDiv(e, _) => bound_uses(e, slot),
+        }
+    }
+    nodes.iter().any(|n| match n {
+        LNode::Stmt { accesses, .. } => accesses.iter().any(|a| lin_uses(&a.linear, slot)),
+        LNode::If { conds, then } => {
+            conds
+                .iter()
+                .any(|(l, _, r)| lin_uses(l, slot) || lin_uses(r, slot))
+                || references_slot(then, slot)
+        }
+        LNode::Loop { lb, ub, body, .. } => {
+            bound_uses(lb, slot) || bound_uses(ub, slot) || references_slot(body, slot)
+        }
+    })
 }
 
 struct Lowerer<'a> {
@@ -422,6 +513,7 @@ impl Lowerer<'_> {
                         parallel: l.parallel,
                         vec_factor: self.vec_info.get(path.as_slice()).map(|v| v.factor),
                         header_ovh: ovh,
+                        body_invariant: !references_slot(&body, slot),
                         body,
                     });
                 }
@@ -432,21 +524,49 @@ impl Lowerer<'_> {
     }
 }
 
-struct Model<'a> {
-    cfg: &'a MachineConfig,
-    iters: Vec<i64>,
-    caches: Hierarchy,
-    instances: u64,
-    l1_hits: u64,
-    l2_hits: u64,
-    mem_accesses: u64,
-    parallel_entries: u64,
-    in_parallel: bool,
+pub(crate) struct Model<'a> {
+    pub(crate) cfg: &'a MachineConfig,
+    pub(crate) iters: Vec<i64>,
+    pub(crate) caches: Hierarchy,
+    pub(crate) instances: u64,
+    pub(crate) l1_hits: u64,
+    pub(crate) l2_hits: u64,
+    pub(crate) mem_accesses: u64,
+    pub(crate) parallel_entries: u64,
+    pub(crate) in_parallel: bool,
 }
 
-impl Model<'_> {
+impl<'a> Model<'a> {
+    pub(crate) fn new(cfg: &'a MachineConfig) -> Model<'a> {
+        Model {
+            cfg,
+            iters: Vec::new(),
+            caches: Hierarchy::new(cfg.l1.clone(), cfg.l2.clone()),
+            instances: 0,
+            l1_hits: 0,
+            l2_hits: 0,
+            mem_accesses: 0,
+            parallel_entries: 0,
+            in_parallel: false,
+        }
+    }
+
+    /// Packages the walked breakdown into the public report.
+    pub(crate) fn report(&self, breakdown: CostVec, vectorized: Vec<String>) -> CostReport {
+        CostReport {
+            cycles: breakdown.total(),
+            breakdown,
+            instances: self.instances,
+            l1_hits: self.l1_hits,
+            l2_hits: self.l2_hits,
+            mem_accesses: self.mem_accesses,
+            vectorized,
+            parallel_entries: self.parallel_entries,
+        }
+    }
+
     #[inline]
-    fn charge_access(&mut self, acc: &LAccess, cost: &mut CostVec) {
+    pub(crate) fn charge_access(&mut self, acc: &LAccess, cost: &mut CostVec) {
         let flat = acc.linear.eval(&self.iters).clamp(0, acc.max_flat);
         let addr = acc.base + flat as u64 * 8;
         match self.caches.access(addr) {
@@ -465,7 +585,7 @@ impl Model<'_> {
         }
     }
 
-    fn visit_nodes(&mut self, nodes: &[LNode]) -> Result<CostVec, CostError> {
+    pub(crate) fn visit_nodes(&mut self, nodes: &[LNode]) -> Result<CostVec, CostError> {
         let mut cost = CostVec::default();
         for n in nodes {
             cost.add(self.visit_node(n)?);
@@ -473,7 +593,7 @@ impl Model<'_> {
         Ok(cost)
     }
 
-    fn visit_node(&mut self, n: &LNode) -> Result<CostVec, CostError> {
+    pub(crate) fn visit_node(&mut self, n: &LNode) -> Result<CostVec, CostError> {
         match n {
             LNode::Stmt { alu, accesses } => {
                 if self.instances >= self.cfg.instance_budget {
@@ -507,6 +627,7 @@ impl Model<'_> {
                 parallel,
                 vec_factor,
                 header_ovh,
+                body_invariant: _,
                 body,
             } => {
                 let lbv = lb.eval(&self.iters);
@@ -608,24 +729,24 @@ fn vectorization_map(
     cfg: &MachineConfig,
 ) -> HashMap<Vec<usize>, VecInfo> {
     let mut out = HashMap::new();
+    let mut accs: Vec<&looprag_ir::Access> = Vec::new();
     for path in loop_paths(&p.body) {
         if !is_innermost(p, &path) {
             continue;
         }
-        let Some(Node::Loop(l)) = node_at(&p.body, &path) else {
+        let Some(node @ Node::Loop(l)) = node_at(&p.body, &path) else {
             continue;
         };
+        // The loop's statements, collected once and shared by the
+        // reduction and stride checks below.
+        let mut stmts = Vec::new();
+        stmts_under(node, &mut stmts);
         // Legality: dependence-free at this level, or a clean reduction
         // (every dependence carried here is a statement self-dependence on
         // a target invariant in the loop iterator).
         let carried: Vec<_> = deps.carried_by(&path).collect();
         let mut reduction = false;
         if !carried.is_empty() {
-            let mut stmts = Vec::new();
-            let Some(node) = node_at(&p.body, &path) else {
-                continue;
-            };
-            stmts_under(node, &mut stmts);
             let all_self_reductions = carried.iter().all(|d| {
                 d.src == d.dst
                     && stmts.iter().any(|s| {
@@ -640,20 +761,19 @@ fn vectorization_map(
             reduction = true;
         }
         // Stride: every access must be unit-stride or invariant.
-        let mut stmts = Vec::new();
-        let Some(node) = node_at(&p.body, &path) else {
-            continue;
-        };
-        stmts_under(node, &mut stmts);
         let mut clean = true;
         for s in &stmts {
-            let mut accs: Vec<looprag_ir::Access> = s.reads();
-            accs.push(s.lhs.clone());
-            for a in accs {
+            accs.clear();
+            s.rhs.collect_reads(&mut accs);
+            if s.op.reads_target() {
+                accs.push(&s.lhs);
+            }
+            accs.push(&s.lhs);
+            for a in &accs {
                 let Some(ext) = extents.get(&a.array) else {
                     continue;
                 };
-                let st = stride_of(&a, &l.iter, ext);
+                let st = stride_of(a, &l.iter, ext);
                 if st.abs() > 1 {
                     clean = false;
                 }
@@ -676,14 +796,35 @@ fn vectorization_map(
     out
 }
 
-/// Estimates the cost of running `p` on `cfg`, at cost-model scales.
-///
-/// # Errors
-///
-/// Returns [`CostError::InstanceBudget`] when the simulated instance
-/// budget is exhausted (the harness reports this as a timeout) and
-/// [`CostError::Unbound`] for malformed programs.
-pub fn estimate_cost(p: &Program, cfg: &MachineConfig) -> Result<CostReport, CostError> {
+/// The dependence analysis the cost model runs when the caller has none
+/// to share: the exact configuration of
+/// `looprag_search::analyze_for_search`, which is what makes dependence
+/// sets interchangeable between the search's legality queries and cost
+/// estimation.
+pub(crate) fn cost_analysis(p: &Program) -> DependenceSet {
+    analyze_with(
+        p,
+        &AnalysisConfig {
+            param_cap: looprag_ir::adaptive_sampling_cap(p, 8, 3_000_000.0),
+            instance_budget: 4_000_000,
+        },
+    )
+}
+
+/// A program lowered for cost simulation: the slot-indexed cost IR plus
+/// the names of the loops the model vectorized.
+pub(crate) struct Prepared {
+    pub(crate) lowered: Vec<LNode>,
+    pub(crate) vectorized: Vec<String>,
+}
+
+/// Shared front half of both cost paths: array layout, vectorization
+/// decisions (from `deps`) and lowering to the slot-indexed cost IR.
+pub(crate) fn lower_for_cost(
+    p: &Program,
+    cfg: &MachineConfig,
+    deps: &DependenceSet,
+) -> Result<Prepared, CostError> {
     // Cost estimation runs at the program's own declared parameter values;
     // benchmark kernels are authored at simulation-friendly scales, and the
     // original/optimized pair must be compared at identical sizes.
@@ -705,16 +846,14 @@ pub fn estimate_cost(p: &Program, cfg: &MachineConfig) -> Result<CostReport, Cos
         next_base += bytes + 64;
     }
 
-    let deps = analyze_with(
-        p,
-        &AnalysisConfig {
-            param_cap: looprag_ir::adaptive_sampling_cap(p, 8, 3_000_000.0),
-            instance_budget: 4_000_000,
-        },
-    );
-    let vec_info = vectorization_map(p, &deps, &extents, cfg);
-    let vectorized: Vec<String> = vec_info
-        .keys()
+    let vec_info = vectorization_map(p, deps, &extents, cfg);
+    // Source (pre-order path) order, NOT map order: `HashMap` iteration
+    // varies per instance, and a report served from the cost cache must
+    // be byte-identical to one recomputed from scratch.
+    let mut vec_paths: Vec<&Vec<usize>> = vec_info.keys().collect();
+    vec_paths.sort();
+    let vectorized: Vec<String> = vec_paths
+        .into_iter()
         .filter_map(|path| match node_at(&p.body, path) {
             Some(Node::Loop(l)) => Some(l.iter.clone()),
             _ => None,
@@ -735,29 +874,32 @@ pub fn estimate_cost(p: &Program, cfg: &MachineConfig) -> Result<CostReport, Cos
     if let Some(sym) = lowerer.errors.into_iter().next() {
         return Err(CostError::Unbound(sym));
     }
-
-    let mut model = Model {
-        cfg,
-        iters: Vec::new(),
-        caches: Hierarchy::new(cfg.l1.clone(), cfg.l2.clone()),
-        instances: 0,
-        l1_hits: 0,
-        l2_hits: 0,
-        mem_accesses: 0,
-        parallel_entries: 0,
-        in_parallel: false,
-    };
-    let breakdown = model.visit_nodes(&lowered)?;
-    Ok(CostReport {
-        cycles: breakdown.total(),
-        breakdown,
-        instances: model.instances,
-        l1_hits: model.l1_hits,
-        l2_hits: model.l2_hits,
-        mem_accesses: model.mem_accesses,
+    Ok(Prepared {
+        lowered,
         vectorized,
-        parallel_entries: model.parallel_entries,
     })
+}
+
+/// Estimates the cost of running `p` on `cfg`, at cost-model scales —
+/// the naive reference path: a fresh dependence analysis and a
+/// straight-line per-access simulation, no caching of any kind.
+///
+/// The production entry point is [`crate::estimate_cost`], which is
+/// pinned bit-for-bit against this function (tests and
+/// `perf_snapshot --costmodel` hard-assert the pin over the whole
+/// suite).
+///
+/// # Errors
+///
+/// Returns [`CostError::InstanceBudget`] when the simulated instance
+/// budget is exhausted (the harness reports this as a timeout) and
+/// [`CostError::Unbound`] for malformed programs.
+pub fn estimate_cost_reference(p: &Program, cfg: &MachineConfig) -> Result<CostReport, CostError> {
+    let deps = cost_analysis(p);
+    let prepared = lower_for_cost(p, cfg, &deps)?;
+    let mut model = Model::new(cfg);
+    let breakdown = model.visit_nodes(&prepared.lowered)?;
+    Ok(model.report(breakdown, prepared.vectorized))
 }
 
 #[cfg(test)]
@@ -768,7 +910,7 @@ mod tests {
 
     fn cost(src: &str) -> CostReport {
         let p = compile(src, "t").unwrap();
-        estimate_cost(&p, &MachineConfig::gcc()).unwrap()
+        estimate_cost_reference(&p, &MachineConfig::gcc()).unwrap()
     }
 
     #[test]
@@ -833,9 +975,9 @@ mod tests {
         let src = "param N = 128;\narray C[N][N];\narray A[N][N];\narray B[N][N];\nout C;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= N - 1; j++) for (k = 0; k <= N - 1; k++) C[i][j] += A[i][k] * B[k][j];\n#pragma endscop\n";
         let p = compile(src, "gemm").unwrap();
         let cfg = MachineConfig::gcc();
-        let base = estimate_cost(&p, &cfg).unwrap();
+        let base = estimate_cost_reference(&p, &cfg).unwrap();
         let tiled = tile_band(&p, &[0], 3, 16).unwrap();
-        let t = estimate_cost(&tiled, &cfg).unwrap();
+        let t = estimate_cost_reference(&tiled, &cfg).unwrap();
         assert!(
             t.mem_accesses * 2 < base.mem_accesses,
             "tiled mem {} vs base mem {}",
@@ -851,9 +993,9 @@ mod tests {
         let src = "param N = 64;\narray A[N];\narray B[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i] = B[i] * 2.0;\n#pragma endscop\n";
         let p = compile(src, "s").unwrap();
         let cfg = MachineConfig::gcc();
-        let base = estimate_cost(&p, &cfg).unwrap();
+        let base = estimate_cost_reference(&p, &cfg).unwrap();
         let tiled = tile_band(&p, &[0], 1, 32).unwrap();
-        let t = estimate_cost(&tiled, &cfg).unwrap();
+        let t = estimate_cost_reference(&tiled, &cfg).unwrap();
         assert!(
             t.cycles > base.cycles,
             "tiled {} should exceed base {}",
@@ -869,14 +1011,33 @@ mod tests {
         let par = parallelize(&p, &[0]).unwrap();
         let gcc = MachineConfig::gcc();
         let icx = MachineConfig::icx();
-        let sp_gcc = estimate_cost(&p, &gcc)
+        let sp_gcc = estimate_cost_reference(&p, &gcc)
             .unwrap()
-            .speedup_of(&estimate_cost(&par, &gcc).unwrap());
-        let sp_icx = estimate_cost(&p, &icx)
+            .speedup_of(&estimate_cost_reference(&par, &gcc).unwrap());
+        let sp_icx = estimate_cost_reference(&p, &icx)
             .unwrap()
-            .speedup_of(&estimate_cost(&par, &icx).unwrap());
+            .speedup_of(&estimate_cost_reference(&par, &icx).unwrap());
         assert!(sp_gcc > 1.0 && sp_icx > 1.0);
         assert!(sp_icx < sp_gcc * 1.05);
+    }
+
+    #[test]
+    fn speedup_of_rejects_degenerate_optimized_reports() {
+        let src = "param N = 64;\narray A[N];\nout A;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i] = A[i] + 1.0;\n#pragma endscop\n";
+        let p = compile(src, "s").unwrap();
+        let base = estimate_cost_reference(&p, &MachineConfig::gcc()).unwrap();
+        // An unreachable candidate (infinite cycles) must rank at zero
+        // speedup, not poison rankings with inf/NaN.
+        assert_eq!(base.speedup_of(&CostReport::unreachable()), 0.0);
+        for bad in [0.0, -1.0, f64::NAN, f64::NEG_INFINITY] {
+            let mut opt = base.clone();
+            opt.cycles = bad;
+            assert_eq!(base.speedup_of(&opt), 0.0, "cycles = {bad}");
+        }
+        // Sanity: a real report still divides through.
+        let mut opt = base.clone();
+        opt.cycles = base.cycles / 2.0;
+        assert_eq!(base.speedup_of(&opt), 2.0);
     }
 
     #[test]
@@ -885,6 +1046,9 @@ mod tests {
         let p = compile(src, "s").unwrap();
         let mut cfg = MachineConfig::gcc();
         cfg.instance_budget = 1000;
-        assert_eq!(estimate_cost(&p, &cfg), Err(CostError::InstanceBudget));
+        assert_eq!(
+            estimate_cost_reference(&p, &cfg),
+            Err(CostError::InstanceBudget)
+        );
     }
 }

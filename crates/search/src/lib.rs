@@ -11,10 +11,12 @@
 //! steps enumerate through the [`looprag_transform::enumerate_steps`]
 //! catalog, are pruned with dependence legality queries **before ever
 //! being applied**, survivors are deduped against every program ever
-//! admitted (canonical printed form) and scored with
-//! [`looprag_machine::estimate_cost`]; then frontier ∪ newcomers is
-//! re-ranked and cut back to `beam`. When every frontier node has
-//! already been expanded the search has reached a fixpoint and stops.
+//! admitted (canonical printed form) and scored through the shared
+//! [`looprag_machine::CostEngine`] (cross-stage cost cache + dependence
+//! reuse, bit-for-bit pinned to the reference model); then frontier ∪
+//! newcomers is re-ranked and cut back to `beam`. When every frontier
+//! node has already been expanded the search has reached a fixpoint and
+//! stops.
 //!
 //! ## Determinism contract
 //!
@@ -40,10 +42,13 @@
 //!   every admitted program — a duplicate candidate is never re-scored,
 //!   and a frontier node that survives into the next generation is
 //!   never re-expanded;
-//! * **dependences**: one analysis per expanded node, reused for every
-//!   legality query on that node, and propagated by `Arc` to children
-//!   of parallelization steps (which cannot change the dependence
-//!   structure — the analyzer ignores parallel marks).
+//! * **dependences**: at most one analysis per node, reused for every
+//!   legality query on that node, propagated by `Arc` to children of
+//!   parallelization steps (which cannot change the dependence
+//!   structure — the analyzer ignores parallel marks), and shared both
+//!   ways with the cost engine: scoring a node hands its dependence set
+//!   back for the node's later expansion, and a node that already holds
+//!   one is scored via `estimate_with_deps` with no analysis at all.
 //!
 //! ```
 //! use looprag_search::{search, SearchConfig};
@@ -65,7 +70,7 @@ pub use legality::{analyze_for_search, step_legal};
 
 use looprag_dependence::DependenceSet;
 use looprag_ir::{print_program, Program};
-use looprag_machine::{estimate_cost, MachineConfig};
+use looprag_machine::{estimate_cost_reference, CostEngine, MachineConfig};
 use looprag_runtime::{par_map, resolve_threads};
 use looprag_transform::{enumerate_steps, Family, Recipe, Step, StepGrid};
 use std::collections::HashMap;
@@ -122,12 +127,16 @@ pub struct SearchStats {
     pub applied: usize,
     /// Unique legal candidates admitted to the node table.
     pub admitted: usize,
-    /// `estimate_cost` invocations.
+    /// Cost-model scoring calls (engine-cached for the optimized
+    /// searcher, full `estimate_cost_reference` runs for the reference).
     pub scored: usize,
     /// Candidates skipped as structural duplicates of an already-scored
     /// program (each one is a rescoring the node-table memo avoided).
     pub dedup_skips: usize,
-    /// Dependence analyses run.
+    /// Dependence analyses the search itself requested. The engine's
+    /// scorer returns the dependence set it computed (or had cached)
+    /// alongside each cost, so this is normally 0 for [`search`]; the
+    /// reference re-analyzes per legality query.
     pub deps_computed: usize,
     /// Nodes that inherited their parent's dependence set.
     pub deps_reused: usize,
@@ -205,8 +214,10 @@ impl SearchResult {
     }
 }
 
-fn cycles_of(p: &Program, machine: &MachineConfig) -> f64 {
-    estimate_cost(p, machine)
+/// Reference-path scoring: a fresh analysis and a naive simulation per
+/// call, no caching of any kind.
+fn cycles_of_reference(p: &Program, machine: &MachineConfig) -> f64 {
+    estimate_cost_reference(p, machine)
         .map(|r| r.cycles)
         .unwrap_or(f64::INFINITY)
 }
@@ -238,7 +249,13 @@ pub fn search(p: &Program, cfg: &SearchConfig) -> SearchResult {
     let threads = resolve_threads(cfg.threads);
     let beam = cfg.beam.max(1);
     let mut stats = SearchStats::default();
-    let base_cost = cycles_of(p, &cfg.machine);
+    // Scoring runs through the process-wide cost engine, so repeated
+    // searches (and the pipeline scoring the same candidates) share one
+    // cross-stage cache; the engine hands back the dependence set it
+    // used, which seeds the root node's legality queries for free.
+    let engine = CostEngine::global();
+    let (base_report, base_deps) = engine.estimate_full(p, &cfg.machine);
+    let base_cost = base_report.map(|r| r.cycles).unwrap_or(f64::INFINITY);
     stats.scored += 1;
     if !base_cost.is_finite() {
         return SearchResult::identity(p, base_cost, stats);
@@ -250,7 +267,7 @@ pub fn search(p: &Program, cfg: &SearchConfig) -> SearchResult {
         program: p.clone(),
         recipe: Recipe::new(),
         cost: base_cost,
-        deps: None,
+        deps: Some(base_deps),
         expanded: false,
     }];
     let mut by_printed: HashMap<String, usize> = HashMap::new();
@@ -272,6 +289,9 @@ pub fn search(p: &Program, cfg: &SearchConfig) -> SearchResult {
         }
 
         // Dependence sets for nodes that did not inherit one, sharded.
+        // With the engine returning deps at scoring time this is
+        // normally empty; it remains as the safety net for nodes whose
+        // set was evicted from the engine's bounded cache.
         let missing: Vec<usize> = to_expand
             .iter()
             .copied()
@@ -345,12 +365,30 @@ pub fn search(p: &Program, cfg: &SearchConfig) -> SearchResult {
         }
         stats.admitted += admitted.len();
 
-        // Score the newcomers, sharded.
-        let costs = par_map(threads, &admitted, |_, &i| {
-            cycles_of(&nodes[i].program, &cfg.machine)
+        // Score the newcomers through the shared engine, sharded. A
+        // node that inherited its parent's dependence set is scored via
+        // `estimate_with_deps` (no analysis at all); the rest use
+        // `estimate_full` and keep the returned set for their own later
+        // expansion. Cached and fresh engine results are bitwise equal,
+        // so sharding stays deterministic at any pool size.
+        let scored = par_map(threads, &admitted, |_, &i| {
+            let n = &nodes[i];
+            match &n.deps {
+                Some(d) => {
+                    let r = engine.estimate_with_deps(&n.program, &cfg.machine, d.clone());
+                    (r.map(|r| r.cycles).unwrap_or(f64::INFINITY), None)
+                }
+                None => {
+                    let (r, d) = engine.estimate_full(&n.program, &cfg.machine);
+                    (r.map(|r| r.cycles).unwrap_or(f64::INFINITY), Some(d))
+                }
+            }
         });
-        for (&i, c) in admitted.iter().zip(costs) {
+        for (&i, (c, d)) in admitted.iter().zip(scored) {
             nodes[i].cost = c;
+            if nodes[i].deps.is_none() {
+                nodes[i].deps = d;
+            }
         }
         stats.scored += admitted.len();
         for &i in &admitted {
@@ -393,7 +431,7 @@ pub fn search(p: &Program, cfg: &SearchConfig) -> SearchResult {
 pub fn search_reference(p: &Program, cfg: &SearchConfig) -> SearchResult {
     let beam = cfg.beam.max(1);
     let mut stats = SearchStats::default();
-    let base_cost = cycles_of(p, &cfg.machine);
+    let base_cost = cycles_of_reference(p, &cfg.machine);
     stats.scored += 1;
     if !base_cost.is_finite() {
         return SearchResult::identity(p, base_cost, stats);
@@ -447,7 +485,7 @@ pub fn search_reference(p: &Program, cfg: &SearchConfig) -> SearchResult {
         stats.applied += entries.len();
         // Score everything, from scratch.
         for e in &mut entries {
-            e.cost = cycles_of(&e.program, &cfg.machine);
+            e.cost = cycles_of_reference(&e.program, &cfg.machine);
         }
         stats.scored += entries.len();
         // Filter by legality, re-analyzing the parent per query.

@@ -1,0 +1,173 @@
+//! Bitwise pin of the memoizing [`CostEngine`] against the reference
+//! cost model, across every suite kernel, randomly synthesized
+//! programs, starved instance budgets, and concurrent use.
+//!
+//! The engine's contract is *bit-for-bit* equality with
+//! [`estimate_cost_reference`]: identical `cycles` and breakdown
+//! mantissas, identical hit/miss counters, and identical
+//! budget-exhaustion errors — whether a report comes from a fresh
+//! simulation, a steady-state replay, or the cross-stage cache. These
+//! tests hard-assert that contract; any drift is a correctness bug,
+//! not a tolerance question.
+
+use looprag::looprag_machine::{
+    estimate_cost_reference, CostEngine, CostError, CostReport, MachineConfig,
+};
+use looprag::looprag_runtime::par_map;
+use looprag::looprag_suites::all_benchmarks;
+use looprag::looprag_synth::{generate_example, LoopParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Renders a cost result as a bit-exact string: `f64`s via `to_bits`
+/// (so `-0.0` vs `0.0` and NaN payloads are distinguished, unlike
+/// `PartialEq`), counters and errors verbatim.
+fn bits(r: &Result<CostReport, CostError>) -> String {
+    match r {
+        Ok(r) => format!(
+            "{:016x}|{:016x},{:016x},{:016x},{:016x},{:016x}|{}|{}|{}|{}|{:?}|{}",
+            r.cycles.to_bits(),
+            r.breakdown.alu.to_bits(),
+            r.breakdown.l1.to_bits(),
+            r.breakdown.l2.to_bits(),
+            r.breakdown.mem.to_bits(),
+            r.breakdown.ovh.to_bits(),
+            r.instances,
+            r.l1_hits,
+            r.l2_hits,
+            r.mem_accesses,
+            r.vectorized,
+            r.parallel_entries,
+        ),
+        Err(e) => format!("err:{e:?}"),
+    }
+}
+
+/// A gcc-shaped config with a starved instance budget, so simulation
+/// aborts mid-program (often mid-replay) with `InstanceBudget`.
+fn starved(budget: u64) -> MachineConfig {
+    let mut cfg = MachineConfig::gcc();
+    cfg.instance_budget = budget;
+    cfg
+}
+
+/// Golden pin: every suite kernel, fresh estimate AND cache hit, both
+/// bit-identical to the reference model.
+#[test]
+fn all_suite_kernels_pin_to_reference() {
+    let cfg = MachineConfig::gcc();
+    let engine = CostEngine::new();
+    let kernels = all_benchmarks();
+    assert!(
+        kernels.len() >= 134,
+        "suite shrank to {} kernels",
+        kernels.len()
+    );
+    for b in &kernels {
+        let p = b.program();
+        let expect = bits(&estimate_cost_reference(&p, &cfg));
+        let fresh = bits(&engine.estimate(&p, &cfg));
+        assert_eq!(
+            fresh, expect,
+            "{}/{}: fresh estimate drifted",
+            b.suite, b.name
+        );
+        let hit = bits(&engine.estimate(&p, &cfg));
+        assert_eq!(hit, expect, "{}/{}: cache hit drifted", b.suite, b.name);
+    }
+    let stats = engine.stats();
+    // A few suite kernels share a printed form, so the "fresh" pass
+    // already hits the cache for the duplicates; only the totals are
+    // exact.
+    assert_eq!(
+        stats.cost_hits + stats.cost_misses,
+        2 * kernels.len() as u64
+    );
+    assert!(stats.cost_misses <= kernels.len() as u64);
+    assert!(stats.cost_hits >= kernels.len() as u64);
+    assert!(
+        stats.steady_loops > 0,
+        "no kernel triggered steady-state replay: {stats:?}"
+    );
+    assert!(stats.iters_replayed > 0, "replay advanced zero iterations");
+}
+
+/// Budget exhaustion must surface at the exact same statement instance
+/// as the reference — including when the budget runs out inside a
+/// fast-forwarded region.
+#[test]
+fn starved_budgets_pin_to_reference() {
+    for budget in [1_000, 20_000, 300_000] {
+        let cfg = starved(budget);
+        let engine = CostEngine::new();
+        let mut errs = 0usize;
+        for (i, b) in all_benchmarks().iter().enumerate() {
+            if i % 8 != 0 {
+                continue;
+            }
+            let p = b.program();
+            let expect = estimate_cost_reference(&p, &cfg);
+            if expect.is_err() {
+                errs += 1;
+            }
+            assert_eq!(
+                bits(&engine.estimate(&p, &cfg)),
+                bits(&expect),
+                "{}/{} at budget {budget}",
+                b.suite,
+                b.name
+            );
+        }
+        assert!(errs > 0, "budget {budget} starved no sampled kernel");
+    }
+}
+
+/// One shared engine queried from pools of 1, 2, and 8 workers must
+/// produce the same bit-exact report vector every time — concurrency
+/// (and who wins the compute race on a shared miss) must not leak into
+/// results.
+#[test]
+fn shared_engine_is_deterministic_across_pool_sizes() {
+    let cfg = MachineConfig::gcc();
+    let programs: Vec<_> = all_benchmarks()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 5 == 0)
+        .flat_map(|(_, b)| {
+            let p = b.program();
+            [p.clone(), p] // duplicates force cache-hit/miss races
+        })
+        .collect();
+    let expect: Vec<String> = programs
+        .iter()
+        .map(|p| bits(&estimate_cost_reference(p, &cfg)))
+        .collect();
+    for threads in [1usize, 2, 8] {
+        let engine = CostEngine::new();
+        let got = par_map(threads, &programs, |_, p| bits(&engine.estimate(p, &cfg)));
+        assert_eq!(got, expect, "pool size {threads} drifted");
+        assert!(engine.stats().cost_hits + engine.stats().cost_misses >= programs.len() as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Synthesized programs (arbitrary nest shapes, strides, and
+    /// access patterns) pin under both a normal and a starved budget.
+    #[test]
+    fn synthesized_programs_pin_to_reference(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = LoopParams::sample(&mut rng);
+        if let Some(p) = generate_example(&params, 0, &mut rng) {
+            for cfg in [MachineConfig::gcc(), starved(2_000)] {
+                let engine = CostEngine::new();
+                let expect = bits(&estimate_cost_reference(&p, &cfg));
+                prop_assert_eq!(&bits(&engine.estimate(&p, &cfg)), &expect);
+                // Cache hit must replay the identical result, Ok or Err.
+                prop_assert_eq!(&bits(&engine.estimate(&p, &cfg)), &expect);
+            }
+        }
+    }
+}
