@@ -16,6 +16,10 @@
 //! `--arm search` runs the search-only campaign arm (the
 //! legality-guided beam search through `run_campaign`, differential
 //! testing included) with `--beam N` / `--depth D` (defaults 4 / 3).
+//! `--serve` runs the service arm (a persistent server with the
+//! cross-request verified-winner memo, cold phase over the strided
+//! suite then a Zipf repeat workload) with `--requests N` (default
+//! 200).
 
 use looprag_bench::experiments;
 use looprag_bench::{EvalOptions, Harness};
@@ -73,23 +77,39 @@ fn main() {
         eprintln!("--beam/--depth require --arm search");
         std::process::exit(2);
     }
+    let serve = args.iter().any(|a| a == "--serve");
+    let (requests_pos, requests) = numeric_flag("--requests", 200);
+    if !serve && requests_pos.is_some() {
+        // Same guard as --beam/--depth: `--requests 500` alone would
+        // silently fall through to the default full battery.
+        eprintln!("--requests requires --serve");
+        std::process::exit(2);
+    }
     // Only the values that directly follow --threads / --docs / --arm /
-    // --beam / --depth are consumed; every other non-flag argument stays
-    // an experiment id so typos still hit the unknown-id diagnostic.
-    let flag_val_pos: Vec<usize> = [threads_pos, docs_pos, arm_pos, beam_pos, depth_pos]
-        .iter()
-        .flatten()
-        .map(|i| i + 1)
-        .collect();
+    // --beam / --depth / --requests are consumed; every other non-flag
+    // argument stays an experiment id so typos still hit the unknown-id
+    // diagnostic.
+    let flag_val_pos: Vec<usize> = [
+        threads_pos,
+        docs_pos,
+        arm_pos,
+        beam_pos,
+        depth_pos,
+        requests_pos,
+    ]
+    .iter()
+    .flatten()
+    .map(|i| i + 1)
+    .collect();
     let ids: Vec<&str> = args
         .iter()
         .enumerate()
         .filter(|(i, a)| !a.starts_with("--") && !flag_val_pos.contains(i))
         .map(|(_, s)| s.as_str())
         .collect();
-    // `--arm search` selects the search-arm experiment on its own; ids
-    // only default to the full battery when neither is given.
-    let ids: Vec<&str> = if ids.is_empty() && arm.is_none() {
+    // `--arm search` / `--serve` select their experiment on their own;
+    // ids only default to the full battery when none is given.
+    let ids: Vec<&str> = if ids.is_empty() && arm.is_none() && !serve {
         vec!["all"]
     } else {
         ids
@@ -121,6 +141,9 @@ fn main() {
 
     if arm.is_some() {
         experiments::search_arm(&h, beam, depth);
+    }
+    if serve {
+        experiments::serve_arm(&h, requests);
     }
 
     for id in ids {

@@ -12,8 +12,8 @@
 //! be compared against the last committed snapshots.
 //!
 //! Usage: `perf_snapshot [--quick] [--retrieval] [--search]
-//! [--difftest-batched] [--costmodel] [--out PATH]
-//! [--retrieval-out PATH] [--search-out PATH]`
+//! [--difftest-batched] [--costmodel] [--serve] [--out PATH]
+//! [--retrieval-out PATH] [--search-out PATH] [--serve-out PATH]`
 //!
 //! `--retrieval` runs only the retrieval section; `--search` runs only
 //! the search section (the legality-guided beam engine pinned against
@@ -30,7 +30,12 @@
 //! sweep, including budget-exhaustion cases — hard-asserted even in
 //! quick mode — then engine vs reference timed on the campaign scoring
 //! shape, gated at >= 3x in full mode; its fields also land in
-//! `BENCH_interp.json` on full runs). `--quick` shrinks
+//! `BENCH_interp.json` on full runs); `--serve` runs only the serve
+//! section (the optimization service's cold-miss vs warm-hit latency
+//! under a Zipf-like repeat workload over the suite kernels, written to
+//! `BENCH_serve.json`, gated at >= 20x warm-over-cold in full mode —
+//! with the all-hit/zero-work/snapshot-replay determinism pins
+//! hard-asserted even in quick mode). `--quick` shrinks
 //! sample counts, corpus size and kernel strides so CI can keep the bin
 //! from bit-rotting in seconds; the committed snapshots should come
 //! from full (non-quick) runs. In full mode the bin exits non-zero if
@@ -608,6 +613,84 @@ fn gate_search(quick: bool, search_speedup: f64) {
     }
 }
 
+/// The serve section: the optimization service's cold-miss vs warm-hit
+/// latency under a Zipf-like repeat workload over the suite kernels.
+/// The determinism pins (all-hit warm phase with byte-identical
+/// payloads, zero LLM-stream/search-expansion deltas, snapshot →
+/// restore → replay byte equality) are hard-asserted inside
+/// `run_serve_campaign` even in quick mode; only the latency gate is
+/// mode-dependent.
+fn serve_snapshot(quick: bool, out_path: &str) -> f64 {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let stride = if quick { 16 } else { 1 };
+    let warm_requests = if quick { 60 } else { 1000 };
+    let kernels: Vec<_> = all_benchmarks()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % stride == 0)
+        .map(|(_, b)| b)
+        .collect();
+    eprintln!(
+        "[perf_snapshot] serve: {} kernels cold, {warm_requests} Zipf requests warm...",
+        kernels.len()
+    );
+    let dataset = build_dataset(&SynthConfig {
+        count: if quick { 12 } else { 40 },
+        ..Default::default()
+    });
+    let mut cfg = LoopRagConfig::new(LlmProfile::deepseek());
+    // Request-level fan-out is the service's parallelism; candidate
+    // stages stay sequential inside each worker (as in the campaign).
+    cfg.threads = 1;
+    let report =
+        looprag_bench::run_serve_campaign(cfg, dataset, &kernels, warm_requests, 0x5E12_7E01, 0);
+    let memo_len = report.server.memo_len();
+    let json = format!(
+        "{{\n  \"quick\": {quick},\n  \"host_cores\": {host_cores},\n  \"serve_kernels\": {},\n  \"serve_warm_requests\": {},\n  \"serve_hits\": {},\n  \"serve_misses\": {},\n  \"serve_hit_rate\": {:.4},\n  \"serve_memo_len\": {memo_len},\n  \"serve_cold_ms\": {:.1},\n  \"serve_warm_ms\": {:.3},\n  \"serve_cold_ns_per_request\": {:.1},\n  \"serve_warm_ns_per_request\": {:.1},\n  \"serve_warm_speedup\": {:.1},\n  \"serve_cold_llm_calls\": {},\n  \"serve_warm_stream_delta\": {},\n  \"serve_warm_expansion_delta\": {},\n  \"serve_snapshot_bytes\": {},\n  \"serve_restore_ms\": {:.1}\n}}\n",
+        report.kernels,
+        report.warm_requests,
+        report.hits,
+        report.misses,
+        report.hit_rate,
+        report.cold_ms,
+        report.warm_ms,
+        report.cold_ns_per_request,
+        report.warm_ns_per_request,
+        report.warm_speedup,
+        report.cold_llm_calls,
+        report.warm_stream_delta,
+        report.warm_expansion_delta,
+        report.snapshot_bytes,
+        report.restore_ms,
+    );
+    std::fs::write(out_path, &json).expect("write serve snapshot");
+    println!("{json}");
+    eprintln!(
+        "[perf_snapshot] wrote {out_path}; warm hit {:.0}x faster than cold miss",
+        report.warm_speedup
+    );
+    report.warm_speedup
+}
+
+/// Applies the serve gate: a warm memo hit must be at least 20x cheaper
+/// than a cold pipeline miss. Quick mode only warns (the all-hit /
+/// zero-work / replay pins in the section stay hard either way).
+fn gate_serve(quick: bool, warm_speedup: f64) {
+    if warm_speedup < 20.0 {
+        if quick {
+            eprintln!(
+                "[perf_snapshot] WARNING: serve warm speedup {warm_speedup:.1}x below 20x \
+                 (quick mode, not gating)"
+            );
+        } else {
+            eprintln!("[perf_snapshot] FAIL: serve warm speedup {warm_speedup:.1}x below 20x");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -615,6 +698,7 @@ fn main() {
     let search_only = args.iter().any(|a| a == "--search");
     let difftest_batched_only = args.iter().any(|a| a == "--difftest-batched");
     let costmodel_only = args.iter().any(|a| a == "--costmodel");
+    let serve_only = args.iter().any(|a| a == "--serve");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -630,13 +714,18 @@ fn main() {
         .position(|a| a == "--search-out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_search.json".to_string());
+    let serve_out = args
+        .iter()
+        .position(|a| a == "--serve-out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
     let opts = BenchOpts {
         samples: if quick { 3 } else { 9 },
         target_ms: if quick { 5 } else { 40 },
     };
     // Section flags compose: `--retrieval --search` runs both sections
     // (each with its gate) and nothing else.
-    if retrieval_only || search_only || difftest_batched_only || costmodel_only {
+    if retrieval_only || search_only || difftest_batched_only || costmodel_only || serve_only {
         if retrieval_only {
             let kb_speedup = retrieval_snapshot(quick, &opts, &retrieval_out);
             gate_retrieval(quick, kb_speedup);
@@ -671,6 +760,10 @@ fn main() {
             );
             println!("{json}");
             gate_costmodel(quick, c.speedup);
+        }
+        if serve_only {
+            let warm_speedup = serve_snapshot(quick, &serve_out);
+            gate_serve(quick, warm_speedup);
         }
         return;
     }
@@ -906,4 +999,11 @@ fn main() {
     // least 3x single-threaded on the same frontier.
     let search_speedup = search_snapshot(quick, &search_out);
     gate_search(quick, search_speedup);
+
+    // 8. Serve: the optimization service's warm-hit vs cold-miss latency
+    // under a Zipf repeat workload, written to its own snapshot file.
+    // Gate 5: a verified-winner memo hit must be at least 20x cheaper
+    // than a cold pipeline run.
+    let serve_speedup = serve_snapshot(quick, &serve_out);
+    gate_serve(quick, serve_speedup);
 }

@@ -298,6 +298,71 @@ pub fn search_arm(h: &Harness, beam: usize, depth: usize) {
     println!("{:<22}|{}", "PLuTo", pluto_row(h));
 }
 
+/// Serve arm: the persistent optimization service over the strided
+/// suite kernels — cold phase (every kernel once through the pipeline),
+/// then `requests` Zipf-distributed repeats served from the
+/// verified-winner memo, then snapshot → restore → replay. The serve
+/// determinism pins are hard-asserted inside `run_serve_campaign`.
+pub fn serve_arm(h: &Harness, requests: usize) {
+    println!("\n=== Serve arm: optimization-as-a-service ({requests} Zipf requests) ===");
+    let kernels: Vec<_> = SUITES.iter().flat_map(|s| h.kernels(*s)).collect();
+    let mut cfg = looprag_core::LoopRagConfig::new(looprag_llm::LlmProfile::deepseek());
+    cfg.seed = h.opts().seed;
+    // Request-level fan-out is the service's parallelism; candidate
+    // stages stay sequential inside each worker.
+    cfg.threads = 1;
+    let report = crate::serve::run_serve_campaign(
+        cfg,
+        h.dataset.clone(),
+        &kernels,
+        requests,
+        h.opts().seed ^ 0x5E12,
+        h.opts().threads,
+    );
+    println!("{:<28} {:>10}", "kernels (cold misses)", report.kernels);
+    println!(
+        "{:<28} {:>10}",
+        "warm requests (all hits)", report.warm_requests
+    );
+    println!(
+        "{:<28} {:>9.1}%",
+        "overall hit rate",
+        100.0 * report.hit_rate
+    );
+    println!(
+        "{:<28} {:>10.1} ms  ({:.1} ms/request)",
+        "cold phase",
+        report.cold_ms,
+        report.cold_ns_per_request / 1e6
+    );
+    println!(
+        "{:<28} {:>10.3} ms  ({:.1} us/request)",
+        "warm phase",
+        report.warm_ms,
+        report.warm_ns_per_request / 1e3
+    );
+    println!(
+        "{:<28} {:>9.0}x",
+        "warm hit over cold miss", report.warm_speedup
+    );
+    println!(
+        "{:<28} {:>10}",
+        "cold LLM stream advances", report.cold_llm_calls
+    );
+    println!(
+        "{:<28} {:>10}",
+        "warm LLM stream advances", report.warm_stream_delta
+    );
+    println!(
+        "{:<28} {:>10}",
+        "warm search expansions", report.warm_expansion_delta
+    );
+    println!(
+        "{:<28} {:>10} bytes  (restore {:.1} ms, replay byte-identical)",
+        "snapshot", report.snapshot_bytes, report.restore_ms
+    );
+}
+
 fn dataset_stats(d: &Dataset) -> Vec<looprag_synth::LoopPropertyStats> {
     d.examples.iter().map(|e| e.stats.clone()).collect()
 }

@@ -186,6 +186,11 @@ impl Harness {
         suite_strided(which, self.opts.kernel_stride)
     }
 
+    /// The options this harness was built with.
+    pub fn opts(&self) -> &EvalOptions {
+        &self.opts
+    }
+
     fn machine_by_name(name: &str) -> MachineConfig {
         match name {
             "clang" => MachineConfig::clang(),

@@ -121,6 +121,52 @@ impl LoopRagConfig {
             search: None,
         }
     }
+
+    /// A canonical fingerprint of every outcome-relevant field — the
+    /// "arm/config" component of the serve layer's verified-winner memo
+    /// key. Two configs with equal fingerprints produce bit-identical
+    /// outcomes for the same kernel over the same knowledge-base state.
+    ///
+    /// The pool size is deliberately **excluded**: outcomes are
+    /// bit-identical at any `threads` (and any
+    /// [`SearchConfig::threads`]), so a memo entry computed at one pool
+    /// size must hit at another.
+    pub fn fingerprint(&self) -> String {
+        // Exhaustive destructuring: adding a field without deciding
+        // whether it belongs in the fingerprint is a compile error.
+        let LoopRagConfig {
+            seed,
+            k,
+            retrieval,
+            top_n,
+            demos,
+            profile,
+            machine,
+            eqcheck,
+            slow_factor,
+            single_shot,
+            budget,
+            threads: _, // no effect on outcomes, by the determinism contract
+            feedback,
+            search,
+        } = self;
+        let budget = match budget {
+            BudgetPolicy::Unlimited => "unlimited".to_string(),
+            BudgetPolicy::VirtualCost { limit } => format!("vc{limit}"),
+            BudgetPolicy::WallClock { limit } => format!("wc{}ns", limit.as_nanos()),
+        };
+        let search = match search {
+            None => "none".to_string(),
+            Some(s) => s.fingerprint(),
+        };
+        format!(
+            "cfg:s{seed}|k{k}|r{retrieval:?}|n{top_n}|d{demos}|sf{:016x}|ss{single_shot}|b{budget}|fb{feedback}|{}|{}|{}|{search}",
+            slow_factor.to_bits(),
+            profile.fingerprint(),
+            machine.fingerprint(),
+            eqcheck.fingerprint(),
+        )
+    }
 }
 
 /// One candidate's journey through the pipeline.
@@ -301,6 +347,13 @@ pub struct OptimizationOutcome {
     pub steps: StepTrace,
     /// Names of the demonstrations used.
     pub demo_ids: Vec<usize>,
+    /// Simulated-LLM stream advances this run consumed (generation and
+    /// repair calls). The serve layer's memo-hit responses report 0 here
+    /// — the proof that a hit never touched the model.
+    pub llm_calls: u64,
+    /// Beam-search node expansions this run consumed (0 unless the
+    /// hybrid arm ran). Likewise 0 on a serve memo hit.
+    pub search_expansions: u64,
 }
 
 /// What the sequential budget pre-pass decided for one candidate before
@@ -375,6 +428,15 @@ impl LoopRag {
     /// indexing).
     pub fn knowledge_len(&self) -> usize {
         self.kb.len()
+    }
+
+    /// The knowledge base's running content fingerprint (see
+    /// [`KnowledgeBase::state_fingerprint`]): two optimizers with equal
+    /// config fingerprints and equal KB fingerprints produce
+    /// bit-identical outcomes for the same kernel. The serve layer
+    /// records this in snapshots and verifies it on restore.
+    pub fn kb_fingerprint(&self) -> u64 {
+        self.kb.state_fingerprint()
     }
 
     fn target_seed(&self, name: &str) -> u64 {
@@ -643,6 +705,7 @@ impl LoopRag {
         // fixed-seed LLM stream is untouched; with `search: None`
         // (default) this block is a no-op and outcomes stay
         // byte-identical to a search-free build.
+        let mut search_expansions = 0u64;
         if let Some(base) = &self.config.search {
             let mut scfg = base.clone();
             scfg.threads = threads;
@@ -652,6 +715,7 @@ impl LoopRag {
             // optimized for a different machine.
             scfg.machine = self.config.machine.clone();
             let found = looprag_search::search(target, &scfg);
+            search_expansions = found.stats.nodes_expanded as u64;
             if !found.recipe.steps.is_empty() {
                 compiled1
                     .items
@@ -694,6 +758,8 @@ impl LoopRag {
                 candidates: batch1.items.into_iter().map(|(r, _)| r).collect(),
                 steps,
                 demo_ids,
+                llm_calls: model.calls(),
+                search_expansions,
             };
         }
 
@@ -732,6 +798,8 @@ impl LoopRag {
             candidates: all.into_iter().map(|(r, _)| r).collect(),
             steps,
             demo_ids,
+            llm_calls: model.calls(),
+            search_expansions,
         }
     }
 }

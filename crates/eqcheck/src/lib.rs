@@ -103,6 +103,27 @@ impl Default for EqCheckConfig {
     }
 }
 
+impl EqCheckConfig {
+    /// A canonical fingerprint of every field. Two configs with equal
+    /// fingerprints produce identical suites and verdicts for the same
+    /// programs; the serve layer folds this into its memo key.
+    pub fn fingerprint(&self) -> String {
+        // Exhaustive destructuring: adding a field without folding it
+        // into the fingerprint becomes a compile error.
+        let EqCheckConfig {
+            seed,
+            param_cap,
+            candidate_inputs,
+            rel_eps,
+            stmt_budget,
+        } = self;
+        format!(
+            "eq:s{seed}|cap{param_cap}|ci{candidate_inputs}|eps{:016x}|sb{stmt_budget}",
+            rel_eps.to_bits()
+        )
+    }
+}
+
 /// A coverage-selected test suite.
 #[derive(Debug, Clone)]
 pub struct TestSuite {

@@ -30,4 +30,4 @@ mod sim;
 pub use detect::{demo_tile_size, detect_families};
 pub use profile::LlmProfile;
 pub use prompt::{Demonstration, Feedback, Prompt};
-pub use sim::{LanguageModel, SimLlm};
+pub use sim::{stream_advance_count, LanguageModel, SimLlm};

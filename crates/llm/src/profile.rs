@@ -95,6 +95,42 @@ impl LlmProfile {
     pub fn skill(&self, f: Family) -> f64 {
         self.base_skill.get(&f).copied().unwrap_or(0.0)
     }
+
+    /// A canonical fingerprint of every field. Two profiles with equal
+    /// fingerprints drive the simulated model identically; the serve
+    /// layer folds this into its verified-winner memo key. Floats are
+    /// rendered via their exact bit pattern and the skill map in sorted
+    /// family order, so the string is total and stable.
+    pub fn fingerprint(&self) -> String {
+        // Exhaustive destructuring: adding a field without folding it
+        // into the fingerprint becomes a compile error.
+        let LlmProfile {
+            name,
+            base_skill,
+            legality_awareness,
+            syntax_slip,
+            semantic_slip,
+            icl_gain,
+            feedback_fix,
+            param_insight,
+        } = self;
+        let mut skills: Vec<(&Family, &f64)> = base_skill.iter().collect();
+        skills.sort_by_key(|(f, _)| **f);
+        let skills: Vec<String> = skills
+            .into_iter()
+            .map(|(f, p)| format!("{f}={:016x}", p.to_bits()))
+            .collect();
+        format!(
+            "llm:{name}|sk:{}|la:{:016x}|sy:{:016x}|se:{:016x}|icl:{:016x}|fb:{:016x}|pi:{:016x}",
+            skills.join(","),
+            legality_awareness.to_bits(),
+            syntax_slip.to_bits(),
+            semantic_slip.to_bits(),
+            icl_gain.to_bits(),
+            feedback_fix.to_bits(),
+            param_insight.to_bits(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +151,19 @@ mod tests {
             );
             assert!(p.legality_awareness < 1.0);
         }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        let g = LlmProfile::gpt4();
+        // Rebuilding the profile re-inserts the HashMap in the same
+        // logical order but possibly different bucket order; the sorted
+        // fingerprint must not care.
+        assert_eq!(g.fingerprint(), LlmProfile::gpt4().fingerprint());
+        assert_ne!(g.fingerprint(), LlmProfile::deepseek().fingerprint());
+        let mut tweaked = LlmProfile::gpt4();
+        tweaked.icl_gain += 1e-9;
+        assert_ne!(g.fingerprint(), tweaked.fingerprint());
     }
 
     #[test]

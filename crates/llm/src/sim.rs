@@ -22,6 +22,20 @@ use looprag_transform::{perfect_band, semantics_preserving, Family, OracleConfig
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of simulated-LLM stream advances (one per
+/// [`LanguageModel::generate`] call on any [`SimLlm`] instance).
+///
+/// This exists so callers can *prove* a code path never touched the
+/// model: take the count before and after and assert the delta is zero.
+/// The serve layer's verified-winner memo uses exactly that assertion.
+static STREAM_ADVANCES: AtomicU64 = AtomicU64::new(0);
+
+/// Total simulated-LLM stream advances in this process so far.
+pub fn stream_advance_count() -> u64 {
+    STREAM_ADVANCES.load(Ordering::Relaxed)
+}
 
 /// One remembered generation attempt.
 #[derive(Debug, Clone)]
@@ -49,6 +63,7 @@ pub struct SimLlm {
     careful: bool,
     confusion: Option<bool>,
     saw_demos: bool,
+    calls: u64,
 }
 
 impl SimLlm {
@@ -68,7 +83,14 @@ impl SimLlm {
             careful: false,
             confusion: None,
             saw_demos: false,
+            calls: 0,
         }
+    }
+
+    /// How many times this instance's stream has advanced (one per
+    /// [`LanguageModel::generate`] call).
+    pub fn calls(&self) -> u64 {
+        self.calls
     }
 
     fn prob(&self, f: Family) -> f64 {
@@ -542,6 +564,8 @@ impl LanguageModel for SimLlm {
     }
 
     fn generate(&mut self, prompt: &Prompt) -> String {
+        self.calls += 1;
+        STREAM_ADVANCES.fetch_add(1, Ordering::Relaxed);
         // Feedback handling first.
         match &prompt.feedback {
             Some(Feedback::Compile { last_code, .. }) => {

@@ -55,6 +55,26 @@ use std::collections::HashMap;
 /// only contribute to the target's feature *count*, never to a match.
 const UNKNOWN_ITEM: u32 = u32::MAX;
 
+/// Folds one `(id, printed text)` insertion into the running content
+/// fingerprint (FNV-1a over the id digits, a separator, the text, and a
+/// terminator, so `(1, "ab")` and `(12, "b")` cannot collide by
+/// concatenation).
+fn fold_fingerprint(state: u64, id: usize, text: &str) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = state ^ 0xcbf2_9ce4_8422_2325;
+    for b in id
+        .to_string()
+        .bytes()
+        .chain([b':'])
+        .chain(text.bytes())
+        .chain([0u8])
+    {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
 /// One statement's feature spans inside the arena: schedule items are
 /// `items[sched_start..sched_end]`, index items are
 /// `items[sched_end..idx_end]`; both runs are sorted.
@@ -178,6 +198,11 @@ pub struct KnowledgeBase {
     items: Vec<u32>,
     stmts: Vec<StmtSpan>,
     docs: Vec<DocEntry>,
+    /// Running FNV-1a fold over every `(id, printed text)` insertion, in
+    /// insertion order (0 when empty). A cheap content integrity mark:
+    /// two bases with equal fingerprints indexed the same examples in
+    /// the same order. Snapshots record it and restore verifies it.
+    state_fingerprint: u64,
 }
 
 impl KnowledgeBase {
@@ -232,6 +257,13 @@ impl KnowledgeBase {
         self.docs.is_empty()
     }
 
+    /// The running content fingerprint: an FNV-1a fold over every
+    /// `(id, printed text)` insertion in order, 0 for an empty base.
+    /// Layout operations ([`KnowledgeBase::commit`]) never change it.
+    pub fn state_fingerprint(&self) -> u64 {
+        self.state_fingerprint
+    }
+
     /// CSR postings of term `t` (empty for post-commit terms).
     fn csr_postings(&self, t: u32) -> (&[u32], &[u32]) {
         let t = t as usize;
@@ -266,6 +298,7 @@ impl KnowledgeBase {
         let doc = u32::try_from(self.docs.len()).expect("corpus exceeds u32 documents");
         // BM25 layer: tokenize the printed text, intern, count.
         let text = print_program(program);
+        self.state_fingerprint = fold_fingerprint(self.state_fingerprint, id, &text);
         let toks = tokenize(&text);
         let toks_len = u32::try_from(toks.len()).expect("document exceeds u32 tokens");
         self.doc_len.push(toks_len);

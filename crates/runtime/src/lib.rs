@@ -29,17 +29,50 @@ use std::time::{Duration, Instant};
 /// configured size is 0 (auto).
 pub const THREADS_ENV: &str = "LOOPRAG_THREADS";
 
+/// Parses a `LOOPRAG_THREADS` value strictly: the only accepted form is
+/// a positive integer.
+///
+/// # Errors
+///
+/// Returns a descriptive error for non-numeric values and for `0`
+/// (which used to be silently indistinguishable from an unset
+/// variable; unset the variable instead to get auto sizing).
+pub fn parse_threads_env(value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "{THREADS_ENV} must be a positive integer; got 0 \
+             (unset the variable for automatic pool sizing)"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "{THREADS_ENV} must be a positive integer; got {value:?}"
+        )),
+    }
+}
+
 /// Resolves a configured pool size: an explicit `configured > 0` wins,
 /// then the `LOOPRAG_THREADS` environment variable, then the machine's
 /// available parallelism.
+///
+/// An invalid `LOOPRAG_THREADS` value (non-numeric or zero) is *not*
+/// silently treated as unset: a loud warning is printed to stderr (once
+/// per process) before falling back to available parallelism, so a
+/// typo'd `LOOPRAG_THREADS=fuor` or `LOOPRAG_THREADS=0` cannot quietly
+/// change which pool size an experiment ran at.
 pub fn resolve_threads(configured: usize) -> usize {
     if configured > 0 {
         return configured;
     }
     if let Ok(v) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
+        match parse_threads_env(&v) {
+            Ok(n) => return n,
+            Err(msg) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "[looprag-runtime] WARNING: {msg}; falling back to available parallelism"
+                    );
+                });
             }
         }
     }
@@ -219,6 +252,29 @@ mod tests {
     fn resolve_explicit_wins() {
         assert_eq!(resolve_threads(3), 3);
         assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn parse_threads_env_accepts_positive_integers() {
+        assert_eq!(parse_threads_env("1"), Ok(1));
+        assert_eq!(parse_threads_env("8"), Ok(8));
+        assert_eq!(parse_threads_env(" 12 "), Ok(12), "whitespace is trimmed");
+    }
+
+    #[test]
+    fn parse_threads_env_rejects_zero_and_garbage() {
+        for bad in ["0", "", "fuor", "-2", "3.5", "2 threads"] {
+            let err = parse_threads_env(bad)
+                .expect_err(&format!("{bad:?} must be rejected, not silently ignored"));
+            assert!(
+                err.contains(THREADS_ENV),
+                "error must name the variable: {err}"
+            );
+        }
+        assert!(
+            parse_threads_env("0").unwrap_err().contains("unset"),
+            "zero's error must point at unsetting the variable"
+        );
     }
 
     #[test]

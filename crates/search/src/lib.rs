@@ -74,7 +74,21 @@ use looprag_machine::{estimate_cost_reference, CostEngine, MachineConfig};
 use looprag_runtime::{par_map, resolve_threads};
 use looprag_transform::{enumerate_steps, Family, Recipe, Step, StepGrid};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-wide count of node expansions performed by [`search`] and
+/// [`search_reference`] combined.
+///
+/// This exists so callers can *prove* a code path never ran the search:
+/// take the count before and after and assert the delta is zero. The
+/// serve layer's verified-winner memo uses exactly that assertion.
+static EXPANSIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total search node expansions in this process so far.
+pub fn expansion_count() -> u64 {
+    EXPANSIONS.load(Ordering::Relaxed)
+}
 
 /// Search configuration.
 #[derive(Debug, Clone)]
@@ -106,6 +120,42 @@ impl Default for SearchConfig {
             machine: MachineConfig::gcc(),
             threads: 0,
         }
+    }
+}
+
+impl SearchConfig {
+    /// A canonical fingerprint of every outcome-relevant field. The pool
+    /// size is deliberately **excluded**: results are bit-identical at
+    /// any `threads`, so a memo entry computed at one pool size must hit
+    /// at another. The serve layer folds this into its memo key.
+    pub fn fingerprint(&self) -> String {
+        // Exhaustive destructuring: adding a field without deciding
+        // whether it belongs in the fingerprint is a compile error.
+        let SearchConfig {
+            beam,
+            depth,
+            grid,
+            machine,
+            threads: _, // no effect on results, by the determinism contract
+        } = self;
+        let StepGrid {
+            tile_sizes,
+            max_tile_depth,
+            skew_factors,
+            retile,
+        } = grid;
+        let join = |xs: &[i64]| {
+            xs.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            "search:b{beam}|d{depth}|ts[{}]|mtd{max_tile_depth}|sk[{}]|rt{retile}|{}",
+            join(tile_sizes),
+            join(skew_factors),
+            machine.fingerprint(),
+        )
     }
 }
 
@@ -327,6 +377,7 @@ pub fn search(p: &Program, cfg: &SearchConfig) -> SearchResult {
             (kids, total, pruned)
         });
         stats.nodes_expanded += to_expand.len();
+        EXPANSIONS.fetch_add(to_expand.len() as u64, Ordering::Relaxed);
 
         // Sequential merge: admit first occurrences of never-seen
         // programs to the node table.
@@ -482,6 +533,7 @@ pub fn search_reference(p: &Program, cfg: &SearchConfig) -> SearchResult {
             }
         }
         stats.nodes_expanded += frontier.len();
+        EXPANSIONS.fetch_add(frontier.len() as u64, Ordering::Relaxed);
         stats.applied += entries.len();
         // Score everything, from scratch.
         for e in &mut entries {

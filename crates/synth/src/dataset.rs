@@ -266,6 +266,44 @@ mod tests {
     }
 
     #[test]
+    fn save_load_save_is_byte_stable() {
+        // Persistence must be a fixed point: save -> load -> save gives
+        // the same bytes, so snapshots never churn across restarts (the
+        // serve layer's byte-identical restore relies on this).
+        let mut d = tiny(GeneratorKind::ParameterDriven, 4);
+        let mut mined = d.examples[0].clone();
+        mined.id = d.next_id();
+        mined.provenance = Provenance::Mined;
+        d.examples.push(mined);
+        let first = d.to_json().unwrap();
+        let second = Dataset::from_json(&first).unwrap().to_json().unwrap();
+        assert_eq!(first, second, "save -> load -> save drifted");
+    }
+
+    #[test]
+    fn corrupted_snapshots_are_rejected_descriptively() {
+        let d = tiny(GeneratorKind::ColaGen, 2);
+        let json = d.to_json().unwrap();
+        // Truncation mid-document.
+        let truncated = &json[..json.len() / 2];
+        let err = Dataset::from_json(truncated).expect_err("truncated JSON must not load");
+        assert!(
+            !err.to_string().is_empty(),
+            "truncation error must be descriptive"
+        );
+        // A record with the wrong shape (id as string).
+        let retyped = json.replacen("\"id\":0", "\"id\":\"zero\"", 1);
+        assert_ne!(retyped, json, "id field not found in JSON");
+        let err = Dataset::from_json(&retyped).expect_err("retyped id must not load");
+        assert!(
+            !err.to_string().is_empty(),
+            "type-mismatch error must be descriptive"
+        );
+        // Not JSON at all.
+        assert!(Dataset::from_json("not json").is_err());
+    }
+
+    #[test]
     fn mined_records_round_trip_with_provenance_and_id() {
         let mut d = tiny(GeneratorKind::ColaGen, 3);
         let mut mined = d.examples[0].clone();

@@ -18,6 +18,7 @@
 //! * [`looprag_suites`] — PolyBench/TSVC/LORE kernels
 //! * [`looprag_search`] — legality-guided beam search over recipes
 //! * [`looprag_core`] — the end-to-end pipeline
+//! * [`looprag_serve`] — optimization-as-a-service with a verified-winner memo
 //!
 //! ```
 //! use looprag::prelude::*;
@@ -45,6 +46,7 @@ pub use looprag_polyopt;
 pub use looprag_retrieval;
 pub use looprag_runtime;
 pub use looprag_search;
+pub use looprag_serve;
 pub use looprag_suites;
 pub use looprag_synth;
 pub use looprag_transform;

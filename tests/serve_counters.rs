@@ -1,0 +1,52 @@
+//! Proof that the memo hit path is LLM- and search-free: across a warm
+//! (all-hit) batch, the *process-wide* LLM stream-advance and search
+//! node-expansion counters must not move at all.
+//!
+//! This lives in its own test binary with a single test: the counters
+//! are global, so any concurrently running pipeline test inside the
+//! same binary would pollute the deltas.
+
+use looprag::looprag_core::LoopRagConfig;
+use looprag::looprag_llm::LlmProfile;
+use looprag::looprag_serve::{CacheStatus, Request, Server};
+use looprag::looprag_suites::{suite, Suite};
+use looprag::looprag_synth::{build_dataset, SynthConfig};
+
+#[test]
+fn warm_hits_advance_no_global_counters() {
+    let dataset = build_dataset(&SynthConfig {
+        count: 12,
+        ..Default::default()
+    });
+    let mut server = Server::new(LoopRagConfig::new(LlmProfile::deepseek()), dataset, 1);
+    let reqs: Vec<Request> = suite(Suite::Tsvc)
+        .into_iter()
+        .take(3)
+        .map(|b| Request::new(b.name.clone(), b.source))
+        .collect();
+
+    let cold = server.submit(&reqs);
+    assert!(cold.iter().all(|r| r.cache == CacheStatus::Miss));
+    assert!(
+        cold.iter().any(|r| r.llm_calls > 0),
+        "cold misses should have consulted the model"
+    );
+
+    let stream_before = looprag::looprag_llm::stream_advance_count();
+    let expand_before = looprag::looprag_search::expansion_count();
+    let warm = server.submit(&reqs);
+    assert!(warm.iter().all(|r| r.cache == CacheStatus::Hit));
+    assert!(warm
+        .iter()
+        .all(|r| r.llm_calls == 0 && r.search_expansions == 0));
+    assert_eq!(
+        looprag::looprag_llm::stream_advance_count(),
+        stream_before,
+        "a memo hit advanced the simulated-LLM stream"
+    );
+    assert_eq!(
+        looprag::looprag_search::expansion_count(),
+        expand_before,
+        "a memo hit expanded search nodes"
+    );
+}

@@ -205,3 +205,17 @@ impl<T: Serialize + ?Sized> Serialize for &T {
         (**self).to_value()
     }
 }
+
+// Identity impls so callers can parse JSON into a raw `Value` tree and
+// walk it by hand (e.g. versioned snapshot documents whose shape is
+// checked before any typed field is extracted).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
