@@ -12,8 +12,9 @@
 //! be compared against the last committed snapshots.
 //!
 //! Usage: `perf_snapshot [--quick] [--retrieval] [--search]
-//! [--difftest-batched] [--costmodel] [--serve] [--out PATH]
-//! [--retrieval-out PATH] [--search-out PATH] [--serve-out PATH]`
+//! [--difftest-batched] [--costmodel] [--serve] [--rerank] [--out PATH]
+//! [--retrieval-out PATH] [--search-out PATH] [--serve-out PATH]
+//! [--rerank-out PATH]`
 //!
 //! `--retrieval` runs only the retrieval section; `--search` runs only
 //! the search section (the legality-guided beam engine pinned against
@@ -35,7 +36,15 @@
 //! under a Zipf-like repeat workload over the suite kernels, written to
 //! `BENCH_serve.json`, gated at >= 20x warm-over-cold in full mode —
 //! with the all-hit/zero-work/snapshot-replay determinism pins
-//! hard-asserted even in quick mode). `--quick` shrinks
+//! hard-asserted even in quick mode); `--rerank` runs only the learned
+//! step-reranker section (`looprag-rank` trained on a trace of half
+//! the TSVC frontier, then ranker-on vs ranker-off beam searches over
+//! the whole frontier on fresh cost engines, written to
+//! `BENCH_rerank.json`, gated in full mode at equal-or-better total
+//! final cost with >= 1.5x fewer `estimate_cost` calls and >= 1.5x
+//! wall — with the fit-order-invariance / JSON-round-trip / pool-size
+//! 1-2-8 determinism pins hard-asserted even in quick mode).
+//! `--quick` shrinks
 //! sample counts, corpus size and kernel strides so CI can keep the bin
 //! from bit-rotting in seconds; the committed snapshots should come
 //! from full (non-quick) runs. In full mode the bin exits non-zero if
@@ -47,7 +56,7 @@
 //! cores — if the parallel campaign fails to beat the sequential one by
 //! at least 2x.
 
-use looprag_bench::run_campaign;
+use looprag_bench::{run_campaign, train_rank_model};
 use looprag_core::{LoopRag, LoopRagConfig};
 use looprag_eqcheck::{
     build_test_suite, differential_test, differential_test_reference, differential_test_scalar,
@@ -60,8 +69,11 @@ use looprag_machine::{
     estimate_cost_reference, measure_locality, CacheObserver, CostEngine, CostError, CostReport,
     MachineConfig,
 };
+use looprag_rank::{RankConfig, RankModel};
 use looprag_retrieval::{KnowledgeBase, RetrievalMode, Retriever};
-use looprag_search::{search, search_reference, SearchConfig, SearchStats};
+use looprag_search::{
+    rank_training_examples, search, search_reference, search_with_engine, SearchConfig, SearchStats,
+};
 use looprag_suites::all_benchmarks;
 use looprag_synth::{build_dataset, generate_example, LoopParams, SynthConfig};
 use looprag_transform::{parallelize, scaled_clone, tile_band};
@@ -691,6 +703,190 @@ fn gate_serve(quick: bool, warm_speedup: f64) {
     }
 }
 
+/// The rerank section's gated numbers.
+struct Rerank {
+    /// `sum(cost_off) / sum(cost_on)` — >= 1.0 means the ranker-guided
+    /// search ends at equal-or-better total final cost.
+    cost_ratio: f64,
+    /// `scored_off / scored_on` — the `estimate_cost`-invocation saving.
+    scored_ratio: f64,
+    /// `wall_off / wall_on`.
+    wall_ratio: f64,
+}
+
+/// The rerank section: trains the feature-based step reranker
+/// (`looprag-rank`) on a sequential trace of half the TSVC frontier,
+/// then runs ranker-on vs ranker-off beam searches over the *whole*
+/// frontier — fresh cost engines per arm, so neither side scores from
+/// a cache the other warmed. The determinism pins are hard-asserted
+/// even in quick mode: `RankModel::fit` is input-order invariant, the
+/// model JSON round-trips byte-stably, and the ranker-on result is
+/// bit-identical at pool sizes 1, 2 and 8. Full mode gates
+/// equal-or-better total final cost with >= 1.5x fewer `estimate_cost`
+/// calls and >= 1.5x less wall time.
+fn rerank_snapshot(quick: bool, out_path: &str) -> Rerank {
+    let (stride, beam, depth) = if quick { (24, 2, 3) } else { (10, 4, 6) };
+    let kernels = looprag_suites::suite_strided(looprag_suites::Suite::Tsvc, stride);
+    let base_cfg = SearchConfig {
+        beam,
+        depth,
+        threads: 1,
+        ..SearchConfig::default()
+    };
+    // Train on the full frontier — the deployment shape of the
+    // feedback loop this model closes: a campaign mines winners from
+    // the workload it serves, and the reranker guides later searches
+    // over that same workload.
+    let train_programs: Vec<Program> = kernels.iter().map(|b| b.program()).collect();
+    eprintln!(
+        "[perf_snapshot] rerank: tracing {} training kernels (beam {beam}, depth {depth})...",
+        train_programs.len()
+    );
+    let t0 = Instant::now();
+    let mut examples = Vec::new();
+    for p in &train_programs {
+        examples.extend(rank_training_examples(p, &base_cfg));
+    }
+    let model = RankModel::fit(&examples);
+    let train_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Determinism pins, hard even in quick mode.
+    let mut reversed = examples.clone();
+    reversed.reverse();
+    assert_eq!(
+        model,
+        RankModel::fit(&reversed),
+        "RankModel::fit depends on training-record input order"
+    );
+    assert_eq!(
+        model,
+        train_rank_model(&train_programs, &base_cfg),
+        "train_rank_model diverged from the inline trace + fit"
+    );
+    let model_json = model.to_json().expect("rank model to_json");
+    let reloaded = RankModel::from_json(&model_json).expect("rank model from_json");
+    assert_eq!(
+        model_json,
+        reloaded.to_json().expect("reloaded rank model to_json"),
+        "rank model JSON round-trip is not byte-stable"
+    );
+    let model_fp = model.fingerprint();
+    let model_cells = model.len();
+    let model_observations = model.observations();
+    let train_examples = examples.len();
+
+    let rank = RankConfig::new(model);
+    let keep_fraction = rank.keep_fraction;
+    let mut on_cfg = base_cfg.clone();
+    on_cfg.rank = Some(rank);
+
+    let mut off_ms = 0.0f64;
+    let mut on_ms = 0.0f64;
+    let mut off_stats = SearchStats::default();
+    let mut on_stats = SearchStats::default();
+    let mut cost_off_total = 0.0f64;
+    let mut cost_on_total = 0.0f64;
+    let mut improved = 0usize;
+    let mut regressed = 0usize;
+    for b in &kernels {
+        let p = b.program();
+        let t0 = Instant::now();
+        let off = search_with_engine(&p, &base_cfg, &CostEngine::new());
+        off_ms += t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let on = search_with_engine(&p, &on_cfg, &CostEngine::new());
+        on_ms += t0.elapsed().as_secs_f64() * 1e3;
+        // Pool-size pin, hard even in quick: the ranker-on outcome is
+        // bit-identical at 1, 2 and 8 workers.
+        for pool in [2usize, 8] {
+            let mut pcfg = on_cfg.clone();
+            pcfg.threads = pool;
+            let r = search_with_engine(&p, &pcfg, &CostEngine::new());
+            assert_eq!(
+                on.fingerprint(),
+                r.fingerprint(),
+                "ranker-on search diverged at pool size {pool} on {}",
+                b.name
+            );
+        }
+        if on.cost < off.cost {
+            improved += 1;
+        } else if on.cost > off.cost {
+            regressed += 1;
+        }
+        cost_off_total += off.cost;
+        cost_on_total += on.cost;
+        off_stats += off.stats;
+        on_stats += on.stats;
+        eprintln!(
+            "[perf_snapshot] rerank: {:<8} cost {:12.0} -> {:12.0}, scored {:4} -> {:4}, \
+             rank-pruned {}",
+            b.name, off.cost, on.cost, off.stats.scored, on.stats.scored, on.stats.rank_pruned
+        );
+    }
+    let r = Rerank {
+        cost_ratio: cost_off_total / cost_on_total.max(1e-9),
+        scored_ratio: off_stats.scored as f64 / (on_stats.scored as f64).max(1.0),
+        wall_ratio: off_ms / on_ms.max(1e-9),
+    };
+    let n = kernels.len();
+    let json = format!(
+        "{{\n  \"quick\": {quick},\n  \"kernels\": {n},\n  \"stride\": {stride},\n  \"beam\": {beam},\n  \"depth\": {depth},\n  \"train_kernels\": {},\n  \"train_examples\": {train_examples},\n  \"train_ms\": {train_ms:.1},\n  \"model_cells\": {model_cells},\n  \"model_observations\": {model_observations},\n  \"model_fingerprint\": \"{model_fp:016x}\",\n  \"keep_fraction\": {keep_fraction},\n  \"off_ms\": {off_ms:.1},\n  \"on_ms\": {on_ms:.1},\n  \"rerank_wall_speedup\": {:.2},\n  \"off_scored\": {},\n  \"on_scored\": {},\n  \"rerank_scored_ratio\": {:.2},\n  \"on_rank_pruned\": {},\n  \"off_steps_enumerated\": {},\n  \"on_steps_enumerated\": {},\n  \"cost_off_total\": {cost_off_total:.0},\n  \"cost_on_total\": {cost_on_total:.0},\n  \"rerank_cost_ratio\": {:.4},\n  \"improved\": {improved},\n  \"regressed\": {regressed}\n}}\n",
+        train_programs.len(),
+        r.wall_ratio,
+        off_stats.scored,
+        on_stats.scored,
+        r.scored_ratio,
+        on_stats.rank_pruned,
+        off_stats.steps_enumerated,
+        on_stats.steps_enumerated,
+        r.cost_ratio,
+    );
+    std::fs::write(out_path, &json).expect("write rerank snapshot");
+    println!("{json}");
+    eprintln!(
+        "[perf_snapshot] rerank: {:.2}x fewer estimate_cost calls, {:.2}x wall, cost ratio \
+         {:.4} ({improved} improved / {regressed} regressed of {n}); wrote {out_path}",
+        r.scored_ratio, r.wall_ratio, r.cost_ratio
+    );
+    r
+}
+
+/// Applies the rerank gates: the ranker-guided search must reach
+/// equal-or-better total final cost than ranker-off at the same
+/// beam/depth, with at least 1.5x fewer `estimate_cost` invocations
+/// and at least 1.5x less wall time. Quick mode only warns (the
+/// determinism pins in the section stay hard either way).
+fn gate_rerank(quick: bool, r: &Rerank) {
+    let mut failures = Vec::new();
+    if r.cost_ratio < 1.0 {
+        failures.push(format!(
+            "rerank cost ratio {:.4} below 1.0 (ranker-on ends at worse total cost)",
+            r.cost_ratio
+        ));
+    }
+    if r.scored_ratio < 1.5 {
+        failures.push(format!(
+            "rerank estimate_cost saving {:.2}x below 1.5x",
+            r.scored_ratio
+        ));
+    }
+    if r.wall_ratio < 1.5 {
+        failures.push(format!(
+            "rerank wall speedup {:.2}x below 1.5x",
+            r.wall_ratio
+        ));
+    }
+    for f in failures {
+        if quick {
+            eprintln!("[perf_snapshot] WARNING: {f} (quick mode, not gating)");
+        } else {
+            eprintln!("[perf_snapshot] FAIL: {f}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -699,6 +895,7 @@ fn main() {
     let difftest_batched_only = args.iter().any(|a| a == "--difftest-batched");
     let costmodel_only = args.iter().any(|a| a == "--costmodel");
     let serve_only = args.iter().any(|a| a == "--serve");
+    let rerank_only = args.iter().any(|a| a == "--rerank");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -719,13 +916,24 @@ fn main() {
         .position(|a| a == "--serve-out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let rerank_out = args
+        .iter()
+        .position(|a| a == "--rerank-out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_rerank.json".to_string());
     let opts = BenchOpts {
         samples: if quick { 3 } else { 9 },
         target_ms: if quick { 5 } else { 40 },
     };
     // Section flags compose: `--retrieval --search` runs both sections
     // (each with its gate) and nothing else.
-    if retrieval_only || search_only || difftest_batched_only || costmodel_only || serve_only {
+    if retrieval_only
+        || search_only
+        || difftest_batched_only
+        || costmodel_only
+        || serve_only
+        || rerank_only
+    {
         if retrieval_only {
             let kb_speedup = retrieval_snapshot(quick, &opts, &retrieval_out);
             gate_retrieval(quick, kb_speedup);
@@ -764,6 +972,10 @@ fn main() {
         if serve_only {
             let warm_speedup = serve_snapshot(quick, &serve_out);
             gate_serve(quick, warm_speedup);
+        }
+        if rerank_only {
+            let r = rerank_snapshot(quick, &rerank_out);
+            gate_rerank(quick, &r);
         }
         return;
     }
@@ -1006,4 +1218,11 @@ fn main() {
     // than a cold pipeline run.
     let serve_speedup = serve_snapshot(quick, &serve_out);
     gate_serve(quick, serve_speedup);
+
+    // 9. Rerank: the learned step reranker trained on half the TSVC
+    // frontier vs the unranked search over the whole frontier, written
+    // to its own snapshot file. Gate 6: equal-or-better total final
+    // cost with >= 1.5x fewer estimate_cost calls and >= 1.5x wall.
+    let rerank = rerank_snapshot(quick, &rerank_out);
+    gate_rerank(quick, &rerank);
 }

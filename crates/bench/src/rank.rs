@@ -1,0 +1,55 @@
+//! Offline training for the learned step reranker (`looprag-rank`).
+//!
+//! The training loop closes the feedback circle the ROADMAP calls out:
+//! a feedback campaign mines verified winners into the knowledge base
+//! as [`Provenance::Mined`] records, and this module turns those
+//! records back into search guidance. For every mined source program
+//! (each one a kernel the pipeline *proved* it could speed up), a
+//! sequential trace-collecting beam search
+//! ([`looprag_search::rank_training_examples`]) labels every grid step
+//! with its observed speedup — losers included — and
+//! [`RankModel::fit`] folds the labelled examples into the
+//! `(feature signature × family × param)` speedup table. Everything is
+//! deterministic: the trace is a pure function of `(program, config)`
+//! and the fit is input-order invariant, so the same dataset always
+//! trains the same model, byte for byte.
+
+use looprag_core::SearchConfig;
+use looprag_ir::{parse_program, Program};
+use looprag_rank::{RankExample, RankModel};
+use looprag_search::rank_training_examples;
+use looprag_synth::{Dataset, Provenance};
+
+/// The parsed source programs of every [`Provenance::Mined`] record in
+/// `dataset`, in record order — the kernels whose verified wins feed
+/// the reranker. Records whose stored source fails to parse are
+/// skipped (snapshot restore validates them; a hand-edited dataset
+/// should not abort training).
+pub fn mined_training_programs(dataset: &Dataset) -> Vec<Program> {
+    dataset
+        .examples
+        .iter()
+        .filter(|e| e.provenance == Provenance::Mined)
+        .filter_map(|e| parse_program(&e.source, &format!("mined_{}", e.id)).ok())
+        .collect()
+}
+
+/// Collects trace examples over `programs` and fits a [`RankModel`].
+///
+/// `cfg.rank` and `cfg.threads` are ignored by the underlying trace
+/// (the model never trains on its own pruning, and the example stream
+/// is sequential), so the returned model is a pure function of the
+/// program list and the search grid/beam/depth/machine.
+pub fn train_rank_model(programs: &[Program], cfg: &SearchConfig) -> RankModel {
+    let mut examples: Vec<RankExample> = Vec::new();
+    for p in programs {
+        examples.extend(rank_training_examples(p, cfg));
+    }
+    RankModel::fit(&examples)
+}
+
+/// [`train_rank_model`] over the mined records of a campaign dataset —
+/// the "learn from what the campaign verified" entry point.
+pub fn train_rank_model_from_mined(dataset: &Dataset, cfg: &SearchConfig) -> RankModel {
+    train_rank_model(&mined_training_programs(dataset), cfg)
+}

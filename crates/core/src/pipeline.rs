@@ -99,6 +99,13 @@ pub struct LoopRagConfig {
     /// search-free run. With `k = 0` this becomes the search-only
     /// scenario arm: no model calls, only the search winner is tested.
     pub search: Option<SearchConfig>,
+    /// Learned reranker for the hybrid search arm: when set, the beam
+    /// search injected by [`LoopRagConfig::search`] scores, reorders
+    /// and prunes each node's step grid with this model before paying
+    /// for legality checks and cost estimates (see `looprag_rank`).
+    /// Ignored when `search` is `None`. The default `None` keeps every
+    /// fixed-seed outcome byte-identical to a ranker-free build.
+    pub rank: Option<looprag_rank::RankConfig>,
 }
 
 impl LoopRagConfig {
@@ -119,6 +126,7 @@ impl LoopRagConfig {
             threads: 0,
             feedback: false,
             search: None,
+            rank: None,
         }
     }
 
@@ -149,6 +157,7 @@ impl LoopRagConfig {
             threads: _, // no effect on outcomes, by the determinism contract
             feedback,
             search,
+            rank,
         } = self;
         let budget = match budget {
             BudgetPolicy::Unlimited => "unlimited".to_string(),
@@ -159,8 +168,15 @@ impl LoopRagConfig {
             None => "none".to_string(),
             Some(s) => s.fingerprint(),
         };
+        // Appended only when set, so ranker-free fingerprints — and the
+        // serve memo keys derived from them — are byte-identical to
+        // builds that predate the reranker.
+        let rank = match rank {
+            None => String::new(),
+            Some(r) => format!("|{}", r.fingerprint()),
+        };
         format!(
-            "cfg:s{seed}|k{k}|r{retrieval:?}|n{top_n}|d{demos}|sf{:016x}|ss{single_shot}|b{budget}|fb{feedback}|{}|{}|{}|{search}",
+            "cfg:s{seed}|k{k}|r{retrieval:?}|n{top_n}|d{demos}|sf{:016x}|ss{single_shot}|b{budget}|fb{feedback}|{}|{}|{}|{search}{rank}",
             slow_factor.to_bits(),
             profile.fingerprint(),
             machine.fingerprint(),
@@ -440,12 +456,7 @@ impl LoopRag {
     }
 
     fn target_seed(&self, name: &str) -> u64 {
-        let mut h = 1469598103934665603u64;
-        for b in name.bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(1099511628211);
-        }
-        h ^ self.config.seed
+        looprag_runtime::fnv64(name.bytes()) ^ self.config.seed
     }
 
     /// Stage 0: retrieves the top-N examples from the knowledge base
@@ -714,6 +725,7 @@ impl LoopRag {
             // must score under the same model or its "winner" could be
             // optimized for a different machine.
             scfg.machine = self.config.machine.clone();
+            scfg.rank = self.config.rank.clone();
             let found = looprag_search::search(target, &scfg);
             search_expansions = found.stats.nodes_expanded as u64;
             if !found.recipe.steps.is_empty() {

@@ -1,0 +1,552 @@
+//! # looprag-rank
+//!
+//! A lightweight, fully deterministic feature-based step reranker
+//! trained offline from campaign feedback (the `Mined` provenance
+//! records the knowledge base accumulates), used by `looprag-search` to
+//! visit the step catalog in predicted-best order and prune low-value
+//! grid cells before legality checks and `estimate_cost`.
+//!
+//! ## Model
+//!
+//! The model is a plain table: for every observed
+//! `(loop-feature signature × step family × step-parameter bucket)`
+//! cell it stores the count, the sum and the best (maximum) of the
+//! log-speedups seen in training traces (`child` admitted with
+//! `parent_cost / child_cost`, illegal steps recorded as losers with
+//! speedup 0, clamped to [`MIN_SPEEDUP`]). Scoring returns the cell's
+//! mean log-speedup, backing off to the `(family × param)` marginal
+//! and then the family marginal (each attenuated) when a cell was
+//! never observed, and 0 for a family never seen at all — so an
+//! untrained model ranks every step equally and changes nothing. The
+//! per-cell best feeds [`RankModel::ever_won`], the optimistic
+//! pruning guard: a step whose exact cell ever won is never pruned,
+//! so winning paths the training traces covered survive any
+//! keep-fraction.
+//!
+//! ## Determinism contract
+//!
+//! * [`RankModel::fit`] sorts its examples into a canonical order
+//!   before folding the f64 sums, so the model is invariant to
+//!   training-record input order (proptested in `tests/rank.rs`).
+//! * Tables are `BTreeMap`s over integer keys: no RNG, no
+//!   iteration-order dependence anywhere.
+//! * [`RankModel::to_json`] writes f64 sums as bit-pattern hex strings,
+//!   so serialize → deserialize → serialize is a byte-level fixed point
+//!   and a model fingerprint survives a snapshot round trip exactly.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use serde::Value;
+
+/// Speedups are clamped to this floor before taking the log, so losers
+/// (illegal or failed steps, recorded with speedup 0) contribute a
+/// large-but-finite penalty. A power of two, so the clamp is exact.
+pub const MIN_SPEEDUP: f64 = 1.0 / 64.0;
+
+/// Attenuation applied when scoring backs off from an exact cell to the
+/// `(family × param)` marginal.
+const MARGINAL_BACKOFF: f64 = 0.5;
+
+/// Attenuation applied when scoring backs off to the family marginal.
+const FAMILY_BACKOFF: f64 = 0.25;
+
+/// One training observation: a step (by family and parameter bucket)
+/// tried on a program (by feature signature), with the speedup it
+/// achieved (`parent_cost / child_cost`; 0 marks an illegal or failed
+/// step).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankExample {
+    /// Integer-bucketed loop-feature signature of the program the step
+    /// was tried on (see `looprag_retrieval::feature_signature`).
+    pub signature: u32,
+    /// Step family index (see `looprag_transform::Family` order).
+    pub family: u8,
+    /// Step-parameter bucket (see `looprag_transform::Step::rank_param`).
+    pub param: u8,
+    /// Observed speedup; 0 for losers.
+    pub speedup: f64,
+}
+
+/// Count, log-speedup sum and best (maximum) log-speedup of one table
+/// cell. The mean drives ordering; the best drives the optimistic
+/// winner-protection pruning gate ([`RankModel::ever_won`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Cell {
+    count: u64,
+    sum: f64,
+    best: f64,
+}
+
+impl Default for Cell {
+    fn default() -> Self {
+        Cell {
+            count: 0,
+            sum: 0.0,
+            best: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Cell {
+    fn mean(self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// The trained reranker table. See the crate docs for the model and
+/// determinism contract.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankModel {
+    /// Exact `(signature, family, param)` cells.
+    cells: BTreeMap<(u32, u8, u8), Cell>,
+    /// `(family, param)` marginals over all signatures.
+    marginals: BTreeMap<(u8, u8), Cell>,
+    /// Family marginals over everything.
+    families: BTreeMap<u8, Cell>,
+}
+
+impl RankModel {
+    /// Fits a model from training examples.
+    ///
+    /// The examples are sorted into a canonical order (signature,
+    /// family, param, speedup bits) before the f64 sums fold, so the
+    /// result is invariant to the input order.
+    pub fn fit(examples: &[RankExample]) -> RankModel {
+        let mut sorted: Vec<RankExample> = examples.to_vec();
+        sorted.sort_by(|a, b| {
+            (a.signature, a.family, a.param, a.speedup.to_bits()).cmp(&(
+                b.signature,
+                b.family,
+                b.param,
+                b.speedup.to_bits(),
+            ))
+        });
+        let mut model = RankModel::default();
+        for ex in sorted {
+            let logsp = ex.speedup.max(MIN_SPEEDUP).ln();
+            for cell in [
+                model
+                    .cells
+                    .entry((ex.signature, ex.family, ex.param))
+                    .or_default(),
+                model.marginals.entry((ex.family, ex.param)).or_default(),
+                model.families.entry(ex.family).or_default(),
+            ] {
+                cell.count += 1;
+                cell.sum += logsp;
+                // f64::max is commutative and associative over the
+                // finite values the clamp guarantees, so this stays
+                // input-order invariant.
+                cell.best = cell.best.max(logsp);
+            }
+        }
+        model
+    }
+
+    /// Number of exact `(signature, family, param)` cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the model holds no observations at all. An empty model
+    /// scores every step 0, so it reorders and prunes nothing of value
+    /// — callers may want to skip wiring it in.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Total training observations folded in.
+    pub fn observations(&self) -> u64 {
+        self.families.values().map(|c| c.count).sum()
+    }
+
+    /// Whether this exact `(signature, family, param)` cell was ever
+    /// observed *winning* (speedup above 1) in training. Deliberately
+    /// backoff-free: the marginals pool too many contexts for "some
+    /// step of this family once won somewhere" to justify exempting a
+    /// cell from pruning. The searcher never prunes a step whose cell
+    /// ever won, so on a workload the training traces covered, every
+    /// step of every winning path survives pruning — which is what
+    /// makes ranker-on final costs equal-or-better there, not merely
+    /// usually so.
+    pub fn ever_won(&self, signature: u32, family: u8, param: u8) -> bool {
+        self.cells
+            .get(&(signature, family, param))
+            .is_some_and(|c| c.best > 0.0)
+    }
+
+    /// Predicted mean log-speedup of trying a `(family, param)` step on
+    /// a program with feature `signature`, with marginal backoff.
+    /// Higher is better; 0.0 for anything never observed.
+    pub fn score(&self, signature: u32, family: u8, param: u8) -> f64 {
+        if let Some(c) = self.cells.get(&(signature, family, param)) {
+            return c.mean();
+        }
+        if let Some(c) = self.marginals.get(&(family, param)) {
+            return c.mean() * MARGINAL_BACKOFF;
+        }
+        match self.families.get(&family) {
+            Some(c) => c.mean() * FAMILY_BACKOFF,
+            None => 0.0,
+        }
+    }
+
+    /// Serializes the model to compact JSON. Sums are written as f64
+    /// bit-pattern hex strings, so the output is a byte-stable function
+    /// of the model and survives a round trip exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates JSON writer failures (cannot occur: the tree holds no
+    /// raw floats).
+    pub fn to_json(&self) -> Result<String, String> {
+        let cell_row = |keys: &[i64], c: &Cell| {
+            let mut row: Vec<Value> = keys.iter().map(|&k| Value::Int(k)).collect();
+            row.push(Value::Int(i64::try_from(c.count).unwrap_or(i64::MAX)));
+            row.push(Value::Str(format!("{:016x}", c.sum.to_bits())));
+            row.push(Value::Str(format!("{:016x}", c.best.to_bits())));
+            Value::Array(row)
+        };
+        let doc = Value::Object(vec![
+            ("format".into(), Value::Str("looprag-rank-model-v1".into())),
+            (
+                "cells".into(),
+                Value::Array(
+                    self.cells
+                        .iter()
+                        .map(|(&(s, f, p), c)| {
+                            cell_row(&[i64::from(s), i64::from(f), i64::from(p)], c)
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "marginals".into(),
+                Value::Array(
+                    self.marginals
+                        .iter()
+                        .map(|(&(f, p), c)| cell_row(&[i64::from(f), i64::from(p)], c))
+                        .collect(),
+                ),
+            ),
+            (
+                "families".into(),
+                Value::Array(
+                    self.families
+                        .iter()
+                        .map(|(&f, c)| cell_row(&[i64::from(f)], c))
+                        .collect(),
+                ),
+            ),
+        ]);
+        serde_json::to_string(&doc).map_err(|e| format!("rank model serialization failed: {e}"))
+    }
+
+    /// Parses a model serialized by [`RankModel::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed JSON, an unknown format tag, malformed rows
+    /// and duplicate keys with descriptive errors.
+    pub fn from_json(json: &str) -> Result<RankModel, String> {
+        let doc: Value =
+            serde_json::from_str(json).map_err(|e| format!("rank model: malformed JSON: {e}"))?;
+        match doc.get("format") {
+            Some(Value::Str(s)) if s == "looprag-rank-model-v1" => {}
+            Some(Value::Str(s)) => {
+                return Err(format!("rank model: unsupported format {s:?}"));
+            }
+            _ => return Err("rank model: missing format tag".to_string()),
+        }
+        fn rows<'a>(doc: &'a Value, key: &str) -> Result<&'a [Value], String> {
+            match doc.get(key) {
+                Some(Value::Array(items)) => Ok(items.as_slice()),
+                _ => Err(format!("rank model: missing array field `{key}`")),
+            }
+        }
+        fn parse_row(row: &Value, keys: usize, what: &str) -> Result<(Vec<i64>, Cell), String> {
+            let Value::Array(items) = row else {
+                return Err(format!("rank model: {what} row is not an array"));
+            };
+            if items.len() != keys + 3 {
+                return Err(format!(
+                    "rank model: {what} row has {} fields (expected {})",
+                    items.len(),
+                    keys + 3
+                ));
+            }
+            let mut ints = Vec::with_capacity(keys + 1);
+            for item in &items[..=keys] {
+                match item {
+                    Value::Int(i) => ints.push(*i),
+                    _ => return Err(format!("rank model: {what} row has a non-integer key")),
+                }
+            }
+            let count = u64::try_from(ints[keys])
+                .map_err(|_| format!("rank model: {what} row has a negative count"))?;
+            let bits_field = |item: &Value, label: &str| -> Result<f64, String> {
+                match item {
+                    Value::Str(s) => {
+                        Ok(f64::from_bits(u64::from_str_radix(s, 16).map_err(|e| {
+                            format!("rank model: {what} row has a bad {label}: {e}")
+                        })?))
+                    }
+                    _ => Err(format!(
+                        "rank model: {what} row {label} is not a hex string"
+                    )),
+                }
+            };
+            let sum = bits_field(&items[keys + 1], "sum")?;
+            let best = bits_field(&items[keys + 2], "best")?;
+            ints.truncate(keys);
+            Ok((ints, Cell { count, sum, best }))
+        }
+        fn narrow<T: TryFrom<i64>>(v: i64, what: &str) -> Result<T, String> {
+            T::try_from(v).map_err(|_| format!("rank model: {what} key {v} out of range"))
+        }
+        let mut model = RankModel::default();
+        for row in rows(&doc, "cells")? {
+            let (k, cell) = parse_row(row, 3, "cells")?;
+            let key = (
+                narrow::<u32>(k[0], "signature")?,
+                narrow::<u8>(k[1], "family")?,
+                narrow::<u8>(k[2], "param")?,
+            );
+            if model.cells.insert(key, cell).is_some() {
+                return Err(format!("rank model: duplicate cell key {key:?}"));
+            }
+        }
+        for row in rows(&doc, "marginals")? {
+            let (k, cell) = parse_row(row, 2, "marginals")?;
+            let key = (narrow::<u8>(k[0], "family")?, narrow::<u8>(k[1], "param")?);
+            if model.marginals.insert(key, cell).is_some() {
+                return Err(format!("rank model: duplicate marginal key {key:?}"));
+            }
+        }
+        for row in rows(&doc, "families")? {
+            let (k, cell) = parse_row(row, 1, "families")?;
+            let key = narrow::<u8>(k[0], "family")?;
+            if model.families.insert(key, cell).is_some() {
+                return Err(format!("rank model: duplicate family key {key}"));
+            }
+        }
+        Ok(model)
+    }
+
+    /// A 64-bit content fingerprint (FNV-1a over the canonical JSON).
+    /// Joins the serve layer's memo key so a memo entry computed under
+    /// one model cannot hit under another.
+    pub fn fingerprint(&self) -> u64 {
+        let json = self.to_json().expect("rank model JSON cannot fail");
+        looprag_runtime::fnv64(json.bytes())
+    }
+}
+
+/// Default fraction of each node's enumerated steps the searcher keeps
+/// after reranking. Deliberately aggressive (an exact binary fraction,
+/// so the keep-count arithmetic is reproducible across platforms): the
+/// [`RankModel::ever_won`] winner-protection guard and the per-family
+/// floor re-admit everything quality-critical on trained workloads, so
+/// the fraction mostly controls how many never-winners are explored.
+pub const DEFAULT_KEEP_FRACTION: f64 = 0.25;
+
+/// Reranker wiring for a search: the trained model plus the grid
+/// keep-fraction.
+#[derive(Debug, Clone)]
+pub struct RankConfig {
+    /// The trained model (shared: searches never mutate it).
+    pub model: Arc<RankModel>,
+    /// Fraction of each node's enumerated steps kept after reranking,
+    /// in `(0, 1]`. At least one step per represented family survives
+    /// regardless (the per-family floor), so pruning narrows parameter
+    /// grids before it can silence a whole transformation family.
+    pub keep_fraction: f64,
+}
+
+impl RankConfig {
+    /// Wraps a trained model with the default keep-fraction.
+    pub fn new(model: RankModel) -> Self {
+        RankConfig {
+            model: Arc::new(model),
+            keep_fraction: DEFAULT_KEEP_FRACTION,
+        }
+    }
+
+    /// The outcome-relevant fingerprint component: model content and
+    /// keep-fraction bits.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "rank:m{:016x}|kf{:016x}",
+            self.model.fingerprint(),
+            self.keep_fraction.to_bits()
+        )
+    }
+
+    /// How many of `total` ranked steps survive pruning:
+    /// `ceil(keep_fraction * total)`, clamped to `[1, total]` (before
+    /// the per-family floor re-admits family-best steps).
+    pub fn keep_count(&self, total: usize) -> usize {
+        if total == 0 {
+            return 0;
+        }
+        let kf = self.keep_fraction.clamp(0.0, 1.0);
+        ((kf * total as f64).ceil() as usize).clamp(1, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn examples() -> Vec<RankExample> {
+        vec![
+            RankExample {
+                signature: 7,
+                family: 0,
+                param: 3,
+                speedup: 4.0,
+            },
+            RankExample {
+                signature: 7,
+                family: 0,
+                param: 3,
+                speedup: 2.0,
+            },
+            RankExample {
+                signature: 7,
+                family: 6,
+                param: 0,
+                speedup: 8.0,
+            },
+            RankExample {
+                signature: 9,
+                family: 6,
+                param: 1,
+                speedup: 0.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn fit_is_input_order_invariant() {
+        let ex = examples();
+        let mut rev = ex.clone();
+        rev.reverse();
+        let a = RankModel::fit(&ex);
+        let b = RankModel::fit(&rev);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+    }
+
+    #[test]
+    fn scoring_backs_off_through_the_marginals() {
+        let m = RankModel::fit(&examples());
+        // Exact cell: mean of ln(4) and ln(2).
+        let exact = m.score(7, 0, 3);
+        assert!((exact - (4.0f64.ln() + 2.0f64.ln()) / 2.0).abs() < 1e-12);
+        // Unknown signature, known (family, param): attenuated marginal.
+        let marg = m.score(1234, 0, 3);
+        assert!((marg - exact * MARGINAL_BACKOFF).abs() < 1e-12);
+        // Unknown param too: attenuated family mean.
+        let fam = m.score(1234, 0, 7);
+        assert!((fam - exact * FAMILY_BACKOFF).abs() < 1e-12);
+        // Never-seen family: exactly 0.
+        assert_eq!(m.score(7, 5, 0), 0.0);
+        // Losers drag their cell below zero.
+        assert!(m.score(9, 6, 1) < 0.0);
+        // Winners outrank losers.
+        assert!(m.score(7, 6, 0) > m.score(9, 6, 1));
+    }
+
+    #[test]
+    fn ever_won_is_exact_cell_only() {
+        let m = RankModel::fit(&examples());
+        assert!(m.ever_won(7, 0, 3), "observed speedup 4.0");
+        assert!(m.ever_won(7, 6, 0), "observed speedup 8.0");
+        assert!(!m.ever_won(9, 6, 1), "only ever lost");
+        // No marginal backoff: an unseen signature is not protected
+        // even though the (family, param) marginal holds a win.
+        assert!(!m.ever_won(1234, 0, 3));
+        // A mixed cell is protected as soon as one observation won.
+        let mut mixed = examples();
+        mixed.push(RankExample {
+            signature: 9,
+            family: 6,
+            param: 1,
+            speedup: 3.0,
+        });
+        assert!(RankModel::fit(&mixed).ever_won(9, 6, 1));
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_stable() {
+        let m = RankModel::fit(&examples());
+        let json = m.to_json().unwrap();
+        let back = RankModel::from_json(&json).unwrap();
+        assert_eq!(m, back);
+        assert_eq!(json, back.to_json().unwrap());
+        assert_eq!(m.fingerprint(), back.fingerprint());
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_descriptively() {
+        assert!(RankModel::from_json("{").is_err());
+        assert!(RankModel::from_json("{}").unwrap_err().contains("format"));
+        let wrong = "{\"format\":\"looprag-rank-model-v9\"}";
+        assert!(RankModel::from_json(wrong).unwrap_err().contains("v9"));
+        let json = RankModel::fit(&examples()).to_json().unwrap();
+        let truncated = &json[..json.len() - 2];
+        assert!(RankModel::from_json(truncated).is_err());
+        let dup = "{\"format\":\"looprag-rank-model-v1\",\"cells\":[[1,2,3,1,\"0\",\"0\"],[1,2,3,1,\"0\",\"0\"]],\"marginals\":[],\"families\":[]}";
+        assert!(RankModel::from_json(dup).unwrap_err().contains("duplicate"));
+        let short = "{\"format\":\"looprag-rank-model-v1\",\"cells\":[[1,2,3,1,\"0\"]],\"marginals\":[],\"families\":[]}";
+        assert!(RankModel::from_json(short).unwrap_err().contains("fields"));
+    }
+
+    #[test]
+    fn empty_model_is_inert() {
+        let m = RankModel::fit(&[]);
+        assert!(m.is_empty());
+        assert_eq!(m.observations(), 0);
+        assert_eq!(m.score(1, 2, 3), 0.0);
+        let json = m.to_json().unwrap();
+        assert_eq!(RankModel::from_json(&json).unwrap(), m);
+    }
+
+    #[test]
+    fn keep_count_clamps_and_ceils() {
+        let cfg = RankConfig::new(RankModel::default());
+        assert_eq!(cfg.keep_count(0), 0);
+        assert_eq!(cfg.keep_count(1), 1);
+        assert_eq!(cfg.keep_count(5), 2, "ceil(0.25 * 5)");
+        let tight = RankConfig {
+            keep_fraction: 0.01,
+            ..cfg
+        };
+        assert_eq!(tight.keep_count(10), 1, "floor of one survivor");
+        let all = RankConfig {
+            keep_fraction: 1.0,
+            ..RankConfig::new(RankModel::default())
+        };
+        assert_eq!(all.keep_count(10), 10);
+    }
+
+    #[test]
+    fn fingerprints_separate_models_and_fractions() {
+        let a = RankConfig::new(RankModel::fit(&examples()));
+        let b = RankConfig::new(RankModel::default());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let c = RankConfig {
+            keep_fraction: 0.75,
+            ..a.clone()
+        };
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+}

@@ -60,19 +60,14 @@ const UNKNOWN_ITEM: u32 = u32::MAX;
 /// terminator, so `(1, "ab")` and `(12, "b")` cannot collide by
 /// concatenation).
 fn fold_fingerprint(state: u64, id: usize, text: &str) -> u64 {
-    const PRIME: u64 = 0x0000_0100_0000_01B3;
-    let mut h = state ^ 0xcbf2_9ce4_8422_2325;
-    for b in id
-        .to_string()
-        .bytes()
-        .chain([b':'])
-        .chain(text.bytes())
-        .chain([0u8])
-    {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(PRIME);
-    }
-    h
+    looprag_runtime::fnv64_fold(
+        state,
+        id.to_string()
+            .bytes()
+            .chain([b':'])
+            .chain(text.bytes())
+            .chain([0u8]),
+    )
 }
 
 /// One statement's feature spans inside the arena: schedule items are

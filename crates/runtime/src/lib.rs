@@ -29,6 +29,36 @@ use std::time::{Duration, Instant};
 /// configured size is 0 (auto).
 pub const THREADS_ENV: &str = "LOOPRAG_THREADS";
 
+/// FNV-1a 64-bit offset basis.
+pub const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV64_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Chains one FNV-1a 64-bit pass over `bytes` onto a running `state`.
+///
+/// The hash register starts at `state ^ FNV64_OFFSET`, so
+/// `fnv64_fold(0, ..)` is the plain single-shot FNV-1a hash and a
+/// non-zero `state` threads an earlier fold's result into the next one
+/// (the knowledge base's content fingerprint folds every insertion this
+/// way). This is the one shared definition behind the serve layer's
+/// per-kernel seeds, the pipeline's target seeds and
+/// `KnowledgeBase::state_fingerprint` — their outputs are pinned by
+/// unit tests here so the constants cannot drift apart again.
+pub fn fnv64_fold(state: u64, bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = state ^ FNV64_OFFSET;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV64_PRIME);
+    }
+    h
+}
+
+/// Single-shot FNV-1a 64-bit hash of `bytes`.
+pub fn fnv64(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    fnv64_fold(0, bytes)
+}
+
 /// Parses a `LOOPRAG_THREADS` value strictly: the only accepted form is
 /// a positive integer.
 ///
@@ -213,6 +243,65 @@ impl Budget {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fnv64_pins_the_reference_vectors() {
+        // Classic FNV-1a test vectors: the empty input hashes to the
+        // offset basis, and "a"/"foobar" match the published values.
+        assert_eq!(fnv64(std::iter::empty()), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64("a".bytes()), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64("foobar".bytes()), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fnv64_fold_pins_the_serve_and_knowledge_recipes() {
+        // The serve layer's per-kernel seed: single-shot FNV-1a over the
+        // canonical text (pinned against the pre-dedup inline copy).
+        let serve_reference = |s: &str| {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in s.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h
+        };
+        let text = "for (i = 0; i <= N - 1; i++) A[i] = B[i] + 1.0;\n";
+        assert_eq!(fnv64(text.bytes()), serve_reference(text));
+        // The knowledge base's state-chained insertion fold (pinned
+        // against the pre-dedup inline copy in `looprag-retrieval`).
+        let kb_reference = |state: u64, id: usize, t: &str| {
+            let mut h = state ^ 0xcbf2_9ce4_8422_2325u64;
+            for b in id
+                .to_string()
+                .bytes()
+                .chain([b':'])
+                .chain(t.bytes())
+                .chain([0u8])
+            {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h
+        };
+        let mut want = 0u64;
+        let mut got = 0u64;
+        for (id, t) in [(0usize, "alpha"), (12, "b"), (1, "2:b")] {
+            want = kb_reference(want, id, t);
+            got = fnv64_fold(
+                got,
+                id.to_string()
+                    .bytes()
+                    .chain([b':'])
+                    .chain(t.bytes())
+                    .chain([0u8]),
+            );
+            assert_eq!(got, want, "fold diverged at id {id}");
+        }
+        // Chaining is not plain concatenation: (1, "ab") != (12, "b").
+        let a = fnv64_fold(0, b"1:ab\0".iter().copied());
+        let b = fnv64_fold(0, b"12:b\0".iter().copied());
+        assert_ne!(a, b);
+    }
 
     #[test]
     fn par_map_preserves_submission_order() {

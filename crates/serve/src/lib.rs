@@ -69,7 +69,8 @@
 //!   "dataset": { "examples": [ ... incl. mined records ... ] },
 //!   "memo": [ { "kernel": "...", "passed": true, "speedup": 2.5,
 //!               "best": "...", "llm_calls": 14,
-//!               "search_expansions": 0, "kb_fingerprint": "..." }, ... ]
+//!               "search_expansions": 0, "kb_fingerprint": "..." }, ... ],
+//!   "rank_model": "{...}"   // only when a reranker is configured
 //! }
 //! ```
 //!
@@ -81,6 +82,7 @@
 
 use looprag_core::{LoopRag, LoopRagConfig, OptimizationOutcome};
 use looprag_ir::{compile, parse_program, print_program, Program};
+use looprag_rank::RankModel;
 use looprag_runtime::{par_map, resolve_threads};
 use looprag_synth::Dataset;
 use serde::Value;
@@ -279,12 +281,7 @@ fn int_of(x: u64) -> Value {
 }
 
 fn fnv64(s: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in s.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
+    looprag_runtime::fnv64(s.bytes())
 }
 
 /// The pipeline kernel name for a canonical printed form. Derived from
@@ -534,7 +531,7 @@ impl Server {
                 ])
             })
             .collect();
-        let doc = Value::Object(vec![
+        let mut fields = vec![
             ("format_version".into(), Value::Int(SNAPSHOT_VERSION)),
             (
                 "machine_fingerprint".into(),
@@ -547,7 +544,19 @@ impl Server {
             ),
             ("dataset".into(), dataset),
             ("memo".into(), Value::Array(memo)),
-        ]);
+        ];
+        // The rank model rides the snapshot so a restore can verify it
+        // was trained on the same model the arm fingerprint promises.
+        // Emitted only when a reranker is configured: ranker-free
+        // snapshots stay byte-identical to pre-reranker builds.
+        if let Some(rank) = &self.engine.config().rank {
+            let model = rank
+                .model
+                .to_json()
+                .map_err(|e| format!("snapshot: rank model serialization failed: {e}"))?;
+            fields.push(("rank_model".into(), Value::Str(model)));
+        }
+        let doc = Value::Object(fields);
         serde_json::to_string(&doc).map_err(|e| format!("snapshot: JSON write failed: {e}"))
     }
 
@@ -597,6 +606,35 @@ impl Server {
         }
         let snap_kb_fp = u64::from_str_radix(str_field("kb_fingerprint")?, 16)
             .map_err(|e| format!("restore: bad kb_fingerprint: {e}"))?;
+        match (&config.rank, doc.get("rank_model")) {
+            (None, None) => {}
+            (None, Some(_)) => {
+                return Err(
+                    "restore: snapshot carries a rank_model but this server has no reranker configured"
+                        .to_string(),
+                );
+            }
+            (Some(_), None) => {
+                return Err(
+                    "restore: snapshot is missing the rank_model this server's reranker requires"
+                        .to_string(),
+                );
+            }
+            (Some(rank), Some(Value::Str(stored))) => {
+                let model = RankModel::from_json(stored)
+                    .map_err(|e| format!("restore: corrupt rank_model: {e}"))?;
+                if model != *rank.model {
+                    return Err(format!(
+                        "restore: rank model mismatch: snapshot stores model {:016x} but this server is configured with {:016x}",
+                        model.fingerprint(),
+                        rank.model.fingerprint()
+                    ));
+                }
+            }
+            (Some(_), Some(_)) => {
+                return Err("restore: rank_model must be a string".to_string());
+            }
+        }
 
         let dataset_value = doc
             .get("dataset")

@@ -84,18 +84,69 @@ fn shift_fusable(a: &Loop, b: &Loop) -> bool {
     c != 0 && (bub.clone() - aub.clone()).as_constant() == Some(c)
 }
 
+/// A [`StepGrid`] with its per-step filters hoisted out: the grid's
+/// tile sizes and skew factors pre-filtered once (`size >= 2`,
+/// `factor != 0`), so [`enumerate_steps_into`] runs no per-node
+/// parameter filtering. The searcher builds one plan per search and
+/// reuses it (plus a scratch buffer) for every expanded node, instead
+/// of re-deriving the grid per expansion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepGridPlan {
+    /// Tile sizes, pre-filtered to `>= 2`, in grid order.
+    tile_sizes: Vec<i64>,
+    /// Deepest band to tile in one step.
+    max_tile_depth: usize,
+    /// Skew factors, pre-filtered to non-zero, in grid order.
+    skew_factors: Vec<i64>,
+    /// Whether generated tile loops may be tiled again.
+    retile: bool,
+}
+
+impl StepGridPlan {
+    /// Precomputes the enumeration plan for `grid`.
+    pub fn new(grid: &StepGrid) -> Self {
+        StepGridPlan {
+            tile_sizes: grid
+                .tile_sizes
+                .iter()
+                .copied()
+                .filter(|&s| s >= 2)
+                .collect(),
+            max_tile_depth: grid.max_tile_depth,
+            skew_factors: grid
+                .skew_factors
+                .iter()
+                .copied()
+                .filter(|&f| f != 0)
+                .collect(),
+            retile: grid.retile,
+        }
+    }
+}
+
 /// Enumerates every structurally applicable step of `p` under `grid`, in
 /// the deterministic catalog order.
 pub fn enumerate_steps(p: &Program, grid: &StepGrid) -> Vec<Step> {
     let mut out = Vec::new();
+    enumerate_steps_into(p, &StepGridPlan::new(grid), &mut out);
+    out
+}
+
+/// [`enumerate_steps`] against a precomputed [`StepGridPlan`],
+/// appending into a caller-owned scratch buffer (cleared first). The
+/// output is byte-identical to `enumerate_steps` on the plan's grid;
+/// the split exists so a search can pay for the plan and the buffer
+/// once instead of per expanded node.
+pub fn enumerate_steps_into(p: &Program, plan: &StepGridPlan, out: &mut Vec<Step>) {
+    out.clear();
     let paths = loop_paths(&p.body);
     for path in &paths {
         let Some(Node::Loop(l)) = node_at(&p.body, path) else {
             continue;
         };
         // Tiling: every prefix depth of the perfect band, sizes ascending.
-        if grid.retile || !is_tile_iter(&l.iter) {
-            if let Ok(band) = perfect_band(p, path, grid.max_tile_depth) {
+        if (plan.retile || !is_tile_iter(&l.iter)) && !plan.tile_sizes.is_empty() {
+            if let Ok(band) = perfect_band(p, path, plan.max_tile_depth) {
                 let tilable_depth = band
                     .iter()
                     .take_while(|bl| {
@@ -103,14 +154,12 @@ pub fn enumerate_steps(p: &Program, grid: &StepGrid) -> Vec<Step> {
                     })
                     .count();
                 for depth in 1..=tilable_depth {
-                    for &size in &grid.tile_sizes {
-                        if size >= 2 {
-                            out.push(Step::Tile {
-                                path: path.clone(),
-                                depth,
-                                size,
-                            });
-                        }
+                    for &size in &plan.tile_sizes {
+                        out.push(Step::Tile {
+                            path: path.clone(),
+                            depth,
+                            size,
+                        });
                     }
                 }
             }
@@ -122,13 +171,11 @@ pub fn enumerate_steps(p: &Program, grid: &StepGrid) -> Vec<Step> {
             }
             // Skew: perfect pair with plain affine inner bounds.
             if matches!((&inner.lb, &inner.ub), (Bound::Affine(_), Bound::Affine(_))) {
-                for &factor in &grid.skew_factors {
-                    if factor != 0 {
-                        out.push(Step::Skew {
-                            path: path.clone(),
-                            factor,
-                        });
-                    }
+                for &factor in &plan.skew_factors {
+                    out.push(Step::Skew {
+                        path: path.clone(),
+                        factor,
+                    });
                 }
             }
         }
@@ -185,7 +232,6 @@ pub fn enumerate_steps(p: &Program, grid: &StepGrid) -> Vec<Step> {
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -246,6 +292,70 @@ mod tests {
         ));
         // The point loop is still tilable.
         assert!(steps.iter().any(|s| matches!(s, Step::Tile { .. })));
+    }
+
+    #[test]
+    fn planned_enumeration_matches_the_unplanned_path() {
+        // The plan pre-filters parameters (`size >= 2`, `factor != 0`);
+        // a grid carrying junk values must enumerate identically through
+        // both entry points, scratch reuse included.
+        let grid = StepGrid {
+            tile_sizes: vec![1, 8, 0, 32],
+            skew_factors: vec![0, 1, -1],
+            ..StepGrid::default()
+        };
+        let plan = StepGridPlan::new(&grid);
+        let gemm = compile(
+            "param N = 64;\narray C[N][N];\narray A[N][N];\narray B[N][N];\nout C;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) for (j = 0; j <= N - 1; j++) for (k = 0; k <= N - 1; k++) C[i][j] += A[i][k] * B[k][j];\n#pragma endscop\n",
+            "gemm",
+        )
+        .unwrap();
+        let stream = compile(
+            "param N = 32;\narray A[N];\narray B[N];\nout B;\n#pragma scop\nfor (i = 0; i <= N - 1; i++) A[i] = 2.0;\nfor (j = 0; j <= N - 1; j++) B[j] = A[j] + 1.0;\n#pragma endscop\n",
+            "s",
+        )
+        .unwrap();
+        let mut scratch = Vec::new();
+        for p in [&gemm, &stream] {
+            enumerate_steps_into(p, &plan, &mut scratch);
+            assert_eq!(scratch, enumerate_steps(p, &grid));
+        }
+    }
+
+    #[test]
+    fn rank_params_bucket_the_grid() {
+        // Tile params: depth x log2(size) buckets, disjoint per depth.
+        let t = |depth, size| {
+            Step::Tile {
+                path: vec![0],
+                depth,
+                size,
+            }
+            .rank_param()
+        };
+        assert_eq!(t(1, 8), 8 + 3);
+        assert_eq!(t(1, 32), 8 + 5);
+        assert_eq!(t(2, 8), 16 + 3);
+        assert_eq!(t(9, 1 << 40), 3 * 8 + 7, "clamped");
+        // Parallelize and Serialize share a family but not a bucket.
+        let par = Step::Parallelize { path: vec![0] };
+        let ser = Step::Serialize { path: vec![0] };
+        assert_eq!(par.family(), ser.family());
+        assert_ne!(par.rank_param(), ser.rank_param());
+        // Family indexes enumerate `Family::all()` in order.
+        for (i, f) in Family::all().into_iter().enumerate() {
+            assert_eq!(usize::from(f.index()), i);
+        }
+        // Signed skew factors get disjoint buckets.
+        let sk = |factor| {
+            Step::Skew {
+                path: vec![0],
+                factor,
+            }
+            .rank_param()
+        };
+        assert_ne!(sk(1), sk(-1));
+        assert_eq!(sk(5), sk(3), "clamped");
     }
 
     #[test]

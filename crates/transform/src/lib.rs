@@ -24,7 +24,7 @@ mod oracle;
 mod primitives;
 mod recipe;
 
-pub use catalog::{enumerate_steps, StepGrid};
+pub use catalog::{enumerate_steps, enumerate_steps_into, StepGrid, StepGridPlan};
 pub use oracle::{scaled_clone, semantics_preserving, OracleConfig};
 pub use primitives::{
     distribute, fuse, interchange, parallelize, perfect_band, scalarize_reduction, serialize,

@@ -67,6 +67,31 @@ fn search_is_bit_identical_across_pool_sizes() {
     }
 }
 
+/// Expansion-count regression pin: the step grid is planned exactly
+/// once per search (not once per node), and the expansion counters for
+/// a known kernel stay at their hoisted-allocation baseline. A change
+/// that reintroduces per-node grid construction or inflates the
+/// enumeration fan-out moves these literals and must justify itself.
+#[test]
+fn expansion_counters_stay_at_the_hoisted_baseline() {
+    let p = looprag::looprag_suites::find("s000").unwrap().program();
+    let r = search(&p, &cfg(3, 3, 1));
+    assert_eq!(
+        r.stats.grid_plans, 1,
+        "grid must be planned once per search"
+    );
+    assert_eq!(r.stats.nodes_expanded, 4);
+    assert_eq!(r.stats.steps_enumerated, 14);
+    assert_eq!(r.stats.applied, 14);
+    assert_eq!(r.stats.admitted, 10);
+    assert!(
+        r.stats.scored <= 11,
+        "s000 cfg(3,3,1) scored {} estimates, baseline 11",
+        r.stats.scored
+    );
+    assert_eq!(r.stats.rank_pruned, 0, "no ranker configured");
+}
+
 /// The search arm finds genuine wins on vectorizable/parallel kernels.
 #[test]
 fn search_improves_a_parallel_tsvc_kernel() {
