@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Forbid stray println!/eprintln!/dbg! in library crates.
+#
+# All diagnostics in library code must flow through the looprag-trace
+# recorder (for per-run events) or the metrics registry (for process
+# counters) so runs stay deterministic and machine-readable. Direct
+# printing is reserved for binaries (crates/*/src/bin/) and the
+# explicitly allowlisted harness/progress modules below.
+#
+# Usage: ci/lint_no_print.sh   (from the repo root; exits non-zero on
+# violations and prints each offending line)
+set -u
+
+# Library files that legitimately print, with why:
+#   crates/runtime/src/lib.rs      worker-panic propagation notice
+#   crates/bench/src/experiments.rs  experiment tables (the product)
+#   crates/bench/src/harness.rs    campaign progress lines
+#   crates/bench/src/serve.rs      serve-arm progress lines
+#   crates/bench/src/observe.rs    trace-export confirmation line
+ALLOW='^crates/(runtime/src/lib\.rs|bench/src/(experiments|harness|serve|observe)\.rs):'
+
+violations=$(grep -rnE '\b(println!|eprintln!|dbg!)' crates/*/src --include='*.rs' \
+  | grep -v '/src/bin/' \
+  | grep -vE '^[^:]*:[0-9]+:\s*//' \
+  | grep -vE "$ALLOW")
+
+if [ -n "$violations" ]; then
+  echo "stray print/debug macros in library code (route through looprag-trace instead):"
+  echo "$violations"
+  exit 1
+fi
+echo "lint_no_print: OK"

@@ -20,6 +20,10 @@
 //! cross-request verified-winner memo, cold phase over the strided
 //! suite then a Zipf repeat workload) with `--requests N` (default
 //! 200).
+//! `--trace-out <path>` records a representative traced pipeline run
+//! (the hybrid gemm arm) and writes it as Chrome `trace_event` JSON —
+//! load at `chrome://tracing` or in Perfetto. On its own it runs only
+//! the trace capture; combine with experiment ids to also run those.
 
 use looprag_bench::experiments;
 use looprag_bench::{EvalOptions, Harness};
@@ -77,6 +81,14 @@ fn main() {
         eprintln!("--beam/--depth require --arm search");
         std::process::exit(2);
     }
+    let trace_out_pos = args.iter().position(|a| a == "--trace-out");
+    let trace_out: Option<String> = trace_out_pos.and_then(|i| args.get(i + 1).cloned());
+    if trace_out_pos.is_some() && trace_out.as_deref().map_or(true, |v| v.starts_with("--")) {
+        // Same guard as --arm: a forgotten path would either eat the
+        // next flag or fall through to the default full battery.
+        eprintln!("--trace-out requires a path value");
+        std::process::exit(2);
+    }
     let serve = args.iter().any(|a| a == "--serve");
     let (requests_pos, requests) = numeric_flag("--requests", 200);
     if !serve && requests_pos.is_some() {
@@ -86,9 +98,9 @@ fn main() {
         std::process::exit(2);
     }
     // Only the values that directly follow --threads / --docs / --arm /
-    // --beam / --depth / --requests are consumed; every other non-flag
-    // argument stays an experiment id so typos still hit the unknown-id
-    // diagnostic.
+    // --beam / --depth / --requests / --trace-out are consumed; every
+    // other non-flag argument stays an experiment id so typos still hit
+    // the unknown-id diagnostic.
     let flag_val_pos: Vec<usize> = [
         threads_pos,
         docs_pos,
@@ -96,6 +108,7 @@ fn main() {
         beam_pos,
         depth_pos,
         requests_pos,
+        trace_out_pos,
     ]
     .iter()
     .flatten()
@@ -107,9 +120,10 @@ fn main() {
         .filter(|(i, a)| !a.starts_with("--") && !flag_val_pos.contains(i))
         .map(|(_, s)| s.as_str())
         .collect();
-    // `--arm search` / `--serve` select their experiment on their own;
-    // ids only default to the full battery when none is given.
-    let ids: Vec<&str> = if ids.is_empty() && arm.is_none() && !serve {
+    // `--arm search` / `--serve` / `--trace-out` select their work on
+    // their own; ids only default to the full battery when none is
+    // given.
+    let ids: Vec<&str> = if ids.is_empty() && arm.is_none() && !serve && trace_out.is_none() {
         vec!["all"]
     } else {
         ids
@@ -139,6 +153,15 @@ fn main() {
     );
     let h = Harness::new(opts);
 
+    if let Some(path) = trace_out.as_deref() {
+        let (events, outcome) = looprag_bench::representative_trace(quick);
+        looprag_bench::write_chrome_trace(path, &events);
+        println!(
+            "trace run: gemm hybrid arm, {} logical events, final speedup {:.3}x",
+            events.len(),
+            outcome.speedup
+        );
+    }
     if arm.is_some() {
         experiments::search_arm(&h, beam, depth);
     }

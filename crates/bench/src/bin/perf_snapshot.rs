@@ -56,7 +56,7 @@
 //! cores — if the parallel campaign fails to beat the sequential one by
 //! at least 2x.
 
-use looprag_bench::{run_campaign, train_rank_model};
+use looprag_bench::{run_campaign, snapshot_meta, train_rank_model};
 use looprag_core::{LoopRag, LoopRagConfig};
 use looprag_eqcheck::{
     build_test_suite, differential_test, differential_test_reference, differential_test_scalar,
@@ -194,8 +194,9 @@ fn retrieval_snapshot(quick: bool, opts: &BenchOpts, out_path: &str) -> f64 {
     let kb_speedup = seed_query_ns / kb_query_ns;
     let kb_sharded_speedup = seed_query_ns / kb_sharded_ns;
 
+    let meta = snapshot_meta(quick);
     let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"corpus_docs\": {corpus_docs},\n  \"seed_build_ms\": {seed_build_ms:.1},\n  \"kb_build_ms\": {kb_build_ms:.1},\n  \"equivalence_queries\": {pinned},\n  \"seed_query_ns\": {seed_query_ns:.1},\n  \"kb_query_ns\": {kb_query_ns:.1},\n  \"kb_speedup\": {kb_speedup:.2},\n  \"shard_threads\": {shard_threads},\n  \"kb_sharded_ns\": {kb_sharded_ns:.1},\n  \"kb_sharded_speedup\": {kb_sharded_speedup:.2}\n}}\n"
+        "{{\n  {meta},\n  \"corpus_docs\": {corpus_docs},\n  \"seed_build_ms\": {seed_build_ms:.1},\n  \"kb_build_ms\": {kb_build_ms:.1},\n  \"equivalence_queries\": {pinned},\n  \"seed_query_ns\": {seed_query_ns:.1},\n  \"kb_query_ns\": {kb_query_ns:.1},\n  \"kb_speedup\": {kb_speedup:.2},\n  \"shard_threads\": {shard_threads},\n  \"kb_sharded_ns\": {kb_sharded_ns:.1},\n  \"kb_sharded_speedup\": {kb_sharded_speedup:.2}\n}}\n"
     );
     std::fs::write(out_path, &json).expect("write retrieval snapshot");
     println!("{json}");
@@ -291,8 +292,9 @@ fn search_snapshot(quick: bool, out_path: &str) -> f64 {
     }
     let search_speedup = reference_ms / engine_ms.max(1e-9);
     let n = kernels.len();
+    let meta = snapshot_meta(quick);
     let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"kernels\": {n},\n  \"stride\": {stride},\n  \"beam\": {beam},\n  \"depth\": {depth},\n  \"improved\": {improved},\n  \"engine_ms\": {engine_ms:.1},\n  \"reference_ms\": {reference_ms:.1},\n  \"search_speedup\": {search_speedup:.2},\n  \"engine_scored\": {},\n  \"reference_scored\": {},\n  \"engine_deps\": {},\n  \"reference_deps\": {},\n  \"engine_applied\": {},\n  \"reference_applied\": {},\n  \"engine_expanded\": {},\n  \"reference_expanded\": {},\n  \"expansions_reused\": {},\n  \"pruned_illegal\": {},\n  \"admitted\": {},\n  \"deps_reused\": {}\n}}\n",
+        "{{\n  {meta},\n  \"kernels\": {n},\n  \"stride\": {stride},\n  \"beam\": {beam},\n  \"depth\": {depth},\n  \"improved\": {improved},\n  \"engine_ms\": {engine_ms:.1},\n  \"reference_ms\": {reference_ms:.1},\n  \"search_speedup\": {search_speedup:.2},\n  \"engine_scored\": {},\n  \"reference_scored\": {},\n  \"engine_deps\": {},\n  \"reference_deps\": {},\n  \"engine_applied\": {},\n  \"reference_applied\": {},\n  \"engine_expanded\": {},\n  \"reference_expanded\": {},\n  \"expansions_reused\": {},\n  \"pruned_illegal\": {},\n  \"admitted\": {},\n  \"deps_reused\": {}\n}}\n",
         engine_stats.scored,
         reference_stats.scored,
         engine_stats.deps_computed,
@@ -633,9 +635,6 @@ fn gate_search(quick: bool, search_speedup: f64) {
 /// `run_serve_campaign` even in quick mode; only the latency gate is
 /// mode-dependent.
 fn serve_snapshot(quick: bool, out_path: &str) -> f64 {
-    let host_cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     let stride = if quick { 16 } else { 1 };
     let warm_requests = if quick { 60 } else { 1000 };
     let kernels: Vec<_> = all_benchmarks()
@@ -659,8 +658,9 @@ fn serve_snapshot(quick: bool, out_path: &str) -> f64 {
     let report =
         looprag_bench::run_serve_campaign(cfg, dataset, &kernels, warm_requests, 0x5E12_7E01, 0);
     let memo_len = report.server.memo_len();
+    let meta = snapshot_meta(quick);
     let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"host_cores\": {host_cores},\n  \"serve_kernels\": {},\n  \"serve_warm_requests\": {},\n  \"serve_hits\": {},\n  \"serve_misses\": {},\n  \"serve_hit_rate\": {:.4},\n  \"serve_memo_len\": {memo_len},\n  \"serve_cold_ms\": {:.1},\n  \"serve_warm_ms\": {:.3},\n  \"serve_cold_ns_per_request\": {:.1},\n  \"serve_warm_ns_per_request\": {:.1},\n  \"serve_warm_speedup\": {:.1},\n  \"serve_cold_llm_calls\": {},\n  \"serve_warm_stream_delta\": {},\n  \"serve_warm_expansion_delta\": {},\n  \"serve_snapshot_bytes\": {},\n  \"serve_restore_ms\": {:.1}\n}}\n",
+        "{{\n  {meta},\n  \"serve_kernels\": {},\n  \"serve_warm_requests\": {},\n  \"serve_hits\": {},\n  \"serve_misses\": {},\n  \"serve_hit_rate\": {:.4},\n  \"serve_memo_len\": {memo_len},\n  \"serve_cold_ms\": {:.1},\n  \"serve_warm_ms\": {:.3},\n  \"serve_cold_ns_per_request\": {:.1},\n  \"serve_warm_ns_per_request\": {:.1},\n  \"serve_warm_speedup\": {:.1},\n  \"serve_cold_llm_calls\": {},\n  \"serve_warm_stream_delta\": {},\n  \"serve_warm_expansion_delta\": {},\n  \"serve_snapshot_bytes\": {},\n  \"serve_restore_ms\": {:.1}\n}}\n",
         report.kernels,
         report.warm_requests,
         report.hits,
@@ -830,8 +830,9 @@ fn rerank_snapshot(quick: bool, out_path: &str) -> Rerank {
         wall_ratio: off_ms / on_ms.max(1e-9),
     };
     let n = kernels.len();
+    let meta = snapshot_meta(quick);
     let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"kernels\": {n},\n  \"stride\": {stride},\n  \"beam\": {beam},\n  \"depth\": {depth},\n  \"train_kernels\": {},\n  \"train_examples\": {train_examples},\n  \"train_ms\": {train_ms:.1},\n  \"model_cells\": {model_cells},\n  \"model_observations\": {model_observations},\n  \"model_fingerprint\": \"{model_fp:016x}\",\n  \"keep_fraction\": {keep_fraction},\n  \"off_ms\": {off_ms:.1},\n  \"on_ms\": {on_ms:.1},\n  \"rerank_wall_speedup\": {:.2},\n  \"off_scored\": {},\n  \"on_scored\": {},\n  \"rerank_scored_ratio\": {:.2},\n  \"on_rank_pruned\": {},\n  \"off_steps_enumerated\": {},\n  \"on_steps_enumerated\": {},\n  \"cost_off_total\": {cost_off_total:.0},\n  \"cost_on_total\": {cost_on_total:.0},\n  \"rerank_cost_ratio\": {:.4},\n  \"improved\": {improved},\n  \"regressed\": {regressed}\n}}\n",
+        "{{\n  {meta},\n  \"kernels\": {n},\n  \"stride\": {stride},\n  \"beam\": {beam},\n  \"depth\": {depth},\n  \"train_kernels\": {},\n  \"train_examples\": {train_examples},\n  \"train_ms\": {train_ms:.1},\n  \"model_cells\": {model_cells},\n  \"model_observations\": {model_observations},\n  \"model_fingerprint\": \"{model_fp:016x}\",\n  \"keep_fraction\": {keep_fraction},\n  \"off_ms\": {off_ms:.1},\n  \"on_ms\": {on_ms:.1},\n  \"rerank_wall_speedup\": {:.2},\n  \"off_scored\": {},\n  \"on_scored\": {},\n  \"rerank_scored_ratio\": {:.2},\n  \"on_rank_pruned\": {},\n  \"off_steps_enumerated\": {},\n  \"on_steps_enumerated\": {},\n  \"cost_off_total\": {cost_off_total:.0},\n  \"cost_on_total\": {cost_on_total:.0},\n  \"rerank_cost_ratio\": {:.4},\n  \"improved\": {improved},\n  \"regressed\": {regressed}\n}}\n",
         train_programs.len(),
         r.wall_ratio,
         off_stats.scored,
@@ -887,6 +888,205 @@ fn gate_rerank(quick: bool, r: &Rerank) {
     }
 }
 
+/// The trace section: determinism pins for the `looprag-trace`
+/// subsystem, hard-asserted even in quick mode —
+///
+/// 1. the traced pipeline's **logical event stream** (canonical JSON,
+///    which excludes wall-clock by construction) is byte-identical at
+///    pool sizes 1, 2 and 8, and its outcome is byte-identical to the
+///    untraced entry point;
+/// 2. the same pool-size pin for `search_traced` and for a served batch
+///    through `submit_traced`;
+/// 3. the canonical JSON round-trips byte-exactly through the strict
+///    parser, and the Chrome export parses as valid JSON;
+///
+/// then times the disabled (`rec: None`) span path, which full mode
+/// gates at effectively-zero overhead. Writes `BENCH_trace.json`; with
+/// `trace_out` set, also writes the representative run's Chrome trace.
+fn trace_snapshot(quick: bool, opts: &BenchOpts, out_path: &str, trace_out: Option<&str>) -> f64 {
+    use looprag_trace::{Recorder, TraceConfig};
+    let mut pinned = 0usize;
+
+    // -- Pipeline pool-size pin ------------------------------------
+    eprintln!("[perf_snapshot] trace: pipeline pool-size pin (1 vs 2 vs 8)...");
+    let dataset = build_dataset(&SynthConfig {
+        count: 12,
+        ..Default::default()
+    });
+    let mut cfg = LoopRagConfig::new(LlmProfile::deepseek());
+    cfg.search = Some(SearchConfig {
+        beam: 2,
+        depth: 2,
+        threads: 1,
+        ..SearchConfig::default()
+    });
+    let rag = LoopRag::new(cfg, dataset);
+    let gemm = looprag_suites::find("gemm").expect("gemm kernel").program();
+    let untraced = rag.optimize_with_threads("gemm", &gemm, 1);
+    let run_at = |pool: usize| {
+        let rec = Recorder::new(TraceConfig::default());
+        let outcome = rag.optimize_traced("gemm", &gemm, pool, Some(&rec));
+        (
+            looprag_trace::export::to_canonical_json(&rec.finish()),
+            outcome,
+        )
+    };
+    let (canon1, traced) = run_at(1);
+    assert_eq!(
+        format!("{untraced:?}"),
+        format!("{traced:?}"),
+        "tracing changed the pipeline outcome"
+    );
+    for pool in [2usize, 8] {
+        let (canon, outcome) = run_at(pool);
+        assert_eq!(
+            canon1, canon,
+            "pipeline logical event stream diverged at pool size {pool}"
+        );
+        assert_eq!(
+            format!("{untraced:?}"),
+            format!("{outcome:?}"),
+            "traced pipeline outcome diverged at pool size {pool}"
+        );
+        pinned += 1;
+    }
+
+    // -- Search pool-size pin --------------------------------------
+    eprintln!("[perf_snapshot] trace: search pool-size pin...");
+    let search_at = |pool: usize| {
+        let scfg = SearchConfig {
+            beam: 2,
+            depth: 3,
+            threads: pool,
+            ..SearchConfig::default()
+        };
+        let rec = Recorder::new(TraceConfig::default());
+        let r =
+            looprag_search::search_with_engine_traced(&gemm, &scfg, &CostEngine::new(), Some(&rec));
+        (
+            looprag_trace::export::to_canonical_json(&rec.finish()),
+            r.fingerprint(),
+        )
+    };
+    let (s_canon1, s_fp1) = search_at(1);
+    for pool in [2usize, 8] {
+        let (c, fp) = search_at(pool);
+        assert_eq!(
+            s_canon1, c,
+            "search logical event stream diverged at pool size {pool}"
+        );
+        assert_eq!(
+            s_fp1, fp,
+            "traced search result diverged at pool size {pool}"
+        );
+        pinned += 1;
+    }
+
+    // -- Serve pool-size pin ---------------------------------------
+    eprintln!("[perf_snapshot] trace: serve pool-size pin...");
+    let serve_at = |pool: usize| {
+        let dataset = build_dataset(&SynthConfig {
+            count: 8,
+            ..Default::default()
+        });
+        let mut cfg = LoopRagConfig::new(LlmProfile::deepseek());
+        cfg.k = 2;
+        cfg.threads = 1;
+        let mut server = looprag_serve::Server::new(cfg, dataset, pool);
+        let kernels = looprag_suites::suite_strided(looprag_suites::Suite::Tsvc, 40);
+        let reqs: Vec<looprag_serve::Request> = kernels
+            .iter()
+            .map(|b| looprag_serve::Request::new(b.name.clone(), b.source.clone()))
+            .collect();
+        let rec = Recorder::new(TraceConfig::default());
+        let responses = server.submit_traced(&reqs, Some(&rec));
+        let payload: Vec<String> = responses.iter().map(|r| r.to_json()).collect();
+        (
+            looprag_trace::export::to_canonical_json(&rec.finish()),
+            payload,
+        )
+    };
+    let (v_canon1, v_resp1) = serve_at(1);
+    for pool in [2usize, 8] {
+        let (c, resp) = serve_at(pool);
+        assert_eq!(
+            v_canon1, c,
+            "serve logical event stream diverged at pool size {pool}"
+        );
+        assert_eq!(
+            v_resp1, resp,
+            "traced serve responses diverged at pool size {pool}"
+        );
+        pinned += 1;
+    }
+
+    // -- Export round-trips ----------------------------------------
+    eprintln!("[perf_snapshot] trace: export round-trips...");
+    let (events, _) = looprag_bench::representative_trace(quick);
+    let canonical = looprag_trace::export::to_canonical_json(&events);
+    let reparsed =
+        looprag_trace::export::from_canonical_json(&canonical).expect("canonical JSON must parse");
+    assert_eq!(
+        canonical,
+        looprag_trace::export::to_canonical_json(&reparsed),
+        "canonical JSON round-trip is not byte-stable"
+    );
+    let chrome = looprag_trace::export::to_chrome_json(&events);
+    serde_json::from_str::<serde::Value>(&chrome).expect("Chrome trace export must be valid JSON");
+    if let Some(path) = trace_out {
+        looprag_bench::write_chrome_trace(path, &events);
+    }
+
+    // -- Disabled-path overhead ------------------------------------
+    eprintln!("[perf_snapshot] trace: disabled-path overhead...");
+    const BATCH: usize = 1000;
+    let per_batch_ns = bench_ns(opts, || {
+        for i in 0..BATCH {
+            let _g = looprag_trace::span(None, "noop", || format!("never evaluated {i}"));
+            looprag_trace::instant(None, "noop", String::new);
+            looprag_trace::value(None, "noop", i as i64, String::new);
+            std::hint::black_box(looprag_trace::local(None));
+        }
+    });
+    let disabled_ns = per_batch_ns / BATCH as f64;
+
+    let meta = snapshot_meta(quick);
+    let events_n = events.len();
+    let chrome_bytes = chrome.len();
+    let json = format!(
+        "{{\n  {meta},\n  \"trace_pool_pins\": {pinned},\n  \"trace_events\": {events_n},\n  \"trace_canonical_bytes\": {},\n  \"trace_chrome_bytes\": {chrome_bytes},\n  \"trace_disabled_ns_per_site\": {disabled_ns:.3}\n}}\n",
+        canonical.len(),
+    );
+    std::fs::write(out_path, &json).expect("write trace snapshot");
+    println!("{json}");
+    eprintln!(
+        "[perf_snapshot] trace: {pinned} pool pins, {events_n} events, disabled path \
+         {disabled_ns:.3} ns/site; wrote {out_path}"
+    );
+    disabled_ns
+}
+
+/// Applies the trace gate: the disabled (`rec: None`) instrumentation
+/// path must stay effectively free — under 20 ns per site, which on CI
+/// hardware is the noise floor for a branch plus a discarded closure.
+/// Quick mode only warns (the pool-size and round-trip pins in the
+/// section stay hard either way).
+fn gate_trace(quick: bool, disabled_ns: f64) {
+    if disabled_ns > 20.0 {
+        if quick {
+            eprintln!(
+                "[perf_snapshot] WARNING: disabled-trace path {disabled_ns:.3} ns/site above \
+                 20 ns (quick mode, not gating)"
+            );
+        } else {
+            eprintln!(
+                "[perf_snapshot] FAIL: disabled-trace path {disabled_ns:.3} ns/site above 20 ns"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -896,6 +1096,7 @@ fn main() {
     let costmodel_only = args.iter().any(|a| a == "--costmodel");
     let serve_only = args.iter().any(|a| a == "--serve");
     let rerank_only = args.iter().any(|a| a == "--rerank");
+    let trace_only = args.iter().any(|a| a == "--trace");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -921,6 +1122,17 @@ fn main() {
         .position(|a| a == "--rerank-out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_rerank.json".to_string());
+    let trace_out_path = args
+        .iter()
+        .position(|a| a == "--trace-snapshot-out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_trace.json".to_string());
+    // `--trace-out PATH` additionally writes the representative run's
+    // Chrome `trace_event` JSON (load it at chrome://tracing).
+    let chrome_out: Option<String> = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1).cloned());
     let opts = BenchOpts {
         samples: if quick { 3 } else { 9 },
         target_ms: if quick { 5 } else { 40 },
@@ -933,6 +1145,7 @@ fn main() {
         || costmodel_only
         || serve_only
         || rerank_only
+        || trace_only
     {
         if retrieval_only {
             let kb_speedup = retrieval_snapshot(quick, &opts, &retrieval_out);
@@ -944,8 +1157,9 @@ fn main() {
         }
         if difftest_batched_only {
             let d = difftest_batched_snapshot(quick, &opts);
+            let meta = snapshot_meta(quick);
             let json = format!(
-                "{{\n  \"quick\": {quick},\n  \"difftest_batched_pinned\": {},\n  \"difftest_batched_lanes\": {},\n  \"difftest_scalar_prepared_ns\": {:.1},\n  \"difftest_batched_prepared_ns\": {:.1},\n  \"difftest_batched_speedup\": {:.2}\n}}\n",
+                "{{\n  {meta},\n  \"difftest_batched_pinned\": {},\n  \"difftest_batched_lanes\": {},\n  \"difftest_scalar_prepared_ns\": {:.1},\n  \"difftest_batched_prepared_ns\": {:.1},\n  \"difftest_batched_speedup\": {:.2}\n}}\n",
                 d.pinned, d.lanes, d.scalar_ns, d.batched_ns, d.speedup
             );
             println!("{json}");
@@ -953,8 +1167,9 @@ fn main() {
         }
         if costmodel_only {
             let c = costmodel_snapshot(quick);
+            let meta = snapshot_meta(quick);
             let json = format!(
-                "{{\n  \"quick\": {quick},\n  \"costmodel_kernels\": {},\n  \"costmodel_pinned\": {},\n  \"costmodel_arms\": {},\n  \"costmodel_estimates\": {},\n  \"costmodel_engine_ms\": {:.1},\n  \"costmodel_reference_ms\": {:.1},\n  \"costmodel_speedup\": {:.2},\n  \"costmodel_cache_hits\": {},\n  \"costmodel_steady_loops\": {},\n  \"costmodel_iters_replayed\": {}\n}}\n",
+                "{{\n  {meta},\n  \"costmodel_kernels\": {},\n  \"costmodel_pinned\": {},\n  \"costmodel_arms\": {},\n  \"costmodel_estimates\": {},\n  \"costmodel_engine_ms\": {:.1},\n  \"costmodel_reference_ms\": {:.1},\n  \"costmodel_speedup\": {:.2},\n  \"costmodel_cache_hits\": {},\n  \"costmodel_steady_loops\": {},\n  \"costmodel_iters_replayed\": {}\n}}\n",
                 c.kernels,
                 c.pinned,
                 c.arms,
@@ -976,6 +1191,10 @@ fn main() {
         if rerank_only {
             let r = rerank_snapshot(quick, &rerank_out);
             gate_rerank(quick, &r);
+        }
+        if trace_only {
+            let t = trace_snapshot(quick, &opts, &trace_out_path, chrome_out.as_deref());
+            gate_trace(quick, t);
         }
         return;
     }
@@ -1150,8 +1369,9 @@ fn main() {
         steady_loops: cm_steady_loops,
         iters_replayed: cm_iters_replayed,
     } = costmodel;
+    let meta = snapshot_meta(quick);
     let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"interp_compiled_ns\": {interp_compiled_ns:.1},\n  \"interp_reference_ns\": {interp_reference_ns:.1},\n  \"interp_speedup\": {interp_speedup:.2},\n  \"compile_ns\": {compile_ns:.1},\n  \"interp_observed_ns\": {interp_observed_ns:.1},\n  \"gemm_l1_hit_rate\": {l1_rate:.4},\n  \"difftest_compiled_ns\": {difftest_compiled_ns:.1},\n  \"difftest_reference_ns\": {difftest_reference_ns:.1},\n  \"difftest_speedup\": {difftest_speedup:.2},\n  \"difftest_batched_pinned\": {db_pinned},\n  \"difftest_batched_lanes\": {db_lanes},\n  \"difftest_scalar_prepared_ns\": {db_scalar_ns:.1},\n  \"difftest_batched_prepared_ns\": {db_batched_ns:.1},\n  \"difftest_batched_speedup\": {db_speedup:.2},\n  \"costmodel_kernels\": {cm_kernels},\n  \"costmodel_pinned\": {cm_pinned},\n  \"costmodel_arms\": {cm_arms},\n  \"costmodel_estimates\": {cm_estimates},\n  \"costmodel_engine_ms\": {cm_engine_ms:.1},\n  \"costmodel_reference_ms\": {cm_reference_ms:.1},\n  \"costmodel_speedup\": {cm_speedup:.2},\n  \"costmodel_cache_hits\": {cm_cache_hits},\n  \"costmodel_steady_loops\": {cm_steady_loops},\n  \"costmodel_iters_replayed\": {cm_iters_replayed},\n  \"retriever_query_ns\": {query_ns:.1},\n  \"suite_stride\": {stride},\n  \"suite_kernels\": {suite_kernels},\n  \"suite_wall_ms\": {suite_wall_ms:.1},\n  \"host_cores\": {host_cores},\n  \"campaign_kernels\": {campaign_n},\n  \"campaign_threads\": {campaign_threads},\n  \"campaign_wall_1t_ms\": {campaign_wall_1t_ms:.1},\n  \"campaign_wall_nt_ms\": {campaign_wall_nt_ms:.1},\n  \"campaign_speedup\": {campaign_speedup:.2}\n}}\n"
+        "{{\n  {meta},\n  \"interp_compiled_ns\": {interp_compiled_ns:.1},\n  \"interp_reference_ns\": {interp_reference_ns:.1},\n  \"interp_speedup\": {interp_speedup:.2},\n  \"compile_ns\": {compile_ns:.1},\n  \"interp_observed_ns\": {interp_observed_ns:.1},\n  \"gemm_l1_hit_rate\": {l1_rate:.4},\n  \"difftest_compiled_ns\": {difftest_compiled_ns:.1},\n  \"difftest_reference_ns\": {difftest_reference_ns:.1},\n  \"difftest_speedup\": {difftest_speedup:.2},\n  \"difftest_batched_pinned\": {db_pinned},\n  \"difftest_batched_lanes\": {db_lanes},\n  \"difftest_scalar_prepared_ns\": {db_scalar_ns:.1},\n  \"difftest_batched_prepared_ns\": {db_batched_ns:.1},\n  \"difftest_batched_speedup\": {db_speedup:.2},\n  \"costmodel_kernels\": {cm_kernels},\n  \"costmodel_pinned\": {cm_pinned},\n  \"costmodel_arms\": {cm_arms},\n  \"costmodel_estimates\": {cm_estimates},\n  \"costmodel_engine_ms\": {cm_engine_ms:.1},\n  \"costmodel_reference_ms\": {cm_reference_ms:.1},\n  \"costmodel_speedup\": {cm_speedup:.2},\n  \"costmodel_cache_hits\": {cm_cache_hits},\n  \"costmodel_steady_loops\": {cm_steady_loops},\n  \"costmodel_iters_replayed\": {cm_iters_replayed},\n  \"retriever_query_ns\": {query_ns:.1},\n  \"suite_stride\": {stride},\n  \"suite_kernels\": {suite_kernels},\n  \"suite_wall_ms\": {suite_wall_ms:.1},\n  \"campaign_kernels\": {campaign_n},\n  \"campaign_threads\": {campaign_threads},\n  \"campaign_wall_1t_ms\": {campaign_wall_1t_ms:.1},\n  \"campaign_wall_nt_ms\": {campaign_wall_nt_ms:.1},\n  \"campaign_speedup\": {campaign_speedup:.2}\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("write snapshot");
     println!("{json}");
@@ -1225,4 +1445,10 @@ fn main() {
     // cost with >= 1.5x fewer estimate_cost calls and >= 1.5x wall.
     let rerank = rerank_snapshot(quick, &rerank_out);
     gate_rerank(quick, &rerank);
+
+    // 10. Trace: the looprag-trace pool-size/round-trip determinism
+    // pins plus the disabled-path overhead snapshot, written to its own
+    // file. Gate 7: the disabled instrumentation path stays free.
+    let t = trace_snapshot(quick, &opts, &trace_out_path, chrome_out.as_deref());
+    gate_trace(quick, t);
 }

@@ -38,6 +38,7 @@ use looprag_retrieval::{KnowledgeBase, RetrievalMode};
 use looprag_runtime::{par_map, resolve_threads, Budget, BudgetPolicy};
 use looprag_search::SearchConfig;
 use looprag_synth::{property_stats, Dataset, ExampleRecord, Provenance};
+use looprag_trace::Recorder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -384,6 +385,11 @@ enum TestPlan {
     Test,
 }
 
+/// One tested slot off the pool: the verdict and estimated speedup
+/// (when the candidate was runnable) plus its per-item trace buffer
+/// (when tracing is enabled).
+type TestedSlot = (Option<(TestVerdict, f64)>, Option<looprag_trace::LocalBuf>);
+
 /// Stage-0 value: the retrieval stage's outcome — the sampled
 /// demonstrations feeding prompt construction, plus their dataset ids
 /// for the outcome report.
@@ -540,39 +546,51 @@ impl LoopRag {
         round: u8,
         target_text: &str,
         budget: &Budget,
+        rec: Option<&Recorder>,
     ) -> GeneratedBatch {
+        let _span = looprag_trace::span(rec, "stage.generate", || {
+            format!("round={round} k={}", self.config.k)
+        });
         let mut items = Vec::with_capacity(self.config.k);
-        for _ in 0..self.config.k {
-            if budget.exhausted() {
-                items.push(GeneratedCandidate {
+        for slot in 0..self.config.k {
+            let item = if budget.exhausted() {
+                GeneratedCandidate {
                     repaired: false,
                     program: None,
-                });
-                continue;
-            }
-            budget.charge(GEN_COST);
-            let text = model.generate(base_prompt);
-            match compile(&text, "candidate") {
-                Ok(p) => items.push(GeneratedCandidate {
-                    repaired: false,
-                    program: Some(p),
-                }),
-                Err(_) if self.config.single_shot => items.push(GeneratedCandidate {
-                    repaired: false,
-                    program: None,
-                }),
-                Err(err) => {
-                    // Compilation-results feedback (steps 2 and 4).
-                    budget.charge(GEN_COST);
-                    let repair = Prompt::compile_repair(target_text, text, err.to_string());
-                    let retry = model.generate(&repair);
-                    let program = compile(&retry, "candidate").ok();
-                    items.push(GeneratedCandidate {
-                        repaired: program.is_some(),
-                        program,
-                    });
                 }
-            }
+            } else {
+                budget.charge(GEN_COST);
+                let text = model.generate(base_prompt);
+                match compile(&text, "candidate") {
+                    Ok(p) => GeneratedCandidate {
+                        repaired: false,
+                        program: Some(p),
+                    },
+                    Err(_) if self.config.single_shot => GeneratedCandidate {
+                        repaired: false,
+                        program: None,
+                    },
+                    Err(err) => {
+                        // Compilation-results feedback (steps 2 and 4).
+                        budget.charge(GEN_COST);
+                        let repair = Prompt::compile_repair(target_text, text, err.to_string());
+                        let retry = model.generate(&repair);
+                        let program = compile(&retry, "candidate").ok();
+                        GeneratedCandidate {
+                            repaired: program.is_some(),
+                            program,
+                        }
+                    }
+                }
+            };
+            looprag_trace::instant(rec, "gen.candidate", || {
+                format!(
+                    "round={round} slot={slot} compiled={} repaired={}",
+                    item.program.is_some(),
+                    item.repaired
+                )
+            });
+            items.push(item);
         }
         GeneratedBatch { round, items }
     }
@@ -580,7 +598,15 @@ impl LoopRag {
     /// Stage 2: turns the vetted emissions into per-candidate reports
     /// plus programs. Pure per item, so thread count cannot affect the
     /// result.
-    fn compile_batch(&self, generated: GeneratedBatch, threads: usize) -> CompiledBatch {
+    fn compile_batch(
+        &self,
+        generated: GeneratedBatch,
+        threads: usize,
+        rec: Option<&Recorder>,
+    ) -> CompiledBatch {
+        let _span = looprag_trace::span(rec, "stage.compile", || {
+            format!("round={} items={}", generated.round, generated.items.len())
+        });
         let round = generated.round;
         let items = par_map(threads, &generated.items, |_, g| match &g.program {
             Some(p) => (
@@ -606,7 +632,15 @@ impl LoopRag {
         batch: CompiledBatch,
         budget: &Budget,
         threads: usize,
+        rec: Option<&Recorder>,
     ) -> TestedBatch {
+        let _span = looprag_trace::span(rec, "stage.test", || {
+            format!(
+                "round={} items={}",
+                batch.items.first().map_or(0, |(r, _)| r.round),
+                batch.items.len()
+            )
+        });
         let plans: Vec<TestPlan> = batch
             .items
             .iter()
@@ -630,25 +664,65 @@ impl LoopRag {
         // a whole batch. The deterministic policies return `None` and
         // are unaffected.
         let deadline = budget.deadline();
-        let verdicts: Vec<Option<(TestVerdict, f64)>> =
-            par_map(threads, &work, |_, (prog, plan)| match (plan, prog) {
+        // Per-candidate trace events go to a `LocalBuf` inside the
+        // closure and are absorbed in submission order below, so the
+        // logical stream is identical at any pool size (the same merge
+        // discipline as `par_map` itself).
+        let results: Vec<TestedSlot> = par_map(threads, &work, |i, (prog, plan)| {
+            let mut buf = looprag_trace::local(rec);
+            let out = match (plan, prog) {
                 (TestPlan::Test, Some(p)) => {
                     if deadline.is_some_and(|d| std::time::Instant::now() > d) {
-                        return Some((TestVerdict::Timeout, 0.0));
-                    }
-                    let verdict = prepared.differential_test(p, &cfg.eqcheck);
-                    let speedup = if verdict == TestVerdict::Pass {
-                        // Slower-than-threshold candidates come back as
-                        // 0: passing but inefficient.
-                        candidate_speedup(orig_cost, p, &cfg.machine, cfg.slow_factor)
+                        Some((TestVerdict::Timeout, 0.0))
                     } else {
-                        0.0
-                    };
-                    Some((verdict, speedup))
+                        if let Some(b) = buf.as_mut() {
+                            b.open("test.candidate", format!("slot={i}"));
+                        }
+                        let verdict = prepared.differential_test(p, &cfg.eqcheck);
+                        let speedup = if verdict == TestVerdict::Pass {
+                            // Slower-than-threshold candidates come
+                            // back as 0: passing but inefficient.
+                            candidate_speedup(orig_cost, p, &cfg.machine, cfg.slow_factor)
+                        } else {
+                            0.0
+                        };
+                        if let Some(b) = buf.as_mut() {
+                            let tag = match &verdict {
+                                TestVerdict::Pass => "pass",
+                                TestVerdict::IncorrectAnswer { .. } => "incorrect",
+                                TestVerdict::RuntimeError { .. } => "runtime_error",
+                                TestVerdict::Timeout => "timeout",
+                            };
+                            b.instant(
+                                "test.verdict",
+                                format!("slot={i} verdict={tag} speedup={speedup}"),
+                            );
+                            b.close();
+                        }
+                        Some((verdict, speedup))
+                    }
                 }
-                (TestPlan::OverBudget, Some(_)) => Some((TestVerdict::Timeout, 0.0)),
+                (TestPlan::OverBudget, Some(_)) => {
+                    if let Some(b) = buf.as_mut() {
+                        b.instant("test.over_budget", format!("slot={i}"));
+                    }
+                    Some((TestVerdict::Timeout, 0.0))
+                }
                 _ => None,
-            });
+            };
+            (out, buf)
+        });
+        let mut verdicts = Vec::with_capacity(results.len());
+        let mut bufs = Vec::new();
+        for (v, b) in results {
+            verdicts.push(v);
+            if let Some(b) = b {
+                bufs.push(b);
+            }
+        }
+        if let Some(r) = rec {
+            r.absorb(bufs);
+        }
         let items = batch
             .items
             .into_iter()
@@ -678,6 +752,25 @@ impl LoopRag {
         target: &Program,
         threads: usize,
     ) -> OptimizationOutcome {
+        self.optimize_traced(name, target, threads, None)
+    }
+
+    /// [`LoopRag::optimize_with_threads`] with an optional trace
+    /// recorder capturing stage spans, per-candidate generation and
+    /// testing events, and the hybrid search's expansion stream. With
+    /// `rec: None` (the production default) not a single trace
+    /// allocation happens and outcomes are byte-identical to the
+    /// untraced entry points; with a recorder, the logical event stream
+    /// is bit-identical at any pool size because parallel stages buffer
+    /// events per item and absorb them in submission order.
+    pub fn optimize_traced(
+        &self,
+        name: &str,
+        target: &Program,
+        threads: usize,
+        rec: Option<&Recorder>,
+    ) -> OptimizationOutcome {
+        let _span = looprag_trace::span(rec, "pipeline.optimize", || name.to_string());
         let budget = Budget::new(self.config.budget.clone());
         let threads = resolve_threads(threads);
         let mut rng = StdRng::seed_from_u64(self.target_seed(name));
@@ -692,12 +785,19 @@ impl LoopRag {
         // search arm already scored, is a cache hit). Each candidate
         // verdict is then a batched lane sweep against the cached
         // expected stores.
-        let prepared = PreparedTarget::prepare(target, &self.config.eqcheck);
-        let orig_cost = estimate_cost(target, &self.config.machine)
-            .unwrap_or_else(|_| CostReport::unreachable());
+        let (prepared, orig_cost) = {
+            let _s = looprag_trace::span(rec, "stage.prepare", String::new);
+            let prepared = PreparedTarget::prepare(target, &self.config.eqcheck);
+            let orig_cost = estimate_cost(target, &self.config.machine)
+                .unwrap_or_else(|_| CostReport::unreachable());
+            (prepared, orig_cost)
+        };
 
         // Step 1: retrieval stage + first batch.
-        let retrieved = self.retrieve_stage(target, &mut rng, threads);
+        let retrieved = {
+            let _s = looprag_trace::span(rec, "stage.retrieve", String::new);
+            self.retrieve_stage(target, &mut rng, threads)
+        };
         let RetrievedDemos {
             demos,
             ids: demo_ids,
@@ -707,8 +807,9 @@ impl LoopRag {
         } else {
             Prompt::with_demonstrations(target_text.clone(), demos)
         };
-        let gen1 = self.generate_batch(&mut model, &prompt1, 1, &target_text, &budget);
-        let mut compiled1 = self.compile_batch(gen1, threads);
+        looprag_trace::instant(rec, "retrieve.demos", || format!("ids={demo_ids:?}"));
+        let gen1 = self.generate_batch(&mut model, &prompt1, 1, &target_text, &budget, rec);
+        let mut compiled1 = self.compile_batch(gen1, threads, rec);
 
         // Hybrid arm: the legality-guided beam search runs alongside
         // step 1 and its winner joins the batch before differential
@@ -718,6 +819,7 @@ impl LoopRag {
         // byte-identical to a search-free build.
         let mut search_expansions = 0u64;
         if let Some(base) = &self.config.search {
+            let _s = looprag_trace::span(rec, "stage.search", || name.to_string());
             let mut scfg = base.clone();
             scfg.threads = threads;
             // The pipeline's machine model is authoritative: the winner
@@ -726,7 +828,7 @@ impl LoopRag {
             // optimized for a different machine.
             scfg.machine = self.config.machine.clone();
             scfg.rank = self.config.rank.clone();
-            let found = looprag_search::search(target, &scfg);
+            let found = looprag_search::search_traced(target, &scfg, rec);
             search_expansions = found.stats.nodes_expanded as u64;
             if !found.recipe.steps.is_empty() {
                 compiled1
@@ -736,7 +838,7 @@ impl LoopRag {
         }
 
         // Step 2: test the (possibly repaired) batch and rank.
-        let batch1 = self.test_batch(&prepared, &orig_cost, compiled1, &budget, threads);
+        let batch1 = self.test_batch(&prepared, &orig_cost, compiled1, &budget, threads, rec);
         let mut steps = StepTrace {
             // The step-1 column isolates first-try *LLM* compiles, so
             // the injected search winner does not count toward it.
@@ -762,6 +864,14 @@ impl LoopRag {
             steps.pass_step3_repaired = steps.pass_step1;
             steps.pass_step4 = steps.pass_step2;
             steps.best_speedup_step4 = speedup;
+            let calls = model.calls();
+            looprag_trace::value(rec, "pipeline.llm_calls", calls as i64, String::new);
+            looprag_trace::value(
+                rec,
+                "pipeline.search_expansions",
+                search_expansions as i64,
+                String::new,
+            );
             return OptimizationOutcome {
                 name: name.to_string(),
                 passed,
@@ -778,11 +888,11 @@ impl LoopRag {
         // Step 3: testing results + performance rankings feedback.
         let ranking = rank_batch(&batch1);
         let prompt3 = Prompt::test_and_rank(target_text.clone(), ranking.available, ranking.failed);
-        let gen3 = self.generate_batch(&mut model, &prompt3, 3, &target_text, &budget);
-        let compiled3 = self.compile_batch(gen3, threads);
+        let gen3 = self.generate_batch(&mut model, &prompt3, 3, &target_text, &budget, rec);
+        let compiled3 = self.compile_batch(gen3, threads, rec);
 
         // Step 4: test the second batch; select the fastest overall.
-        let batch3 = self.test_batch(&prepared, &orig_cost, compiled3, &budget, threads);
+        let batch3 = self.test_batch(&prepared, &orig_cost, compiled3, &budget, threads, rec);
         steps.pass_step3 = batch3
             .items
             .iter()
@@ -801,6 +911,14 @@ impl LoopRag {
         all.extend(batch3.items);
         let (passed, speedup, best_prog) = best_of(&all);
         steps.best_speedup_step4 = speedup;
+        let calls = model.calls();
+        looprag_trace::value(rec, "pipeline.llm_calls", calls as i64, String::new);
+        looprag_trace::value(
+            rec,
+            "pipeline.search_expansions",
+            search_expansions as i64,
+            String::new,
+        );
 
         OptimizationOutcome {
             name: name.to_string(),

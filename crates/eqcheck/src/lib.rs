@@ -40,6 +40,7 @@ use looprag_ir::{adaptive_sampling_cap, has_parallel_loop, InitKind, Program};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// One test input: an initialization per (non-local) array.
 pub type InputSpec = Vec<(String, InitKind)>;
@@ -380,6 +381,34 @@ fn annotate_skips(verdict: TestVerdict, skipped: usize) -> TestVerdict {
     }
 }
 
+/// Counts one differential-test verdict in the global metrics registry,
+/// keyed per verdict kind. Observational only — never consulted by any
+/// verdict or fingerprint path.
+fn count_verdict(v: &TestVerdict) {
+    struct VerdictCounters {
+        pass: looprag_trace::Counter,
+        incorrect: looprag_trace::Counter,
+        runtime_error: looprag_trace::Counter,
+        timeout: looprag_trace::Counter,
+    }
+    static C: OnceLock<VerdictCounters> = OnceLock::new();
+    let c = C.get_or_init(|| {
+        let r = looprag_trace::metrics();
+        VerdictCounters {
+            pass: r.counter("eqcheck.verdict_pass"),
+            incorrect: r.counter("eqcheck.verdict_incorrect"),
+            runtime_error: r.counter("eqcheck.verdict_runtime_error"),
+            timeout: r.counter("eqcheck.verdict_timeout"),
+        }
+    });
+    match v {
+        TestVerdict::Pass => c.pass.inc(),
+        TestVerdict::IncorrectAnswer { .. } => c.incorrect.inc(),
+        TestVerdict::RuntimeError { .. } => c.runtime_error.inc(),
+        TestVerdict::Timeout => c.timeout.inc(),
+    }
+}
+
 /// Differentially tests `candidate` against `original` on the suite:
 /// checksum quick-filter, element-wise comparison, and permuted-order
 /// re-execution for parallel-marked loops.
@@ -401,7 +430,9 @@ pub fn differential_test(
     let orig = scaled(original, cap);
     let compiled = CompiledProgram::compile(&orig);
     let expected = ExpectedLanes::prepare(&orig, &compiled, suite, cfg);
-    differential_test_batched(&orig, &expected, candidate, cap, suite, cfg)
+    let verdict = differential_test_batched(&orig, &expected, candidate, cap, suite, cfg);
+    count_verdict(&verdict);
+    verdict
 }
 
 /// [`differential_test`] forced through the scalar bytecode engine, one
@@ -444,7 +475,9 @@ fn differential_test_on(
     // Compile each side once; the compiled forms are reused across the
     // whole suite and all three iteration orders.
     let orig_runner = Runner::new(&orig, engine);
-    differential_test_scaled(&orig, &orig_runner, candidate, cap, suite, cfg, engine)
+    let verdict = differential_test_scaled(&orig, &orig_runner, candidate, cap, suite, cfg, engine);
+    count_verdict(&verdict);
+    verdict
 }
 
 /// The per-candidate core: `orig` is already scaled to `cap` and held by
@@ -794,22 +827,25 @@ impl PreparedTarget {
     /// are reused whenever the candidate's sampling cap allows it.
     pub fn differential_test(&self, candidate: &Program, cfg: &EqCheckConfig) -> TestVerdict {
         let cap = adaptive_sampling_cap(candidate, cfg.param_cap, 400_000.0).max(self.cap);
-        if cap == self.cap {
-            return differential_test_batched(
+        let verdict = if cap == self.cap {
+            differential_test_batched(
                 &self.scaled,
                 &self.expected,
                 candidate,
                 cap,
                 &self.suite,
                 cfg,
-            );
-        }
-        // Cold path: the candidate widened the cap, so the original must
-        // be rescaled and its ground truth recomputed to match.
-        let orig = scaled(&self.original, cap);
-        let compiled = CompiledProgram::compile(&orig);
-        let expected = ExpectedLanes::prepare(&orig, &compiled, &self.suite, cfg);
-        differential_test_batched(&orig, &expected, candidate, cap, &self.suite, cfg)
+            )
+        } else {
+            // Cold path: the candidate widened the cap, so the original
+            // must be rescaled and its ground truth recomputed to match.
+            let orig = scaled(&self.original, cap);
+            let compiled = CompiledProgram::compile(&orig);
+            let expected = ExpectedLanes::prepare(&orig, &compiled, &self.suite, cfg);
+            differential_test_batched(&orig, &expected, candidate, cap, &self.suite, cfg)
+        };
+        count_verdict(&verdict);
+        verdict
     }
 
     /// [`differential_test_scalar`] against the prepared original: the

@@ -22,19 +22,25 @@ use looprag_transform::{perfect_band, semantics_preserving, Family, OracleConfig
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Process-wide count of simulated-LLM stream advances (one per
-/// [`LanguageModel::generate`] call on any [`SimLlm`] instance).
+/// [`LanguageModel::generate`] call on any [`SimLlm`] instance),
+/// registered as `llm.stream_advances` in the
+/// [`looprag_trace::metrics`] registry.
 ///
 /// This exists so callers can *prove* a code path never touched the
 /// model: take the count before and after and assert the delta is zero.
 /// The serve layer's verified-winner memo uses exactly that assertion.
-static STREAM_ADVANCES: AtomicU64 = AtomicU64::new(0);
+fn stream_advances() -> &'static looprag_trace::Counter {
+    static C: OnceLock<looprag_trace::Counter> = OnceLock::new();
+    C.get_or_init(|| looprag_trace::metrics().counter("llm.stream_advances"))
+}
 
-/// Total simulated-LLM stream advances in this process so far.
+/// Total simulated-LLM stream advances in this process so far — a
+/// compat shim over the `llm.stream_advances` registry counter.
 pub fn stream_advance_count() -> u64 {
-    STREAM_ADVANCES.load(Ordering::Relaxed)
+    stream_advances().get()
 }
 
 /// One remembered generation attempt.
@@ -565,7 +571,7 @@ impl LanguageModel for SimLlm {
 
     fn generate(&mut self, prompt: &Prompt) -> String {
         self.calls += 1;
-        STREAM_ADVANCES.fetch_add(1, Ordering::Relaxed);
+        stream_advances().inc();
         // Feedback handling first.
         match &prompt.feedback {
             Some(Feedback::Compile { last_code, .. }) => {

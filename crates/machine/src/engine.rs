@@ -423,6 +423,35 @@ pub struct CostEngineStats {
     pub iters_replayed: u64,
 }
 
+/// Cached handles into the global [`looprag_trace`] metrics registry,
+/// mirroring [`CostEngineStats`]. Observational only: the counters are
+/// process-wide (shared across engines) and incremented at the same
+/// sites as the per-engine stats, so dashboards can attribute work
+/// without querying every engine instance.
+struct EngineMetrics {
+    cost_hits: looprag_trace::Counter,
+    cost_misses: looprag_trace::Counter,
+    deps_reused: looprag_trace::Counter,
+    deps_computed: looprag_trace::Counter,
+    steady_loops: looprag_trace::Counter,
+    iters_replayed: looprag_trace::Counter,
+}
+
+fn engine_metrics() -> &'static EngineMetrics {
+    static M: OnceLock<EngineMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = looprag_trace::metrics();
+        EngineMetrics {
+            cost_hits: r.counter("cost.cache_hits"),
+            cost_misses: r.counter("cost.cache_misses"),
+            deps_reused: r.counter("cost.deps_reused"),
+            deps_computed: r.counter("cost.deps_computed"),
+            steady_loops: r.counter("cost.steady_loops"),
+            iters_replayed: r.counter("cost.iters_replayed"),
+        }
+    })
+}
+
 struct EngineInner {
     /// `(machine fingerprint, printed program)` → result. Full key
     /// strings, so cache hits cannot alias distinct inputs.
@@ -515,6 +544,7 @@ impl CostEngine {
             if let Some(hit) = inner.costs.get(&key) {
                 let hit = hit.clone();
                 inner.stats.cost_hits += 1;
+                engine_metrics().cost_hits.inc();
                 if deps.is_none() && want_deps {
                     deps = inner.deps.get(&key.1).cloned();
                 }
@@ -527,13 +557,16 @@ impl CostEngine {
                 return (hit, deps);
             }
             inner.stats.cost_misses += 1;
+            engine_metrics().cost_misses.inc();
             if deps.is_none() {
                 deps = inner.deps.get(&key.1).cloned();
                 if deps.is_some() {
                     inner.stats.deps_reused += 1;
+                    engine_metrics().deps_reused.inc();
                 }
             } else {
                 inner.stats.deps_reused += 1;
+                engine_metrics().deps_reused.inc();
             }
         }
         // Compute outside the lock: concurrent scorers proceed in
@@ -579,6 +612,7 @@ impl CostEngine {
         let d = Arc::new(cost_analysis(p));
         let mut inner = self.inner.lock().expect("cost engine lock");
         inner.stats.deps_computed += 1;
+        engine_metrics().deps_computed.inc();
         if inner.deps.len() >= DEPS_CACHE_CAP {
             inner.deps.clear();
         }
@@ -618,6 +652,8 @@ fn compute_fresh(
         let mut inner = engine.inner.lock().expect("cost engine lock");
         inner.stats.steady_loops += model.steady_loops;
         inner.stats.iters_replayed += model.iters_replayed;
+        engine_metrics().steady_loops.add(model.steady_loops);
+        engine_metrics().iters_replayed.add(model.iters_replayed);
     }
     let breakdown = walked?;
     Ok(model.m.report(breakdown, prepared.vectorized))

@@ -48,6 +48,18 @@ use crate::features::{extract_features, StmtFeatures, NUM_FEATURE_TYPES};
 use crate::lascore::{LaWeights, RetrievalMode};
 use looprag_ir::{print_program, Program};
 use looprag_runtime::{par_map, resolve_threads};
+use std::sync::OnceLock;
+
+fn kb_queries() -> &'static looprag_trace::Counter {
+    static C: OnceLock<looprag_trace::Counter> = OnceLock::new();
+    C.get_or_init(|| looprag_trace::metrics().counter("kb.queries"))
+}
+
+fn kb_commits() -> &'static looprag_trace::Counter {
+    static C: OnceLock<looprag_trace::Counter> = OnceLock::new();
+    C.get_or_init(|| looprag_trace::metrics().counter("kb.commits"))
+}
+
 use std::collections::HashMap;
 
 /// Sentinel id for target feature items absent from the corpus
@@ -290,6 +302,7 @@ impl KnowledgeBase {
     /// once it outgrows a quarter of the sealed postings, keeping the
     /// amortized cost geometric; rankings are unaffected either way.
     pub fn insert(&mut self, id: usize, program: &Program) {
+        kb_commits().inc();
         let doc = u32::try_from(self.docs.len()).expect("corpus exceeds u32 documents");
         // BM25 layer: tokenize the printed text, intern, count.
         let text = print_program(program);
@@ -562,6 +575,7 @@ impl KnowledgeBase {
         top_n: usize,
         threads: usize,
     ) -> Vec<(usize, f64)> {
+        kb_queries().inc();
         if self.docs.is_empty() || top_n == 0 {
             return Vec::new();
         }

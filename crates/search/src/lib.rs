@@ -79,20 +79,25 @@ use looprag_transform::{
 };
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::OnceLock;
 
 /// Process-wide count of node expansions performed by [`search`] and
-/// [`search_reference`] combined.
+/// [`search_reference`] combined, registered as `search.expansions` in
+/// the [`looprag_trace::metrics`] registry.
 ///
 /// This exists so callers can *prove* a code path never ran the search:
 /// take the count before and after and assert the delta is zero. The
 /// serve layer's verified-winner memo uses exactly that assertion.
-static EXPANSIONS: AtomicU64 = AtomicU64::new(0);
+fn expansion_counter() -> &'static looprag_trace::Counter {
+    static C: OnceLock<looprag_trace::Counter> = OnceLock::new();
+    C.get_or_init(|| looprag_trace::metrics().counter("search.expansions"))
+}
 
-/// Total search node expansions in this process so far.
+/// Total search node expansions in this process so far — a compat shim
+/// over the `search.expansions` registry counter.
 pub fn expansion_count() -> u64 {
-    EXPANSIONS.load(Ordering::Relaxed)
+    expansion_counter().get()
 }
 
 /// Search configuration.
@@ -397,6 +402,18 @@ pub fn search(p: &Program, cfg: &SearchConfig) -> SearchResult {
     search_with_engine(p, cfg, CostEngine::global())
 }
 
+/// [`search`] with tracing: level spans, per-node expansion events and
+/// admission/prune measurements recorded into `rec`. `None` is a
+/// guaranteed no-op and the result is byte-identical either way —
+/// tracing only observes.
+pub fn search_traced(
+    p: &Program,
+    cfg: &SearchConfig,
+    rec: Option<&looprag_trace::Recorder>,
+) -> SearchResult {
+    search_with_engine_traced(p, cfg, CostEngine::global(), rec)
+}
+
 /// [`search`] against an explicit cost engine. The global engine's
 /// cross-stage cache is normally what you want; an isolated
 /// [`CostEngine::new`] instance exists for fair A/B timing (the
@@ -405,6 +422,16 @@ pub fn search(p: &Program, cfg: &SearchConfig) -> SearchResult {
 /// other's warm cache). Results are bit-identical either way — cached
 /// and fresh engine estimates are pinned equal.
 pub fn search_with_engine(p: &Program, cfg: &SearchConfig, engine: &CostEngine) -> SearchResult {
+    search_with_engine_traced(p, cfg, engine, None)
+}
+
+/// [`search_with_engine`] with tracing (see [`search_traced`]).
+pub fn search_with_engine_traced(
+    p: &Program,
+    cfg: &SearchConfig,
+    engine: &CostEngine,
+    rec: Option<&looprag_trace::Recorder>,
+) -> SearchResult {
     let threads = resolve_threads(cfg.threads);
     let beam = cfg.beam.max(1);
     let mut stats = SearchStats::default();
@@ -415,6 +442,9 @@ pub fn search_with_engine(p: &Program, cfg: &SearchConfig, engine: &CostEngine) 
     let (base_report, base_deps) = engine.estimate_full(p, &cfg.machine);
     let base_cost = base_report.map(|r| r.cycles).unwrap_or(f64::INFINITY);
     stats.scored += 1;
+    looprag_trace::instant(rec, "search.root", || {
+        format!("beam={beam} depth={} base_cost={base_cost:.4}", cfg.depth)
+    });
     if !base_cost.is_finite() {
         return SearchResult::identity(p, base_cost, stats);
     }
@@ -433,7 +463,7 @@ pub fn search_with_engine(p: &Program, cfg: &SearchConfig, engine: &CostEngine) 
     let mut best = 0usize;
     let mut frontier: Vec<usize> = vec![0];
 
-    for _level in 0..cfg.depth {
+    for level in 0..cfg.depth {
         let to_expand: Vec<usize> = frontier
             .iter()
             .copied()
@@ -443,8 +473,16 @@ pub fn search_with_engine(p: &Program, cfg: &SearchConfig, engine: &CostEngine) 
         if to_expand.is_empty() {
             // Every frontier node is expanded and nothing displaced it:
             // the search reached its fixpoint.
+            looprag_trace::instant(rec, "search.fixpoint", || format!("level={level}"));
             break;
         }
+        let _level_span = looprag_trace::span(rec, "search.level", || {
+            format!(
+                "level={level} frontier={} expand={}",
+                frontier.len(),
+                to_expand.len()
+            )
+        });
 
         // Dependence sets for nodes that did not inherit one, sharded.
         // With the engine returning deps at scoring time this is
@@ -497,12 +535,18 @@ pub fn search_with_engine(p: &Program, cfg: &SearchConfig, engine: &CostEngine) 
             })
         });
         stats.nodes_expanded += to_expand.len();
-        EXPANSIONS.fetch_add(to_expand.len() as u64, Ordering::Relaxed);
+        expansion_counter().add(to_expand.len() as u64);
 
         // Sequential merge: admit first occurrences of never-seen
         // programs to the node table.
         let mut admitted: Vec<usize> = Vec::new();
         for (&from, (kids, total, rank_pruned, pruned)) in to_expand.iter().zip(expansions) {
+            looprag_trace::instant(rec, "search.expand", || {
+                format!(
+                    "node={from} kids={} enumerated={total} rank_pruned={rank_pruned} illegal={pruned}",
+                    kids.len()
+                )
+            });
             stats.steps_enumerated += total;
             stats.rank_pruned += rank_pruned;
             stats.pruned_illegal += pruned;
@@ -536,6 +580,7 @@ pub fn search_with_engine(p: &Program, cfg: &SearchConfig, engine: &CostEngine) 
             nodes[from].expanded = true;
         }
         stats.admitted += admitted.len();
+        looprag_trace::value(rec, "search.admitted", admitted.len() as i64, String::new);
 
         // Score the newcomers through the shared engine, sharded. A
         // node that inherited its parent's dependence set is scored via
@@ -582,6 +627,13 @@ pub fn search_with_engine(p: &Program, cfg: &SearchConfig, engine: &CostEngine) 
     } else {
         0.0
     };
+    looprag_trace::instant(rec, "search.result", || {
+        format!(
+            "steps={} cost={:.4} speedup={speedup:.4}",
+            node.recipe.steps.len(),
+            node.cost
+        )
+    });
     SearchResult {
         recipe: node.recipe.clone(),
         program: node.program.clone(),
@@ -654,7 +706,7 @@ pub fn search_reference(p: &Program, cfg: &SearchConfig) -> SearchResult {
             }
         }
         stats.nodes_expanded += frontier.len();
-        EXPANSIONS.fetch_add(frontier.len() as u64, Ordering::Relaxed);
+        expansion_counter().add(frontier.len() as u64);
         stats.applied += entries.len();
         // Score everything, from scratch.
         for e in &mut entries {

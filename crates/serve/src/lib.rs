@@ -85,6 +85,7 @@ use looprag_ir::{compile, parse_program, print_program, Program};
 use looprag_rank::RankModel;
 use looprag_runtime::{par_map, resolve_threads};
 use looprag_synth::Dataset;
+use looprag_trace::Recorder;
 use serde::Value;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -276,6 +277,34 @@ enum Admission {
     Follow { canonical: String },
 }
 
+/// Cached handles into the global metrics registry, mirroring
+/// [`ServeStats`] plus a memo-size gauge and a per-batch lead-count
+/// histogram. Observational only: never consulted by admission, memo
+/// commits or responses.
+struct ServeMetrics {
+    requests: looprag_trace::Counter,
+    hits: looprag_trace::Counter,
+    misses: looprag_trace::Counter,
+    rejected: looprag_trace::Counter,
+    memo_len: looprag_trace::Gauge,
+    batch_leads: looprag_trace::Histogram,
+}
+
+fn serve_metrics() -> &'static ServeMetrics {
+    static M: std::sync::OnceLock<ServeMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        let r = looprag_trace::metrics();
+        ServeMetrics {
+            requests: r.counter("serve.requests"),
+            hits: r.counter("serve.hits"),
+            misses: r.counter("serve.misses"),
+            rejected: r.counter("serve.rejected"),
+            memo_len: r.gauge("serve.memo_len"),
+            batch_leads: r.histogram("serve.batch_leads"),
+        }
+    })
+}
+
 fn int_of(x: u64) -> Value {
     Value::Int(i64::try_from(x).unwrap_or(i64::MAX))
 }
@@ -357,73 +386,138 @@ impl Server {
     /// Serves one batch of requests. See the module docs for the
     /// lifecycle; responses come back in request order.
     pub fn submit(&mut self, requests: &[Request]) -> Vec<Response> {
+        self.submit_traced(requests, None)
+    }
+
+    /// [`Server::submit`] with an optional trace recorder capturing the
+    /// batch lifecycle: one `serve.batch` span wrapping the four phase
+    /// spans, per-request admission instants, and one `serve.lead` span
+    /// per pipeline run (buffered per lead and absorbed in admission
+    /// order, so the logical stream is bit-identical at any pool size).
+    /// With `rec: None` responses are byte-identical to [`Server::submit`].
+    pub fn submit_traced(&mut self, requests: &[Request], rec: Option<&Recorder>) -> Vec<Response> {
+        let _span = looprag_trace::span(rec, "serve.batch", || {
+            format!("requests={}", requests.len())
+        });
         // Phase 1 — sequential admission, in request order.
         let mut admissions: Vec<Admission> = Vec::with_capacity(requests.len());
         let mut leads: Vec<(String, Program)> = Vec::new();
         let mut pending: BTreeMap<String, usize> = BTreeMap::new();
-        for req in requests {
-            self.stats.requests += 1;
-            let program = match compile(&req.source, "request") {
-                Ok(p) => p,
-                Err(e) => {
-                    self.stats.rejected += 1;
-                    admissions.push(Admission::Rejected(e.to_string()));
-                    continue;
+        {
+            let _s = looprag_trace::span(rec, "serve.admit", String::new);
+            for req in requests {
+                self.stats.requests += 1;
+                serve_metrics().requests.inc();
+                let program = match compile(&req.source, "request") {
+                    Ok(p) => p,
+                    Err(e) => {
+                        self.stats.rejected += 1;
+                        serve_metrics().rejected.inc();
+                        looprag_trace::instant(rec, "serve.reject", || req.name.clone());
+                        admissions.push(Admission::Rejected(e.to_string()));
+                        continue;
+                    }
+                };
+                let canonical = print_program(&program);
+                if self.memo.contains_key(&canonical) {
+                    self.stats.hits += 1;
+                    serve_metrics().hits.inc();
+                    looprag_trace::instant(rec, "memo.hit", || serve_name(&canonical));
+                    admissions.push(Admission::Hit(canonical));
+                } else if pending.contains_key(&canonical) {
+                    self.stats.hits += 1;
+                    serve_metrics().hits.inc();
+                    looprag_trace::instant(rec, "memo.follow", || serve_name(&canonical));
+                    admissions.push(Admission::Follow { canonical });
+                } else {
+                    self.stats.misses += 1;
+                    serve_metrics().misses.inc();
+                    looprag_trace::instant(rec, "memo.miss", || serve_name(&canonical));
+                    pending.insert(canonical.clone(), leads.len());
+                    admissions.push(Admission::Lead {
+                        canonical: canonical.clone(),
+                        lead: leads.len(),
+                    });
+                    leads.push((canonical, program));
                 }
-            };
-            let canonical = print_program(&program);
-            if self.memo.contains_key(&canonical) {
-                self.stats.hits += 1;
-                admissions.push(Admission::Hit(canonical));
-            } else if pending.contains_key(&canonical) {
-                self.stats.hits += 1;
-                admissions.push(Admission::Follow { canonical });
-            } else {
-                self.stats.misses += 1;
-                pending.insert(canonical.clone(), leads.len());
-                admissions.push(Admission::Lead {
-                    canonical: canonical.clone(),
-                    lead: leads.len(),
-                });
-                leads.push((canonical, program));
             }
         }
+        serve_metrics().batch_leads.observe(leads.len() as u64);
 
         // Phase 2 — leads fan out over the pool; each runs the full
         // pipeline at pool size 1 against the epoch-frozen KB, so the
         // outcome set is independent of both the outer pool size and
-        // the batch composition.
+        // the batch composition. Per-lead trace events buffer locally
+        // and are absorbed in admission order below.
         let threads = resolve_threads(self.threads);
         let engine = &self.engine;
-        let outcomes: Vec<OptimizationOutcome> = par_map(threads, &leads, |_, (canonical, p)| {
-            engine.optimize_with_threads(&serve_name(canonical), p, 1)
-        });
+        let outcomes: Vec<OptimizationOutcome> = {
+            let _s =
+                looprag_trace::span(rec, "serve.optimize", || format!("leads={}", leads.len()));
+            let results: Vec<(OptimizationOutcome, Option<looprag_trace::LocalBuf>)> =
+                par_map(threads, &leads, |_, (canonical, p)| {
+                    let mut buf = looprag_trace::local(rec);
+                    if let Some(b) = buf.as_mut() {
+                        b.open("serve.lead", serve_name(canonical));
+                    }
+                    let outcome = engine.optimize_with_threads(&serve_name(canonical), p, 1);
+                    if let Some(b) = buf.as_mut() {
+                        b.value(
+                            "serve.lead_llm_calls",
+                            outcome.llm_calls as i64,
+                            String::new(),
+                        );
+                        b.close();
+                    }
+                    (outcome, buf)
+                });
+            let mut outcomes = Vec::with_capacity(results.len());
+            let mut bufs = Vec::new();
+            for (o, b) in results {
+                outcomes.push(o);
+                if let Some(b) = b {
+                    bufs.push(b);
+                }
+            }
+            if let Some(r) = rec {
+                r.absorb(bufs);
+            }
+            outcomes
+        };
 
         // Phase 3 — sequential memo commit in admission order, staging
         // feedback wins for the next epoch commit.
         let kb_fp = self.engine.kb_fingerprint();
         let feedback = self.engine.config().feedback;
-        for ((canonical, _), outcome) in leads.iter().zip(&outcomes) {
-            self.memo.insert(
-                canonical.clone(),
-                MemoEntry {
-                    passed: outcome.passed,
-                    speedup: outcome.speedup,
-                    best: outcome.best.as_ref().map(print_program),
-                    llm_calls: outcome.llm_calls,
-                    search_expansions: outcome.search_expansions,
-                    kb_fingerprint: kb_fp,
-                },
-            );
-            if feedback && outcome.passed && outcome.speedup > 1.0 {
-                self.staged.push(StagedWin {
-                    canonical: canonical.clone(),
-                    outcome: outcome.clone(),
-                });
+        {
+            let _s = looprag_trace::span(rec, "serve.commit", String::new);
+            for ((canonical, _), outcome) in leads.iter().zip(&outcomes) {
+                self.memo.insert(
+                    canonical.clone(),
+                    MemoEntry {
+                        passed: outcome.passed,
+                        speedup: outcome.speedup,
+                        best: outcome.best.as_ref().map(print_program),
+                        llm_calls: outcome.llm_calls,
+                        search_expansions: outcome.search_expansions,
+                        kb_fingerprint: kb_fp,
+                    },
+                );
+                if feedback && outcome.passed && outcome.speedup > 1.0 {
+                    looprag_trace::instant(rec, "serve.staged", || serve_name(canonical));
+                    self.staged.push(StagedWin {
+                        canonical: canonical.clone(),
+                        outcome: outcome.clone(),
+                    });
+                }
             }
         }
+        serve_metrics()
+            .memo_len
+            .set(i64::try_from(self.memo.len()).unwrap_or(i64::MAX));
 
         // Phase 4 — responses in request order.
+        let _s = looprag_trace::span(rec, "serve.respond", String::new);
         admissions
             .into_iter()
             .zip(requests)

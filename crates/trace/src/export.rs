@@ -1,0 +1,360 @@
+//! Exporters for the logical event stream.
+//!
+//! * **Canonical JSON** — a byte-stable rendering of the logical
+//!   stream (sequence numbers, kinds, names, details; the wall-clock
+//!   side channel is excluded by construction). The strict parser
+//!   accepts exactly what the writer emits, so
+//!   `to_canonical_json(from_canonical_json(s)?) == s` for any
+//!   canonical document — the round-trip is byte-exact.
+//! * **Chrome `trace_event` JSON** — openable in `chrome://tracing` /
+//!   Perfetto. Timestamps are the logical clock (one tick per event),
+//!   so the visual layout of a fixed-seed run is identical at any pool
+//!   size; wall durations ride along as event args.
+
+use crate::{Event, EventKind};
+use std::fmt::Write as _;
+
+/// Canonical-format version, bumped on any grammar change.
+pub const CANONICAL_FORMAT_VERSION: u32 = 1;
+
+/// Escapes a string into a JSON string literal (quotes included),
+/// appended to `out`. Deterministic: a fixed escape per code point.
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders the logical stream as canonical JSON. Wall-clock values are
+/// excluded: two runs with identical logical streams render to
+/// identical bytes regardless of timing or pool size.
+pub fn to_canonical_json(events: &[Event]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 48);
+    let _ = write!(
+        out,
+        "{{\"format_version\":{CANONICAL_FORMAT_VERSION},\"events\":["
+    );
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"kind\":\"{}\",\"name\":",
+            e.seq,
+            e.kind.tag()
+        );
+        push_json_str(&mut out, &e.name);
+        out.push_str(",\"detail\":");
+        push_json_str(&mut out, &e.detail);
+        if let EventKind::Value(v) = e.kind {
+            let _ = write!(out, ",\"value\":{v}");
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// A strict cursor over the canonical grammar.
+struct Cursor<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Self {
+        Cursor {
+            s: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn fail(&self, what: &str) -> String {
+        format!("canonical trace: expected {what} at byte {}", self.pos)
+    }
+
+    fn expect(&mut self, lit: &str) -> Result<(), String> {
+        if self.s[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.fail(&format!("`{lit}`")))
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    /// Unsigned decimal integer.
+    fn uint(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.fail("a digit"));
+        }
+        std::str::from_utf8(&self.s[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| self.fail("an integer in range"))
+    }
+
+    /// Signed decimal integer.
+    fn int(&mut self) -> Result<i64, String> {
+        let neg = self.peek() == Some(b'-');
+        if neg {
+            self.pos += 1;
+        }
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.fail("a digit"));
+        }
+        let text = std::str::from_utf8(&self.s[start - usize::from(neg)..self.pos])
+            .map_err(|_| self.fail("utf-8"))?;
+        text.parse().map_err(|_| self.fail("an integer in range"))
+    }
+
+    /// A JSON string literal, unescaped.
+    fn string(&mut self) -> Result<String, String> {
+        self.expect("\"")?;
+        let mut out = String::new();
+        loop {
+            let rest = std::str::from_utf8(&self.s[self.pos..])
+                .map_err(|_| self.fail("utf-8 string content"))?;
+            let mut chars = rest.char_indices();
+            let Some((i, c)) = chars.next() else {
+                return Err(self.fail("a closing quote"));
+            };
+            debug_assert_eq!(i, 0);
+            match c {
+                '"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                '\\' => {
+                    let Some((_, esc)) = chars.next() else {
+                        return Err(self.fail("an escape character"));
+                    };
+                    self.pos += 1 + esc.len_utf8();
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        'u' => {
+                            let hex = self
+                                .s
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.fail("4 hex digits"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(hex)
+                                    .ok_or_else(|| self.fail("a scalar code point"))?,
+                            );
+                        }
+                        other => return Err(self.fail(&format!("a known escape, not `\\{other}`"))),
+                    }
+                }
+                c => {
+                    self.pos += c.len_utf8();
+                    out.push(c);
+                }
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.s.len()
+    }
+}
+
+/// Parses a canonical document back into events. Strict by design: the
+/// grammar is exactly the writer's output (fixed field order, no
+/// whitespace), which is what makes the round-trip byte-exact.
+///
+/// # Errors
+///
+/// Returns a positioned diagnostic for any deviation from the
+/// canonical grammar (including sequence numbers out of order).
+pub fn from_canonical_json(s: &str) -> Result<Vec<Event>, String> {
+    let mut c = Cursor::new(s);
+    c.expect(&format!(
+        "{{\"format_version\":{CANONICAL_FORMAT_VERSION},\"events\":["
+    ))?;
+    let mut events = Vec::new();
+    if c.peek() != Some(b']') {
+        loop {
+            c.expect("{\"seq\":")?;
+            let seq = c.uint()?;
+            if seq != events.len() as u64 {
+                return Err(format!(
+                    "canonical trace: seq {seq} where {} was expected",
+                    events.len()
+                ));
+            }
+            c.expect(",\"kind\":")?;
+            let kind_tag = c.string()?;
+            c.expect(",\"name\":")?;
+            let name = c.string()?;
+            c.expect(",\"detail\":")?;
+            let detail = c.string()?;
+            let kind = match kind_tag.as_str() {
+                "open" => EventKind::Open,
+                "close" => EventKind::Close,
+                "instant" => EventKind::Instant,
+                "value" => {
+                    c.expect(",\"value\":")?;
+                    EventKind::Value(c.int()?)
+                }
+                other => return Err(format!("canonical trace: unknown kind `{other}`")),
+            };
+            c.expect("}")?;
+            events.push(Event {
+                seq,
+                kind,
+                name,
+                detail,
+                wall_ns: None,
+            });
+            if c.peek() == Some(b',') {
+                c.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+    c.expect("]}")?;
+    if !c.done() {
+        return Err(c.fail("end of document"));
+    }
+    Ok(events)
+}
+
+/// Renders the stream as Chrome `trace_event` JSON
+/// (`{"traceEvents":[...]}`), for `chrome://tracing` or Perfetto.
+///
+/// The `ts` field is the **logical clock** (one microsecond tick per
+/// event), so the layout of a fixed-seed run is pool-size-invariant;
+/// wall-clock durations, when captured, ride along as `args.wall_ns`.
+/// Spans map to `B`/`E` pairs, point events to `i`, measurements to
+/// `C` counter samples.
+pub fn to_chrome_json(events: &[Event]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ph = match e.kind {
+            EventKind::Open => "B",
+            EventKind::Close => "E",
+            EventKind::Instant => "i",
+            EventKind::Value(_) => "C",
+        };
+        out.push_str("{\"name\":");
+        push_json_str(&mut out, &e.name);
+        let _ = write!(
+            out,
+            ",\"cat\":\"looprag\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":1,\"tid\":1",
+            e.seq
+        );
+        if e.kind == EventKind::Instant {
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push_str(",\"args\":{");
+        let mut first = true;
+        if let EventKind::Value(v) = e.kind {
+            let _ = write!(out, "\"value\":{v}");
+            first = false;
+        }
+        if !e.detail.is_empty() {
+            if !first {
+                out.push(',');
+            }
+            out.push_str("\"detail\":");
+            push_json_str(&mut out, &e.detail);
+            first = false;
+        }
+        if let Some(w) = e.wall_ns {
+            if !first {
+                out.push(',');
+            }
+            let _ = write!(out, "\"wall_ns\":{w}");
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Event> {
+        let rec = crate::Recorder::new(crate::TraceConfig { wall_clock: false });
+        rec.open(
+            "stage",
+            "with \"quotes\", a \\ and a\nnewline\tplus ünïcode".into(),
+        );
+        rec.value("count", -42, "ctl\u{1}char".into());
+        rec.instant("tick", String::new());
+        rec.close();
+        rec.finish()
+    }
+
+    #[test]
+    fn round_trip_is_byte_exact() {
+        let events = sample();
+        let json = to_canonical_json(&events);
+        let back = from_canonical_json(&json).expect("canonical output must parse");
+        assert_eq!(back, events);
+        assert_eq!(to_canonical_json(&back), json);
+    }
+
+    #[test]
+    fn empty_stream_round_trips() {
+        let json = to_canonical_json(&[]);
+        assert_eq!(json, "{\"format_version\":1,\"events\":[]}");
+        assert_eq!(from_canonical_json(&json).unwrap(), Vec::<Event>::new());
+    }
+
+    #[test]
+    fn parser_rejects_drift() {
+        let json = to_canonical_json(&sample());
+        // Any byte-level deviation from canonical form is an error.
+        assert!(from_canonical_json(&json.replace("[{", "[ {")).is_err());
+        assert!(from_canonical_json(&json.replace("\"seq\":1", "\"seq\":7")).is_err());
+        assert!(from_canonical_json(&format!("{json} ")).is_err());
+    }
+
+    #[test]
+    fn chrome_export_has_balanced_phases() {
+        let chrome = to_chrome_json(&sample());
+        assert_eq!(chrome.matches("\"ph\":\"B\"").count(), 1);
+        assert_eq!(chrome.matches("\"ph\":\"E\"").count(), 1);
+        assert_eq!(chrome.matches("\"ph\":\"C\"").count(), 1);
+        assert_eq!(chrome.matches("\"ph\":\"i\"").count(), 1);
+    }
+}

@@ -1,0 +1,507 @@
+//! # looprag-trace
+//!
+//! Deterministic tracing and metrics for the LOOPRAG stack.
+//!
+//! ## The logical clock
+//!
+//! A [`Recorder`] collects hierarchical span open/close events and
+//! point events, stamped with **logical sequence numbers** as the
+//! primary clock. Wall-clock durations are captured in a side channel
+//! ([`Event::wall_ns`]) that is excluded from the canonical export and
+//! from every comparison, so the logical event stream of a fixed-seed
+//! run is bit-identical at any worker-pool size.
+//!
+//! Parallel stages keep that guarantee with the same discipline as
+//! `looprag_runtime::par_map`: each work item records into its own
+//! [`LocalBuf`], and the control thread [`absorb`]s the buffers back in
+//! **submission order**, assigning sequence numbers at merge time.
+//! Which worker ran an item, and when, can never reorder the stream.
+//!
+//! ## The disabled path
+//!
+//! Every instrumentation point in the stack takes an
+//! `Option<&Recorder>` that defaults to `None`. The helpers here
+//! ([`span`], [`instant`], [`value`], [`local`]) are guaranteed no-ops
+//! for `None`: detail strings are built by closures that are never
+//! called, so the disabled path allocates nothing and costs a single
+//! branch.
+//!
+//! ## Exports
+//!
+//! * [`export::to_canonical_json`] / [`export::from_canonical_json`] —
+//!   a byte-stable canonical rendering of the logical stream (wall
+//!   side channel excluded) that round-trips exactly.
+//! * [`export::to_chrome_json`] — Chrome `trace_event` JSON for
+//!   `chrome://tracing` / Perfetto, with `ts` driven by the logical
+//!   clock and wall durations attached as args.
+//! * [`TraceSummary`] — per-name aggregation (span counts, event
+//!   counts, value sums) suitable for diffing two runs.
+//!
+//! ## Metrics
+//!
+//! A process-wide [`MetricsRegistry`] of named counters, gauges and
+//! log-bucketed histograms (see [`metrics`]) absorbs the scattered
+//! global counters that used to live in individual crates
+//! (`looprag_llm::stream_advance_count`,
+//! `looprag_search::expansion_count`, the cost-engine hit counts);
+//! those functions remain as thin compat shims. Registry values are
+//! observational and deliberately **not** part of the logical event
+//! stream: under concurrency two workers can race to the same
+//! cost-cache miss, so global counter readings are monotone and
+//! deterministic in total but not pool-size-invariant event by event.
+
+pub mod export;
+mod metrics;
+mod summary;
+
+pub use metrics::{
+    metrics, Counter, Gauge, Histogram, MetricValue, MetricsRegistry, MetricsSnapshot,
+};
+pub use summary::{SummaryDiff, TraceSummary};
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Tracing configuration. The stack takes `Option<TraceConfig>` /
+/// `Option<&Recorder>` everywhere, defaulting to `None`; the config
+/// only shapes what an *enabled* recorder captures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Capture wall-clock span durations into the [`Event::wall_ns`]
+    /// side channel. Never part of the canonical export; turn off for
+    /// the cheapest possible enabled path.
+    pub wall_clock: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { wall_clock: true }
+    }
+}
+
+/// What kind of event a stream entry is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened (pushed onto the nesting stack).
+    Open,
+    /// The innermost open span closed.
+    Close,
+    /// A point event.
+    Instant,
+    /// A named measurement of a deterministic quantity.
+    Value(i64),
+}
+
+impl EventKind {
+    /// Canonical tag, as used by the JSON exports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::Open => "open",
+            EventKind::Close => "close",
+            EventKind::Instant => "instant",
+            EventKind::Value(_) => "value",
+        }
+    }
+}
+
+/// One entry of the logical event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Logical sequence number: the primary clock. Contiguous from 0
+    /// in stream order.
+    pub seq: u64,
+    /// Event kind (with the measurement payload for value events).
+    pub kind: EventKind,
+    /// Event name (the span taxonomy is documented in the README).
+    pub name: String,
+    /// Deterministic detail text. Close events echo no detail.
+    pub detail: String,
+    /// Wall-clock side channel (span duration on close events),
+    /// excluded from the canonical export and all comparisons.
+    pub wall_ns: Option<u64>,
+}
+
+/// One open span on a nesting stack: its name (echoed at close) and
+/// its start time when wall capture is on.
+struct OpenSpan {
+    name: String,
+    started: Option<Instant>,
+}
+
+struct Inner {
+    events: Vec<Event>,
+    open: Vec<OpenSpan>,
+}
+
+/// The trace recorder: an append-only logical event stream plus the
+/// span nesting stack. Interior-mutable so a shared `&Recorder` can be
+/// threaded through a run; all recording happens on the control thread
+/// (parallel work records into [`LocalBuf`]s absorbed afterwards), so
+/// the lock is uncontended.
+pub struct Recorder {
+    cfg: TraceConfig,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap();
+        f.debug_struct("Recorder")
+            .field("events", &inner.events.len())
+            .field("open", &inner.open.len())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// A recorder over a configuration.
+    pub fn new(cfg: TraceConfig) -> Self {
+        Recorder {
+            cfg,
+            inner: Mutex::new(Inner {
+                events: Vec::new(),
+                open: Vec::new(),
+            }),
+        }
+    }
+
+    /// The configuration this recorder was built with.
+    pub fn config(&self) -> &TraceConfig {
+        &self.cfg
+    }
+
+    fn push(inner: &mut Inner, kind: EventKind, name: String, detail: String, wall: Option<u64>) {
+        let seq = inner.events.len() as u64;
+        inner.events.push(Event {
+            seq,
+            kind,
+            name,
+            detail,
+            wall_ns: wall,
+        });
+    }
+
+    /// Opens a span. Prefer the [`span`] guard helper, which cannot
+    /// leave a span open.
+    pub fn open(&self, name: &str, detail: String) {
+        let started = self.cfg.wall_clock.then(Instant::now);
+        let mut inner = self.inner.lock().unwrap();
+        Self::push(&mut inner, EventKind::Open, name.to_string(), detail, None);
+        inner.open.push(OpenSpan {
+            name: name.to_string(),
+            started,
+        });
+    }
+
+    /// Closes the innermost open span.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no span is open — an instrumentation bug, never a
+    /// data condition.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        let span = inner
+            .open
+            .pop()
+            .expect("Recorder::close without an open span");
+        let wall = span.started.map(|t| t.elapsed().as_nanos() as u64);
+        Self::push(&mut inner, EventKind::Close, span.name, String::new(), wall);
+    }
+
+    /// Records a point event.
+    pub fn instant(&self, name: &str, detail: String) {
+        let mut inner = self.inner.lock().unwrap();
+        Self::push(
+            &mut inner,
+            EventKind::Instant,
+            name.to_string(),
+            detail,
+            None,
+        );
+    }
+
+    /// Records a named measurement. The quantity must be deterministic
+    /// and pool-size-invariant (candidate speedups, admitted counts —
+    /// never global counter readings, which can race).
+    pub fn value(&self, name: &str, v: i64, detail: String) {
+        let mut inner = self.inner.lock().unwrap();
+        Self::push(
+            &mut inner,
+            EventKind::Value(v),
+            name.to_string(),
+            detail,
+            None,
+        );
+    }
+
+    /// Number of open (unclosed) spans.
+    pub fn open_depth(&self) -> usize {
+        self.inner.lock().unwrap().open.len()
+    }
+
+    /// A snapshot of the stream so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().unwrap().events.clone()
+    }
+
+    /// Consumes the recorder and returns the finished stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics when spans are still open — an instrumentation bug.
+    pub fn finish(self) -> Vec<Event> {
+        let inner = self.inner.into_inner().unwrap();
+        assert!(
+            inner.open.is_empty(),
+            "Recorder::finish with {} spans still open",
+            inner.open.len()
+        );
+        inner.events
+    }
+
+    /// Absorbs per-item [`LocalBuf`]s back into the stream **in the
+    /// order given** — call with the buffers in work-item submission
+    /// order (the order `par_map` merges results), never in completion
+    /// order. Sequence numbers are assigned here, so the merged stream
+    /// is identical at any pool size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a buffer still has open spans.
+    pub fn absorb<I>(&self, bufs: I)
+    where
+        I: IntoIterator<Item = LocalBuf>,
+    {
+        let mut inner = self.inner.lock().unwrap();
+        for buf in bufs {
+            assert!(
+                buf.stack.is_empty(),
+                "LocalBuf absorbed with {} spans still open",
+                buf.stack.len()
+            );
+            for (kind, name, detail, wall) in buf.events {
+                Self::push(&mut inner, kind, name, detail, wall);
+            }
+        }
+    }
+}
+
+/// A per-work-item event buffer for parallel stages: records with no
+/// locking on the worker, then the control thread merges buffers back
+/// in submission order via [`Recorder::absorb`]. Spans opened here
+/// must be closed here — a buffer is absorbed whole.
+#[derive(Debug)]
+pub struct LocalBuf {
+    wall_clock: bool,
+    events: Vec<(EventKind, String, String, Option<u64>)>,
+    /// Open stack: span name (echoed at close) and start time.
+    stack: Vec<(String, Option<Instant>)>,
+}
+
+impl LocalBuf {
+    fn new(wall_clock: bool) -> Self {
+        LocalBuf {
+            wall_clock,
+            events: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// Opens a span local to this work item.
+    pub fn open(&mut self, name: &str, detail: String) {
+        let started = self.wall_clock.then(Instant::now);
+        self.events
+            .push((EventKind::Open, name.to_string(), detail, None));
+        self.stack.push((name.to_string(), started));
+    }
+
+    /// Closes the innermost open span of this buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no span is open in this buffer.
+    pub fn close(&mut self) {
+        let (name, started) = self
+            .stack
+            .pop()
+            .expect("LocalBuf::close without an open span");
+        let wall = started.map(|t| t.elapsed().as_nanos() as u64);
+        self.events
+            .push((EventKind::Close, name, String::new(), wall));
+    }
+
+    /// Records a point event.
+    pub fn instant(&mut self, name: &str, detail: String) {
+        self.events
+            .push((EventKind::Instant, name.to_string(), detail, None));
+    }
+
+    /// Records a named measurement (same determinism contract as
+    /// [`Recorder::value`]).
+    pub fn value(&mut self, name: &str, v: i64, detail: String) {
+        self.events
+            .push((EventKind::Value(v), name.to_string(), detail, None));
+    }
+}
+
+/// A guard that closes its span on drop, so control-thread spans are
+/// always well-nested. A `None` recorder yields a free no-op guard.
+#[must_use = "the span closes when the guard drops"]
+pub struct SpanGuard<'a> {
+    rec: Option<&'a Recorder>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(r) = self.rec {
+            r.close();
+        }
+    }
+}
+
+/// Opens a guarded span on an optional recorder. The detail closure is
+/// only called (and only allocates) when tracing is enabled.
+pub fn span<'a, F: FnOnce() -> String>(
+    rec: Option<&'a Recorder>,
+    name: &str,
+    detail: F,
+) -> SpanGuard<'a> {
+    if let Some(r) = rec {
+        r.open(name, detail());
+    }
+    SpanGuard { rec }
+}
+
+/// Records a point event on an optional recorder; no-op (no
+/// allocation, the closure is never called) for `None`.
+pub fn instant<F: FnOnce() -> String>(rec: Option<&Recorder>, name: &str, detail: F) {
+    if let Some(r) = rec {
+        r.instant(name, detail());
+    }
+}
+
+/// Records a named measurement on an optional recorder; no-op for
+/// `None`. The quantity must be deterministic and pool-size-invariant.
+pub fn value<F: FnOnce() -> String>(rec: Option<&Recorder>, name: &str, v: i64, detail: F) {
+    if let Some(r) = rec {
+        r.value(name, v, detail());
+    }
+}
+
+/// A per-work-item buffer for a parallel stage, or `None` (no
+/// allocation) when tracing is disabled. Create inside the `par_map`
+/// closure, return it with the item's result, and
+/// [`Recorder::absorb`] the buffers in submission order.
+pub fn local(rec: Option<&Recorder>) -> Option<LocalBuf> {
+    rec.map(|r| LocalBuf::new(r.cfg.wall_clock))
+}
+
+/// Checks that a stream is well-formed: contiguous sequence numbers
+/// from 0, every close matches the innermost open span's name, and no
+/// span is left open at the end.
+pub fn well_formed(events: &[Event]) -> bool {
+    let mut stack: Vec<&str> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        if e.seq != i as u64 {
+            return false;
+        }
+        match e.kind {
+            EventKind::Open => stack.push(&e.name),
+            EventKind::Close => match stack.pop() {
+                Some(name) if name == e.name => {}
+                _ => return false,
+            },
+            EventKind::Instant | EventKind::Value(_) => {}
+        }
+    }
+    stack.is_empty()
+}
+
+/// FNV-1a fingerprint of the canonical (logical, wall-free) rendering
+/// of a stream: equal fingerprints ⇔ byte-identical logical streams.
+pub fn stream_fingerprint(events: &[Event]) -> u64 {
+    looprag_runtime::fnv64(export::to_canonical_json(events).bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guarded_spans_nest() {
+        let rec = Recorder::new(TraceConfig::default());
+        {
+            let _a = span(Some(&rec), "outer", || "o".into());
+            instant(Some(&rec), "tick", String::new);
+            {
+                let _b = span(Some(&rec), "inner", String::new);
+                value(Some(&rec), "n", 3, String::new);
+            }
+        }
+        let events = rec.finish();
+        assert!(well_formed(&events));
+        assert_eq!(events.len(), 6);
+        assert_eq!(events[0].kind, EventKind::Open);
+        assert_eq!(events[5].name, "outer");
+        assert_eq!(events[5].kind, EventKind::Close);
+    }
+
+    #[test]
+    fn disabled_path_is_noop() {
+        let _g = span(None, "x", || unreachable!("detail built while disabled"));
+        instant(None, "y", || unreachable!());
+        value(None, "z", 1, || unreachable!());
+        assert!(local(None).is_none());
+    }
+
+    #[test]
+    fn absorb_merges_in_submission_order() {
+        let rec = Recorder::new(TraceConfig { wall_clock: false });
+        let mut bufs: Vec<LocalBuf> = Vec::new();
+        for i in 0..3 {
+            let mut b = local(Some(&rec)).unwrap();
+            b.open("item", format!("{i}"));
+            b.instant("work", String::new());
+            b.close();
+            bufs.push(b);
+        }
+        // Completion order is irrelevant: absorb takes submission order.
+        rec.absorb(bufs);
+        let events = rec.finish();
+        assert!(well_formed(&events));
+        let details: Vec<&str> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Open)
+            .map(|e| e.detail.as_str())
+            .collect();
+        assert_eq!(details, ["0", "1", "2"]);
+    }
+
+    #[test]
+    fn wall_clock_lives_in_the_side_channel() {
+        let rec = Recorder::new(TraceConfig { wall_clock: true });
+        {
+            let _g = span(Some(&rec), "timed", String::new);
+        }
+        let events = rec.finish();
+        assert!(events[1].wall_ns.is_some(), "close should carry wall time");
+        // The canonical export must not mention it.
+        assert!(!export::to_canonical_json(&events).contains("wall"));
+    }
+
+    #[test]
+    #[should_panic(expected = "without an open span")]
+    fn close_without_open_panics() {
+        Recorder::new(TraceConfig::default()).close();
+    }
+
+    #[test]
+    #[should_panic(expected = "still open")]
+    fn absorbing_an_open_buffer_panics() {
+        let rec = Recorder::new(TraceConfig::default());
+        let mut b = local(Some(&rec)).unwrap();
+        b.open("leak", String::new());
+        rec.absorb([b]);
+    }
+}

@@ -1,0 +1,363 @@
+//! The process-wide metrics registry: named counters, gauges and
+//! log-bucketed histograms behind cheap cloneable handles.
+//!
+//! Handles are `Arc`ed atomics — registering once (typically in a
+//! `OnceLock`) and bumping through the handle costs one relaxed atomic
+//! op, the same as the ad-hoc `static AtomicU64` counters this
+//! registry absorbed. The registry itself is only locked to register
+//! or to snapshot.
+//!
+//! Registry values are **observational**: cumulative over the process,
+//! monotone for counters, and deliberately excluded from the logical
+//! trace stream (concurrent workers can race to the same cache miss,
+//! so instantaneous readings are not pool-size-invariant).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotone counter handle.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `delta`.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge handle.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket count: one per power of two (`0`, `1`, `2..3`, `4..7`, …, up
+/// to `2^63..`), plus the zero bucket.
+const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct Histo {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// A log-bucketed histogram handle: `observe(v)` lands `v` in bucket
+/// `⌊log2 v⌋ + 1` (bucket 0 holds zeros), so magnitudes are captured
+/// with 65 fixed slots and no configuration.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<Histo>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// `0 → 0`; `v > 0 → ⌊log2 v⌋ + 1`.
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+#[derive(Clone, Debug)]
+enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named-metric registry. Use [`metrics`] for the process-wide one;
+/// fresh instances exist for isolated tests.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    slots: Mutex<BTreeMap<String, Slot>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(&self, name: &str, make: impl FnOnce() -> Slot) -> Slot {
+        let mut slots = self.slots.lock().unwrap();
+        slots.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// The counter registered under `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.slot(name, || Slot::Counter(Counter(Arc::new(AtomicU64::new(0))))) {
+            Slot::Counter(c) => c,
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.slot(name, || Slot::Gauge(Gauge(Arc::new(AtomicI64::new(0))))) {
+            Slot::Gauge(g) => g,
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.slot(name, || {
+            Slot::Histogram(Histogram(Arc::new(Histo {
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            })))
+        }) {
+            Slot::Histogram(h) => h,
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// A point-in-time snapshot of every registered metric, in sorted
+    /// name order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let slots = self.slots.lock().unwrap();
+        let entries = slots
+            .iter()
+            .map(|(name, slot)| {
+                let value = match slot {
+                    Slot::Counter(c) => MetricValue::Counter(c.get()),
+                    Slot::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Slot::Histogram(h) => MetricValue::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        buckets: h
+                            .0
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .map(|(i, b)| (i as u32, b.load(Ordering::Relaxed)))
+                            .filter(|(_, n)| *n > 0)
+                            .collect(),
+                    },
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+}
+
+/// The process-wide registry every compat shim routes through.
+pub fn metrics() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// One snapshotted metric value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Cumulative counter reading.
+    Counter(u64),
+    /// Last gauge value.
+    Gauge(i64),
+    /// Histogram state: observation count, sum, and the non-empty
+    /// `(bucket index, count)` pairs.
+    Histogram {
+        /// Number of observations.
+        count: u64,
+        /// Sum of observations.
+        sum: u64,
+        /// Non-empty `(bucket index, count)` pairs, ascending.
+        buckets: Vec<(u32, u64)>,
+    },
+}
+
+/// A point-in-time view of a registry, ordered by name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Metric name → value, in sorted order.
+    pub entries: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// The counter reading under `name` (0 when absent or not a
+    /// counter).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.entries.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Counter increases since `before`, dropping zero deltas. The
+    /// standard way to attribute process-wide work to one run: snapshot
+    /// before, run, snapshot after, delta.
+    pub fn counter_deltas(&self, before: &MetricsSnapshot) -> BTreeMap<String, u64> {
+        self.entries
+            .iter()
+            .filter_map(|(name, v)| match v {
+                MetricValue::Counter(after) => {
+                    let delta = after.saturating_sub(before.counter(name));
+                    (delta > 0).then(|| (name.clone(), delta))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Canonical compact-JSON rendering (sorted names, fixed field
+    /// order), for logging alongside a trace.
+    pub fn to_canonical_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // Metric names are programmer-chosen identifiers
+            // (dotted ASCII); escape anyway for safety.
+            crate::export::push_json_str(&mut out, name);
+            out.push(':');
+            match v {
+                MetricValue::Counter(c) => {
+                    let _ = write!(out, "{{\"counter\":{c}}}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = write!(out, "{{\"gauge\":{g}}}");
+                }
+                MetricValue::Histogram {
+                    count,
+                    sum,
+                    buckets,
+                } => {
+                    let _ = write!(out, "{{\"count\":{count},\"sum\":{sum},\"buckets\":[");
+                    for (j, (b, n)) in buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "[{b},{n}]");
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_and_snapshot_sorts() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("z.second");
+        let b = reg.counter("z.second");
+        a.inc();
+        b.add(2);
+        reg.gauge("a.first").set(-7);
+        let h = reg.histogram("m.hist");
+        h.observe(0);
+        h.observe(1);
+        h.observe(5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("z.second"), 3);
+        let names: Vec<&String> = snap.entries.keys().collect();
+        assert_eq!(names, ["a.first", "m.hist", "z.second"]);
+        assert_eq!(
+            snap.entries["m.hist"],
+            MetricValue::Histogram {
+                count: 3,
+                sum: 6,
+                // 0 → bucket 0, 1 → bucket 1, 5 → bucket 3 (4..7).
+                buckets: vec![(0, 1), (1, 1), (3, 1)],
+            }
+        );
+    }
+
+    #[test]
+    fn counter_deltas_attribute_work() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("work");
+        reg.counter("idle");
+        let before = reg.snapshot();
+        c.add(5);
+        let deltas = reg.snapshot().counter_deltas(&before);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas["work"], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter, not a gauge")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+}

@@ -1,0 +1,152 @@
+//! Aggregation of a logical event stream into per-name totals, and a
+//! structural diff between two aggregations — the "why did this run do
+//! more work than that one?" view.
+
+use crate::{Event, EventKind};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-name totals over a logical stream: span open counts, point
+/// event counts, and summed measurements. Built purely from the
+/// logical stream, so two runs with identical streams summarize
+/// identically — the interesting call is [`TraceSummary::diff`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Span name → number of times it opened.
+    pub spans: BTreeMap<String, u64>,
+    /// Point-event name → occurrence count.
+    pub instants: BTreeMap<String, u64>,
+    /// Measurement name → sum of recorded values.
+    pub values: BTreeMap<String, i64>,
+}
+
+/// One differing row of a summary diff.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummaryDiff {
+    /// `span:`, `instant:` or `value:` prefixed name.
+    pub key: String,
+    /// Total in the left summary (0 when absent).
+    pub left: i64,
+    /// Total in the right summary (0 when absent).
+    pub right: i64,
+}
+
+fn diff_maps<V: Copy>(
+    prefix: &str,
+    a: &BTreeMap<String, V>,
+    b: &BTreeMap<String, V>,
+    to_i64: fn(V) -> i64,
+    out: &mut Vec<SummaryDiff>,
+) {
+    let keys: std::collections::BTreeSet<&String> = a.keys().chain(b.keys()).collect();
+    for k in keys {
+        let left = a.get(k).copied().map(to_i64).unwrap_or(0);
+        let right = b.get(k).copied().map(to_i64).unwrap_or(0);
+        if left != right {
+            out.push(SummaryDiff {
+                key: format!("{prefix}:{k}"),
+                left,
+                right,
+            });
+        }
+    }
+}
+
+impl TraceSummary {
+    /// Aggregates a logical stream.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut s = TraceSummary::default();
+        for e in events {
+            match e.kind {
+                EventKind::Open => *s.spans.entry(e.name.clone()).or_default() += 1,
+                EventKind::Close => {}
+                EventKind::Instant => *s.instants.entry(e.name.clone()).or_default() += 1,
+                EventKind::Value(v) => *s.values.entry(e.name.clone()).or_default() += v,
+            }
+        }
+        s
+    }
+
+    /// Every name whose total differs between the two summaries
+    /// (absent = 0), sorted by kind then name.
+    pub fn diff(&self, other: &TraceSummary) -> Vec<SummaryDiff> {
+        let mut out = Vec::new();
+        let of_u64 = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+        diff_maps("span", &self.spans, &other.spans, of_u64, &mut out);
+        diff_maps("instant", &self.instants, &other.instants, of_u64, &mut out);
+        diff_maps("value", &self.values, &other.values, |v| v, &mut out);
+        out
+    }
+
+    /// Canonical compact-JSON rendering (sorted names, fixed field
+    /// order) — byte-stable for equal summaries.
+    pub fn to_canonical_json(&self) -> String {
+        fn section<V: std::fmt::Display>(out: &mut String, map: &BTreeMap<String, V>) {
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                crate::export::push_json_str(out, k);
+                let _ = write!(out, ":{v}");
+            }
+            out.push('}');
+        }
+        let mut out = String::from("{\"spans\":");
+        section(&mut out, &self.spans);
+        out.push_str(",\"instants\":");
+        section(&mut out, &self.instants);
+        out.push_str(",\"values\":");
+        section(&mut out, &self.values);
+        out.push('}');
+        out
+    }
+
+    /// A human-readable rendering of [`TraceSummary::diff`], one
+    /// `key: left -> right` line each; empty string when identical.
+    pub fn render_diff(&self, other: &TraceSummary) -> String {
+        let mut out = String::new();
+        for row in self.diff(other) {
+            let _ = writeln!(out, "{}: {} -> {}", row.key, row.left, row.right);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Recorder, TraceConfig};
+
+    fn run(extra_tick: bool) -> Vec<Event> {
+        let rec = Recorder::new(TraceConfig { wall_clock: false });
+        rec.open("stage", String::new());
+        rec.instant("tick", String::new());
+        if extra_tick {
+            rec.instant("tick", String::new());
+        }
+        rec.value("n", 2, String::new());
+        rec.close();
+        rec.finish()
+    }
+
+    #[test]
+    fn summaries_of_equal_runs_are_equal() {
+        let a = TraceSummary::from_events(&run(false));
+        let b = TraceSummary::from_events(&run(false));
+        assert_eq!(a, b);
+        assert!(a.diff(&b).is_empty());
+        assert_eq!(a.to_canonical_json(), b.to_canonical_json());
+    }
+
+    #[test]
+    fn diff_reports_only_differing_names() {
+        let a = TraceSummary::from_events(&run(false));
+        let b = TraceSummary::from_events(&run(true));
+        let d = a.diff(&b);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].key, "instant:tick");
+        assert_eq!((d[0].left, d[0].right), (1, 2));
+        assert_eq!(a.render_diff(&b), "instant:tick: 1 -> 2\n");
+    }
+}

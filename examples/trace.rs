@@ -1,0 +1,85 @@
+//! Tracing walkthrough: record the logical event stream of an
+//! optimization run, aggregate it into a summary, diff two arms of the
+//! pipeline against each other, and export a Chrome `trace_event` file
+//! (load it at `chrome://tracing` or in Perfetto).
+//!
+//! ```text
+//! cargo run --release --example trace
+//! ```
+
+use looprag::looprag_core::{LoopRag, LoopRagConfig};
+use looprag::looprag_llm::LlmProfile;
+use looprag::looprag_search::SearchConfig;
+use looprag::looprag_synth::{build_dataset, SynthConfig};
+use looprag::looprag_trace::{export, Recorder, TraceConfig, TraceSummary};
+
+fn traced_run(search: bool) -> Vec<looprag::looprag_trace::Event> {
+    let dataset = build_dataset(&SynthConfig {
+        count: 12,
+        ..Default::default()
+    });
+    let mut cfg = LoopRagConfig::new(LlmProfile::deepseek());
+    cfg.threads = 1;
+    if search {
+        cfg.search = Some(SearchConfig {
+            beam: 2,
+            depth: 2,
+            threads: 1,
+            ..SearchConfig::default()
+        });
+    }
+    let rag = LoopRag::new(cfg, dataset);
+    let gemm = looprag::looprag_suites::find("gemm")
+        .expect("gemm is in the PolyBench suite")
+        .program();
+
+    // The recorder rides along as `Option<&Recorder>`; production
+    // callers pass `None` and pay nothing.
+    let rec = Recorder::new(TraceConfig::default());
+    let outcome = rag.optimize_traced("gemm", &gemm, 1, Some(&rec));
+    println!(
+        "{} arm: passed={} speedup={:.2}x",
+        if search { "hybrid" } else { "llm-only" },
+        outcome.passed,
+        outcome.speedup
+    );
+    rec.finish()
+}
+
+fn main() {
+    // 1. Trace the hybrid arm (LLM + beam search). The event stream is
+    //    stamped with logical sequence numbers — rerun this example at
+    //    any LOOPRAG_THREADS and the stream is bit-identical.
+    let hybrid = traced_run(true);
+    println!("hybrid arm recorded {} logical events", hybrid.len());
+
+    // 2. Aggregate into per-name totals.
+    let hybrid_summary = TraceSummary::from_events(&hybrid);
+    println!("\n--- hybrid span counts ---");
+    for (name, n) in &hybrid_summary.spans {
+        println!("{n:>4}  {name}");
+    }
+
+    // 3. Trace the LLM-only arm and diff the two summaries: the search
+    //    spans disappear, the generation/testing stages stay.
+    let llm_only = traced_run(false);
+    let llm_summary = TraceSummary::from_events(&llm_only);
+    println!("\n--- hybrid -> llm-only diff ---");
+    print!("{}", hybrid_summary.render_diff(&llm_summary));
+
+    // 4. Export. The canonical JSON round-trips byte-stably; the Chrome
+    //    form loads in chrome://tracing / Perfetto with the logical
+    //    clock as the timeline and wall durations attached as args.
+    let canonical = export::to_canonical_json(&hybrid);
+    let reparsed = export::from_canonical_json(&canonical).expect("canonical parse");
+    // Byte-stable: re-exporting the parsed stream reproduces the
+    // canonical text exactly (wall time lives outside it by design).
+    assert_eq!(
+        export::to_canonical_json(&reparsed),
+        canonical,
+        "canonical export round-trips byte-stably"
+    );
+    let path = std::env::temp_dir().join("looprag_trace_gemm.json");
+    std::fs::write(&path, export::to_chrome_json(&hybrid)).expect("write chrome trace");
+    println!("\nwrote Chrome trace_event JSON to {}", path.display());
+}

@@ -20,6 +20,7 @@
 //! * [`looprag_rank`] — learned step reranker trained from mined feedback
 //! * [`looprag_core`] — the end-to-end pipeline
 //! * [`looprag_serve`] — optimization-as-a-service with a verified-winner memo
+//! * [`looprag_trace`] — deterministic tracing and the metrics registry
 //!
 //! ```
 //! use looprag::prelude::*;
@@ -51,6 +52,7 @@ pub use looprag_search;
 pub use looprag_serve;
 pub use looprag_suites;
 pub use looprag_synth;
+pub use looprag_trace;
 pub use looprag_transform;
 
 /// The most commonly used items, importable with one `use`.
